@@ -1,0 +1,114 @@
+// Command soccrawl exercises the acquisition stage (Section 3.1 step 1) for
+// real: it serves a simulated corpus as a small match-report site over
+// HTTP, or crawls such a site and saves the fetched pages.
+//
+//	soccrawl -serve :8080                  serve the default corpus
+//	soccrawl -crawl http://localhost:8080 -out pages/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/crawler"
+	"repro/internal/soccer"
+)
+
+func main() {
+	fs := flag.NewFlagSet("soccrawl", flag.ExitOnError)
+	var cf cli.CorpusFlags
+	cf.Register(fs)
+	serve := fs.String("serve", "", "serve the simulated corpus on this address")
+	crawl := fs.String("crawl", "", "crawl a served site at this base URL")
+	out := fs.String("out", "pages", "directory to save crawled pages into")
+	timeout := fs.Duration("timeout", 30*time.Second, "crawl timeout")
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *serve != "":
+		corpus := soccer.Generate(cf.Config())
+		fmt.Printf("serving %s on %s (index at /matches)\n", corpus.Stats(), *serve)
+		if err := http.ListenAndServe(*serve, crawler.NewServer(corpus)); err != nil {
+			cli.Fatal(err)
+		}
+	case *crawl != "":
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		pages, err := (&crawler.Crawler{}).Crawl(ctx, *crawl)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			cli.Fatal(err)
+		}
+		for _, p := range pages {
+			// Re-render from the parsed form: what we save is exactly what
+			// the rest of the pipeline can re-read.
+			path := filepath.Join(*out, p.ID+".html")
+			if err := os.WriteFile(path, []byte(renderBack(p)), 0o644); err != nil {
+				cli.Fatal(err)
+			}
+		}
+		fmt.Printf("crawled %d pages into %s\n", len(pages), *out)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: soccrawl -serve :8080 | -crawl http://host:8080 [-out dir]")
+		os.Exit(2)
+	}
+}
+
+// renderBack re-serializes a parsed page through the simulator-independent
+// path: rebuild a minimal soccer.Match view and render it.
+func renderBack(p *crawler.MatchPage) string {
+	toTeam := func(name string) *soccer.Team {
+		t := &soccer.Team{Name: name, Coach: p.Coaches[name], Stadium: p.Stadium}
+		for _, pl := range p.Lineups[name] {
+			t.Players = append(t.Players, &soccer.Player{
+				Name: pl.Name, Short: pl.Short, Position: pl.Position, Shirt: pl.Shirt,
+			})
+		}
+		return t
+	}
+	m := &soccer.Match{
+		ID: p.ID, Home: toTeam(p.Home), Away: toTeam(p.Away),
+		Date: p.Date, Referee: p.Referee,
+		HomeScore: p.HomeScore, AwayScore: p.AwayScore,
+	}
+	find := func(t *soccer.Team, short string) *soccer.Player {
+		if pl := t.FindPlayer(short); pl != nil {
+			return pl
+		}
+		return &soccer.Player{Name: short, Short: short}
+	}
+	for _, g := range p.Goals {
+		team := m.Home
+		if g.Team == p.Away {
+			team = m.Away
+		}
+		scorerTeam := team
+		if g.OwnGoal {
+			scorerTeam = m.OpponentOf(team)
+		}
+		m.Goals = append(m.Goals, soccer.GoalInfo{
+			Minute: g.Minute, Scorer: find(scorerTeam, g.Scorer), Team: team, OwnGoal: g.OwnGoal,
+		})
+	}
+	for _, s := range p.Subs {
+		team := m.Home
+		if s.Team == p.Away {
+			team = m.Away
+		}
+		m.Substitutions = append(m.Substitutions, soccer.SubInfo{
+			Minute: s.Minute, Off: find(team, s.Off), On: find(team, s.On), Team: team,
+		})
+	}
+	for _, n := range p.Narrations {
+		m.Narrations = append(m.Narrations, soccer.Narration{Minute: n.Minute, Text: n.Text})
+	}
+	return crawler.RenderMatchPage(m)
+}

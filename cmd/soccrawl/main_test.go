@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/soccer"
+)
+
+// TestRenderBackRoundTrip: pages saved by the crawl path must re-parse to
+// the same content, including goals, subs and narrations.
+func TestRenderBackRoundTrip(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 3, Seed: 21, NarrationsPerMatch: 50, PaperCoverage: true})
+	for _, m := range c.Matches {
+		page, err := crawler.ParseMatchPage(crawler.RenderMatchPage(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := crawler.ParseMatchPage(renderBack(page))
+		if err != nil {
+			t.Fatalf("re-parse of renderBack: %v", err)
+		}
+		if again.ID != page.ID || again.HomeScore != page.HomeScore {
+			t.Errorf("header drift: %+v vs %+v", again, page)
+		}
+		if len(again.Narrations) != len(page.Narrations) {
+			t.Fatalf("narrations %d vs %d", len(again.Narrations), len(page.Narrations))
+		}
+		for i := range page.Narrations {
+			if again.Narrations[i] != page.Narrations[i] {
+				t.Errorf("narration %d drifted", i)
+			}
+		}
+		if len(again.Goals) != len(page.Goals) {
+			t.Errorf("goals %d vs %d", len(again.Goals), len(page.Goals))
+		}
+		for i := range page.Goals {
+			if again.Goals[i] != page.Goals[i] {
+				t.Errorf("goal %d drifted: %+v vs %+v", i, again.Goals[i], page.Goals[i])
+			}
+		}
+		if len(again.Subs) != len(page.Subs) {
+			t.Errorf("subs %d vs %d", len(again.Subs), len(page.Subs))
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Command soceval regenerates the paper's evaluation artifacts: the index
+// structure examples of Tables 1 and 2, the query set of Table 3, the main
+// retrieval comparison of Table 4, the query-expansion comparison of
+// Table 5 and the phrasal-expression experiment of Table 6 — plus a SPARQL
+// upper-bound check.
+//
+//	soceval             run everything
+//	soceval -table 4    one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/eval"
+	"repro/internal/expansion"
+	"repro/internal/index"
+	"repro/internal/rdf"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+func main() {
+	fs := flag.NewFlagSet("soceval", flag.ExitOnError)
+	var cf cli.CorpusFlags
+	cf.Register(fs)
+	table := fs.Int("table", 0, "regenerate only this table (1-6); 0 runs everything")
+	metrics := fs.Bool("metrics", false, "also print the extended metrics table (P@5, P@10, MRR, nDCG)")
+	ablations := fs.Bool("ablations", false, "also print the ranking-ablation MAP table")
+	trec := fs.String("trec", "", "write a TREC run file for FULL_INF to this path")
+	fs.Parse(os.Args[1:])
+
+	corpus := soccer.Generate(cf.Config())
+	fmt.Printf("corpus: %s\n\n", corpus.Stats())
+	b := semindex.NewBuilder()
+
+	want := func(n int) bool { return *table == 0 || *table == n }
+	if want(1) {
+		printIndexStructure(corpus, b, semindex.FullExt, "Table 1: index structure (FULL_EXT foul document)")
+	}
+	if want(2) {
+		printIndexStructure(corpus, b, semindex.FullInf, "Table 2: additional information in the inferred index (FULL_INF foul document)")
+	}
+	if want(3) {
+		fmt.Println("Table 3: evaluation queries")
+		for _, q := range eval.PaperQueries() {
+			fmt.Printf("  %-5s %s (query: %s)\n", q.ID, q.Description, q.Keywords)
+		}
+		fmt.Println()
+	}
+	if want(4) {
+		fmt.Println(eval.Table4(corpus, b).Format())
+	}
+	if want(5) {
+		fmt.Println(eval.Table5(corpus, b, expansion.New()).Format())
+	}
+	if want(6) {
+		fmt.Println(eval.Table6(corpus, b).Format())
+	}
+	if *table == 0 {
+		formalComparison(corpus, b)
+	}
+	if *metrics {
+		printMetricsTable(corpus, b)
+	}
+	if *ablations {
+		printAblationTable(corpus, b)
+	}
+	if *trec != "" {
+		indices := eval.BuildIndices(b, corpus, semindex.FullInf)
+		f, err := os.Create(*trec)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if err := eval.WriteTrecRun(f, "fullinf", eval.PaperQueries(), indices[semindex.FullInf], 100); err != nil {
+			cli.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote TREC run to %s\n", *trec)
+	}
+}
+
+// printMetricsTable reports the extended ranked-retrieval measures for
+// FULL_INF over the ten queries.
+func printMetricsTable(c *soccer.Corpus, b *semindex.Builder) {
+	indices := eval.BuildIndices(b, c, semindex.FullInf)
+	j := eval.NewJudge(c)
+	fmt.Println("\nExtended metrics (FULL_INF)")
+	fmt.Printf("%-6s | %6s %6s %6s %6s %6s\n", "Query", "AP", "P@5", "P@10", "MRR", "nDCG")
+	fmt.Println(strings.Repeat("-", 48))
+	for _, q := range eval.PaperQueries() {
+		m := j.FullMetrics(q, indices[semindex.FullInf].Search(q.Keywords, 0))
+		fmt.Printf("%-6s | %6.3f %6.3f %6.3f %6.3f %6.3f\n", q.ID, m.AP, m.P5, m.P10, m.RR, m.NDCG)
+	}
+}
+
+// printAblationTable reports the MAP cost of disabling each ranking design
+// choice, the textual companion to the Benchmark ablations.
+func printAblationTable(c *soccer.Corpus, b *semindex.Builder) {
+	j := eval.NewJudge(c)
+	pages := crawler.PagesFromCorpus(c)
+	queries := eval.PaperQueries()
+	mapOf := func(search func(q string) []semindex.Hit) float64 {
+		sum := 0.0
+		for _, q := range queries {
+			sum += j.AveragePrecision(q, search(q.Keywords)).AP
+		}
+		return sum / float64(len(queries))
+	}
+
+	full := b.Build(semindex.FullInf, pages)
+	flat := make([]index.FieldBoost, 0, len(semindex.QueryBoosts))
+	for _, fb := range semindex.QueryBoosts {
+		flat = append(flat, index.FieldBoost{Field: fb.Field, Boost: 1})
+	}
+	noStemB := semindex.NewBuilder()
+	noStemB.Analyzer = index.StandardAnalyzer{NoStemming: true}
+	noStem := noStemB.Build(semindex.FullInf, pages)
+	noNarrB := semindex.NewBuilder()
+	noNarrB.DisableNarrationField = true
+	noNarr := noNarrB.Build(semindex.FullInf, pages)
+	bm25B := semindex.NewBuilder()
+	bm25 := bm25B.Build(semindex.FullInf, pages)
+	bm25.Index.SetSimilarity(index.BM25{})
+
+	fmt.Println("\nRanking ablations (MAP over Q1-Q10, FULL_INF)")
+	rows := []struct {
+		name string
+		m    float64
+	}{
+		{"full configuration", mapOf(func(q string) []semindex.Hit { return full.Search(q, 0) })},
+		{"flat field boosts", mapOf(func(q string) []semindex.Hit { return full.SearchWithBoosts(q, 0, flat) })},
+		{"no Porter stemming", mapOf(func(q string) []semindex.Hit { return noStem.Search(q, 0) })},
+		{"no narration field", mapOf(func(q string) []semindex.Hit { return noNarr.Search(q, 0) })},
+		{"BM25 similarity", mapOf(func(q string) []semindex.Hit { return bm25.Search(q, 0) })},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-22s %6.1f%%\n", r.name, r.m*100)
+	}
+}
+
+// formalComparison contrasts the keyword system against the formal-query
+// upper bound: every Table 3 need as SPARQL over the inferred knowledge
+// base (precision/recall) next to FULL_INF keyword MAP.
+func formalComparison(c *soccer.Corpus, b *semindex.Builder) {
+	g := mergedGraph(c)
+	j := eval.NewJudge(c)
+	indices := eval.BuildIndices(b, c, semindex.FullInf)
+	paper := map[string]eval.Query{}
+	for _, q := range eval.PaperQueries() {
+		paper[q.ID] = q
+	}
+	fmt.Println("Formal-query upper bound vs keyword search (FULL_INF)")
+	fmt.Printf("%-6s | %-10s %-10s | %-10s\n", "Query", "SPARQL P", "SPARQL R", "keyword MAP")
+	fmt.Println(strings.Repeat("-", 48))
+	for _, fq := range eval.FormalQueries() {
+		res := j.EvaluateFormal(fq, paper[fq.ID], g)
+		kw := j.Evaluate(paper[fq.ID], indices[semindex.FullInf])
+		fmt.Printf("%-6s | %9.1f%% %9.1f%% | %9.1f%%\n",
+			fq.ID, res.Precision()*100, res.Recall()*100, kw.AP*100)
+	}
+	fmt.Println("\n(The formal queries themselves illustrate the usability cost: compare")
+	fmt.Println("Q-2's three-branch SPARQL union to the keyword query \"barcelona goal\".)")
+}
+
+// printIndexStructure renders one foul document field by field, in the
+// style of the paper's Tables 1 and 2.
+func printIndexStructure(c *soccer.Corpus, b *semindex.Builder, level semindex.Level, title string) {
+	indices := eval.BuildIndices(b, c, level)
+	si := indices[level]
+	for id := 0; id < si.Index.NumDocs(); id++ {
+		d := si.Index.Doc(id)
+		if d.Get(semindex.MetaKind) != "Foul" || d.Get(semindex.FieldObjPlayer) == "" {
+			continue
+		}
+		fmt.Println(title)
+		fields := []string{
+			semindex.FieldEvent, semindex.FieldMatch, semindex.FieldTeam1, semindex.FieldTeam2,
+			semindex.FieldDate, semindex.FieldMinute, semindex.FieldSubjPlayer, semindex.FieldSubjTeam,
+			semindex.FieldObjPlayer, semindex.FieldObjTeam, semindex.FieldNarration,
+		}
+		if level == semindex.FullInf {
+			fields = append(fields, semindex.FieldSubjProp, semindex.FieldObjProp, semindex.FieldFromRules)
+		}
+		for _, f := range fields {
+			v := d.Get(f)
+			if v == "" {
+				v = "-"
+			}
+			fmt.Printf("  %-18s %s\n", f, v)
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Println(title + ": no foul document found")
+}
+
+func mergedGraph(c *soccer.Corpus) *rdf.Graph {
+	sys := core.New()
+	sys.LoadPages(crawler.PagesFromCorpus(c))
+	merged := rdf.NewGraph()
+	for _, page := range sys.Pages() {
+		merged.AddAll(sys.Infer(page).Model.Graph)
+	}
+	return merged
+}

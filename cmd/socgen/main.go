@@ -1,0 +1,49 @@
+// Command socgen simulates the match corpus that substitutes for the
+// paper's UEFA/SporX crawl: UEFA-style minute-by-minute narrations plus
+// the basic match information, written as a directory of HTML pages that
+// cmd/soccrawl can serve and the rest of the pipeline can consume.
+//
+//	socgen -out pages/            write the default 10-match corpus
+//	socgen -matches 100 -seed 7   a larger corpus
+//	socgen -show 2                print the first narrations of match 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/soccer"
+)
+
+func main() {
+	fs := flag.NewFlagSet("socgen", flag.ExitOnError)
+	var cf cli.CorpusFlags
+	cf.Register(fs)
+	out := fs.String("out", "", "directory to write match pages into")
+	show := fs.Int("show", -1, "print the narrations of match N and exit")
+	fs.Parse(os.Args[1:])
+
+	corpus := soccer.Generate(cf.Config())
+	fmt.Println(corpus.Stats())
+
+	if *show >= 0 {
+		if *show >= len(corpus.Matches) {
+			cli.Fatal(fmt.Errorf("match %d out of range", *show))
+		}
+		m := corpus.Matches[*show]
+		fmt.Printf("%s vs %s, %d-%d at %s (%s)\n", m.Home.Name, m.Away.Name,
+			m.HomeScore, m.AwayScore, m.Home.Stadium, m.Date)
+		for _, n := range m.Narrations {
+			fmt.Printf("%3d' %s\n", n.Minute, n.Text)
+		}
+		return
+	}
+	if *out != "" {
+		if err := cli.WritePagesDir(*out, corpus); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("wrote %d pages to %s\n", len(corpus.Matches), *out)
+	}
+}

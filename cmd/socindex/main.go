@@ -1,0 +1,57 @@
+// Command socindex builds the semantic indices of Section 3.6 over a
+// corpus and reports their shape.
+//
+//	socindex                      build all five levels, print stats
+//	socindex -level FULL_INF      build one level
+//	socindex -level FULL_INF -save idx.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/semindex"
+)
+
+func main() {
+	fs := flag.NewFlagSet("socindex", flag.ExitOnError)
+	var cf cli.CorpusFlags
+	cf.Register(fs)
+	level := fs.String("level", "", "build only this level (TRAD, BASIC_EXT, FULL_EXT, FULL_INF, PHR_EXP)")
+	save := fs.String("save", "", "save the (single) built index to this file")
+	fs.Parse(os.Args[1:])
+
+	pages, _, err := cf.LoadPages()
+	if err != nil {
+		cli.Fatal(err)
+	}
+	levels := semindex.Levels
+	if *level != "" {
+		levels = []semindex.Level{semindex.Level(*level)}
+	}
+	b := semindex.NewBuilder()
+	for _, l := range levels {
+		start := time.Now()
+		si := b.Build(l, pages)
+		st := si.Index.Stats()
+		fmt.Printf("%-10s %6d docs, %2d fields, %7d terms, %8d postings, built in %v\n",
+			l, st.Docs, st.Fields, st.Terms, st.Postings, time.Since(start).Round(time.Millisecond))
+		if *save != "" && len(levels) == 1 {
+			f, err := os.Create(*save)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			if err := si.Save(f); err != nil {
+				cli.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				cli.Fatal(err)
+			}
+			st, _ := os.Stat(*save)
+			fmt.Printf("saved to %s (%d bytes)\n", *save, st.Size())
+		}
+	}
+}

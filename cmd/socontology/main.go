@@ -1,0 +1,77 @@
+// Command socontology dumps the central soccer ontology: the Fig. 2 class
+// hierarchy, the property hierarchy, size statistics and (optionally) the
+// TBox as Turtle.
+//
+//	socontology            print hierarchy and stats
+//	socontology -ttl       emit the TBox as Turtle on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/soccer"
+)
+
+func main() {
+	fs := flag.NewFlagSet("socontology", flag.ExitOnError)
+	ttl := fs.Bool("ttl", false, "emit the TBox as Turtle instead")
+	props := fs.Bool("props", false, "also print the property hierarchy")
+	fs.Parse(os.Args[1:])
+
+	ont := soccer.BuildOntology()
+	if err := ont.Validate(); err != nil {
+		cli.Fatal(err)
+	}
+	if *ttl {
+		if err := rdf.WriteTurtle(os.Stdout, ont.TBoxGraph()); err != nil {
+			cli.Fatal(err)
+		}
+		return
+	}
+	s := ont.Stats()
+	fmt.Printf("soccer ontology: %d concepts, %d properties (%d object, %d data), %d restrictions, %d disjoint pairs\n\n",
+		s.Classes, s.Properties(), s.ObjectProperties, s.DataProperties, s.Restrictions, s.DisjointPairs)
+	fmt.Println("class hierarchy (Fig. 2):")
+	fmt.Print(ont.HierarchyString())
+
+	if *props {
+		fmt.Println("\nproperty hierarchy:")
+		printPropTree(ont)
+	}
+}
+
+func printPropTree(ont *owl.Ontology) {
+	children := map[rdf.Term][]*owl.Property{}
+	var roots []*owl.Property
+	for _, p := range ont.Properties() {
+		if len(p.Parents) == 0 {
+			roots = append(roots, p)
+			continue
+		}
+		for _, par := range p.Parents {
+			children[par] = append(children[par], p)
+		}
+	}
+	var walk func(p *owl.Property, depth int)
+	walk = func(p *owl.Property, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Print("  ")
+		}
+		kind := "obj"
+		if p.Kind == owl.DataProperty {
+			kind = "data"
+		}
+		fmt.Printf("%s (%s)\n", p.IRI.LocalName(), kind)
+		for _, c := range children[p.IRI] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

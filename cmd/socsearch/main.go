@@ -1,0 +1,91 @@
+// Command socsearch is the keyword query interface of Section 3.6: it
+// builds the semantic index over a corpus and answers keyword queries,
+// either from the command line or interactively from stdin.
+//
+//	socsearch "messi barcelona goal"
+//	socsearch -level TRAD "goal"
+//	socsearch -load idx.bin "goal"  search a saved index
+//	socsearch -i                    interactive prompt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+func main() {
+	fs := flag.NewFlagSet("socsearch", flag.ExitOnError)
+	var cf cli.CorpusFlags
+	cf.Register(fs)
+	level := fs.String("level", string(semindex.FullInf), "index level to search")
+	limit := fs.Int("n", 10, "number of results")
+	interactive := fs.Bool("i", false, "interactive mode")
+	load := fs.String("load", "", "load a saved index file instead of building")
+	fs.Parse(os.Args[1:])
+
+	var si *semindex.SemanticIndex
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		si, err = semindex.Load(f, nil)
+		f.Close()
+		if err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("loaded %s index (%d docs) from %s\n", si.Level, si.Index.NumDocs(), *load)
+	} else {
+		pages, _, err := cf.LoadPages()
+		if err != nil {
+			cli.Fatal(err)
+		}
+		start := time.Now()
+		si = semindex.NewBuilder().Build(semindex.Level(*level), pages)
+		fmt.Printf("built %s over %d matches (%d docs) in %v\n",
+			si.Level, len(pages), si.Index.NumDocs(), time.Since(start).Round(time.Millisecond))
+	}
+	hl := index.Highlighter{Pre: "[", Post: "]"}
+
+	run := func(q string) {
+		t0 := time.Now()
+		hits := si.Search(q, *limit)
+		fmt.Printf("%d results in %v for %q\n", len(hits), time.Since(t0).Round(time.Microsecond), q)
+		for i, h := range hits {
+			kind := h.Meta(semindex.MetaKind)
+			narr := h.Doc.Get(semindex.FieldNarration)
+			if narr == "" {
+				narr = "(no narration: " + h.Meta(semindex.MetaSubject) + ")"
+			} else {
+				narr = hl.Snippet(narr, q)
+			}
+			fmt.Printf("%2d. [%5.2f] %-16s %s' %s\n", i+1, h.Score, kind, h.Meta(semindex.MetaMinute), narr)
+		}
+	}
+
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Print("query> ")
+		for sc.Scan() {
+			q := sc.Text()
+			if q == "" || q == "quit" || q == "exit" {
+				return
+			}
+			run(q)
+			fmt.Print("query> ")
+		}
+		return
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: socsearch [flags] <keyword query>")
+		os.Exit(2)
+	}
+	run(fs.Arg(0))
+}

@@ -1,0 +1,200 @@
+// Command socserve exposes the semantic index as a web search service —
+// the deployment shape behind the paper's claim that semantic indexing
+// "scales our system up to web search engines". It builds (or loads) a
+// FULL_INF index and serves:
+//
+//	GET /search?q=messi+barcelona+goal&n=10   JSON results with snippets
+//	GET /                                      a minimal HTML search page
+//	GET /healthz                               liveness
+//
+//	socserve -addr :8090
+//	socserve -addr :8090 -index idx.bin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+type searchResult struct {
+	Rank    int     `json:"rank"`
+	Score   float64 `json:"score"`
+	Kind    string  `json:"kind"`
+	Match   string  `json:"match"`
+	Minute  string  `json:"minute"`
+	Subject string  `json:"subject,omitempty"`
+	Object  string  `json:"object,omitempty"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+type searchResponse struct {
+	Query   string           `json:"query"`
+	Took    string           `json:"took"`
+	Total   int              `json:"total"`
+	Results []searchResult   `json:"results"`
+	Facets  []semindex.Facet `json:"facets,omitempty"`
+	// DidYouMean carries a spelling suggestion when the query has a token
+	// matching nothing in the index.
+	DidYouMean string `json:"didYouMean,omitempty"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("socserve", flag.ExitOnError)
+	var cf cli.CorpusFlags
+	cf.Register(fs)
+	addr := fs.String("addr", ":8090", "listen address")
+	indexFile := fs.String("index", "", "load a saved index instead of building")
+	fs.Parse(os.Args[1:])
+
+	var si *semindex.SemanticIndex
+	if *indexFile != "" {
+		f, err := os.Open(*indexFile)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		si, err = semindex.Load(f, nil)
+		f.Close()
+		if err != nil {
+			cli.Fatal(err)
+		}
+	} else {
+		pages, _, err := cf.LoadPages()
+		if err != nil {
+			cli.Fatal(err)
+		}
+		si = semindex.NewBuilder().Build(semindex.FullInf, pages)
+	}
+	fmt.Printf("serving %s index (%d docs) on %s\n", si.Level, si.Index.NumDocs(), *addr)
+
+	if err := http.ListenAndServe(*addr, NewHandler(si)); err != nil {
+		cli.Fatal(err)
+	}
+}
+
+// NewHandler builds the service mux over an index.
+func NewHandler(si *semindex.SemanticIndex) http.Handler {
+	hl := index.Highlighter{Pre: "<b>", Post: "</b>"}
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
+			return
+		}
+		n := 10
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 || v > 100 {
+				http.Error(w, `parameter "n" must be 1..100`, http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		start := time.Now()
+		hits := si.Search(q, n)
+		resp := searchResponse{
+			Query: q,
+			Took:  time.Since(start).Round(time.Microsecond).String(),
+			Total: len(hits),
+		}
+		for i, h := range hits {
+			res := searchResult{
+				Rank:    i + 1,
+				Score:   h.Score,
+				Kind:    h.Meta(semindex.MetaKind),
+				Match:   h.Meta(semindex.MetaMatchID),
+				Minute:  h.Meta(semindex.MetaMinute),
+				Subject: h.Meta(semindex.MetaSubject),
+				Object:  h.Meta(semindex.MetaObject),
+			}
+			if narr := h.Doc.Get(semindex.FieldNarration); narr != "" {
+				res.Snippet = hl.Snippet(narr, q)
+			}
+			resp.Results = append(resp.Results, res)
+		}
+		// Facet the full result set by event kind for drill-down.
+		resp.Facets = semindex.Facets(si.Search(q, 0), semindex.MetaKind)
+		resp.DidYouMean = si.Suggest(q)
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/related", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("doc"))
+		if err != nil || id < 0 {
+			http.Error(w, `parameter "doc" must be a document id`, http.StatusBadRequest)
+			return
+		}
+		hits := si.Related(id, 10)
+		out := make([]searchResult, 0, len(hits))
+		for i, h := range hits {
+			out = append(out, searchResult{
+				Rank: i + 1, Score: h.Score,
+				Kind:    h.Meta(semindex.MetaKind),
+				Match:   h.Meta(semindex.MetaMatchID),
+				Minute:  h.Meta(semindex.MetaMinute),
+				Subject: h.Meta(semindex.MetaSubject),
+				Snippet: h.Doc.Get(semindex.FieldNarration),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query().Get("q")
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<html><head><title>Semantic Soccer Search</title></head><body>
+<h2>Semantic Soccer Search</h2>
+<form action="/"><input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>
+`, html.EscapeString(q))
+		if q != "" {
+			hits := si.Search(q, 10)
+			fmt.Fprintf(w, "<p>%d results</p><ol>\n", len(hits))
+			// Highlight on the raw text with sentinel markers, escape, then
+			// swap the markers for tags — highlighting escaped text would
+			// split names like Eto'o at the entity boundary.
+			marker := index.Highlighter{Pre: "\x01", Post: "\x02"}
+			for _, h := range hits {
+				snippet := h.Doc.Get(semindex.FieldNarration)
+				if snippet != "" {
+					s := html.EscapeString(marker.Snippet(snippet, q))
+					s = strings.ReplaceAll(s, "\x01", "<b>")
+					snippet = strings.ReplaceAll(s, "\x02", "</b>")
+				} else {
+					snippet = html.EscapeString(h.Meta(semindex.MetaSubject))
+				}
+				fmt.Fprintf(w, "<li><b>%s</b> %s' — %s</li>\n",
+					html.EscapeString(h.Meta(semindex.MetaKind)),
+					html.EscapeString(h.Meta(semindex.MetaMinute)), snippet)
+			}
+			fmt.Fprintln(w, "</ol>")
+		}
+		fmt.Fprintln(w, "</body></html>")
+	})
+	return mux
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+func testHandler(t testing.TB) *httptest.Server {
+	t.Helper()
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 60, PaperCoverage: true})
+	si := semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(c))
+	srv := httptest.NewServer(NewHandler(si))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSearchEndpointJSON(t *testing.T) {
+	srv := testHandler(t)
+	resp, err := srv.Client().Get(srv.URL + "/search?q=punishment&n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Query != "punishment" || sr.Total == 0 {
+		t.Errorf("response = %+v", sr)
+	}
+	for _, r := range sr.Results {
+		if !strings.Contains(r.Kind, "Card") {
+			t.Errorf("punishment returned kind %q", r.Kind)
+		}
+	}
+}
+
+func TestSearchEndpointValidation(t *testing.T) {
+	srv := testHandler(t)
+	for _, path := range []string{"/search", "/search?q=goal&n=0", "/search?q=goal&n=9999", "/search?q=goal&n=abc"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTMLPage(t *testing.T) {
+	srv := testHandler(t)
+	resp, err := srv.Client().Get(srv.URL + "/?q=messi+goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "<b>") {
+		t.Errorf("no highlighted results in page:\n%s", body)
+	}
+	if !strings.Contains(body, `value="messi goal"`) {
+		t.Error("search box does not echo the query")
+	}
+	// Escaping: a hostile query must not inject markup.
+	resp2, err := srv.Client().Get(srv.URL + `/?q=%3Cscript%3E`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n2, _ := resp2.Body.Read(buf)
+	if strings.Contains(string(buf[:n2]), "<script>") {
+		t.Error("query not escaped in page")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testHandler(t)
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestFacetsInSearchResponse(t *testing.T) {
+	srv := testHandler(t)
+	resp, err := srv.Client().Get(srv.URL + "/search?q=punishment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Facets) == 0 {
+		t.Error("no facets in response")
+	}
+}
+
+func TestRelatedEndpoint(t *testing.T) {
+	srv := testHandler(t)
+	resp, err := srv.Client().Get(srv.URL + "/related?doc=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []searchResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// Bad input validation.
+	bad, err := srv.Client().Get(srv.URL + "/related?doc=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != 400 {
+		t.Errorf("bad doc param status %d", bad.StatusCode)
+	}
+}
+
+func TestDidYouMean(t *testing.T) {
+	srv := testHandler(t)
+	resp, err := srv.Client().Get(srv.URL + "/search?q=mesi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sr.DidYouMean, "messi") {
+		t.Errorf("didYouMean = %q", sr.DidYouMean)
+	}
+}

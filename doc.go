@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "An ontology-based
+// retrieval system using semantic indexing" (Kara et al.): an end-to-end
+// ontology-based information extraction and retrieval system for the
+// soccer domain, built entirely on the standard library.
+//
+// The public entry point is internal/core.System; the substrate packages
+// (rdf, owl, reasoner, rules, index, sparql) are reusable beyond the
+// soccer domain, as examples/customdomain demonstrates. bench_test.go in
+// this directory regenerates every table of the paper's evaluation; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+package repro

@@ -1,0 +1,89 @@
+// Future work, implemented: the three extensions the paper's Sections 7-8
+// sketch, running against the same semantic index —
+//
+//  1. synonym expansion ("keeper" reaching goalkeeper knowledge),
+//
+//  2. word-sense disambiguation ("save money" vs goalkeeper saves),
+//
+//  3. click-feedback index expansion (learning "spot kick" means penalty).
+//
+//     go run ./examples/futurework
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/feedback"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+	"repro/internal/wsd"
+)
+
+func main() {
+	corpus := soccer.Generate(soccer.Config{Matches: 4, Seed: 42, NarrationsPerMatch: 80, PaperCoverage: true})
+	si := semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(corpus))
+
+	// 1. Synonyms (Section 7): folk vocabulary reaches ontological fields.
+	fmt.Println("1. synonym expansion")
+	for _, q := range []string{"keeper save", "booking"} {
+		plain := si.Search(q, 1)
+		syn := si.SearchWithSynonyms(q, 1, semindex.SoccerSynonyms)
+		fmt.Printf("   %-12q plain top: %-14s with synonyms: %s\n",
+			q, topKind(plain), topKind(syn))
+	}
+
+	// 2. WSD (Section 8): out-of-domain senses are filtered from queries.
+	fmt.Println("\n2. word-sense disambiguation")
+	for _, q := range []string{"save money on tickets", "great save by the keeper"} {
+		refined, decisions := wsd.RefineQuery(q, wsd.SoccerInventory)
+		fmt.Printf("   %-28q -> %q", q, refined)
+		for _, d := range decisions {
+			fmt.Printf("  [%s: %s]", d.Token, d.Sense.ID)
+		}
+		fmt.Println()
+	}
+
+	// 3. Feedback (Section 8): clicks teach the index new vocabulary.
+	fmt.Println("\n3. click-feedback index expansion")
+	before := si.Search("spot kick", 0)
+	fmt.Printf("   \"spot kick\" before feedback: %d penalty hits\n", countPenalty(before))
+	// A user finds a penalty event (by browsing) and clicks it twice for
+	// the failed query.
+	target := -1
+	for id := 0; id < si.Index.NumDocs(); id++ {
+		if strings.HasPrefix(si.Index.Doc(id).Get(semindex.MetaKind), "Penalty") {
+			target = id
+			break
+		}
+	}
+	if target < 0 {
+		fmt.Println("   (no penalty events in this corpus)")
+		return
+	}
+	tr := feedback.NewTracker(si)
+	tr.RecordClick("spot kick", target)
+	tr.RecordClick("spot kick", target)
+	expanded := tr.Rebuild()
+	after := feedback.SearchWithFeedback(expanded, "spot kick", 0)
+	fmt.Printf("   \"spot kick\" after feedback:  %d penalty hits (learned terms: %v)\n",
+		countPenalty(after), tr.LearnedTerms(target))
+}
+
+func topKind(hits []semindex.Hit) string {
+	if len(hits) == 0 {
+		return "(none)"
+	}
+	return hits[0].Meta(semindex.MetaKind)
+}
+
+func countPenalty(hits []semindex.Hit) int {
+	n := 0
+	for _, h := range hits {
+		if strings.HasPrefix(h.Meta(semindex.MetaKind), "Penalty") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+// Package cli carries the small helpers shared by the cmd/ executables:
+// corpus/page loading flags and page-directory I/O.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/soccer"
+)
+
+// CorpusFlags bundles the standard generation flags.
+type CorpusFlags struct {
+	Matches  int
+	Seed     int64
+	Narr     int
+	PagesDir string
+	NoForce  bool
+}
+
+// Register installs the flags on the given FlagSet.
+func (c *CorpusFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&c.Matches, "matches", 10, "number of matches to simulate")
+	fs.Int64Var(&c.Seed, "seed", 42, "generation seed")
+	fs.IntVar(&c.Narr, "narrations", 118, "approximate narrations per match")
+	fs.StringVar(&c.PagesDir, "pages", "", "load crawled pages from this directory instead of simulating")
+	fs.BoolVar(&c.NoForce, "no-coverage", false, "disable the paper-coverage forced events")
+}
+
+// Config converts the flags to a generator config.
+func (c *CorpusFlags) Config() soccer.Config {
+	return soccer.Config{
+		Matches:            c.Matches,
+		Seed:               c.Seed,
+		NarrationsPerMatch: c.Narr,
+		PaperCoverage:      !c.NoForce,
+	}
+}
+
+// LoadPages returns pages either from -pages or by simulating a corpus.
+// The corpus is non-nil only in the simulated case (it carries the ground
+// truth the evaluation needs).
+func (c *CorpusFlags) LoadPages() ([]*crawler.MatchPage, *soccer.Corpus, error) {
+	if c.PagesDir != "" {
+		pages, err := ReadPagesDir(c.PagesDir)
+		return pages, nil, err
+	}
+	corpus := soccer.Generate(c.Config())
+	return crawler.PagesFromCorpus(corpus), corpus, nil
+}
+
+// WritePagesDir renders every match of the corpus as an HTML page file.
+func WritePagesDir(dir string, corpus *soccer.Corpus) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range corpus.Matches {
+		path := filepath.Join(dir, m.ID+".html")
+		if err := os.WriteFile(path, []byte(crawler.RenderMatchPage(m)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPagesDir parses every .html page in the directory, sorted by name.
+func ReadPagesDir(dir string) ([]*crawler.MatchPage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".html") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var pages []*crawler.MatchPage
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		page, err := crawler.ParseMatchPage(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		pages = append(pages, page)
+	}
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("no .html pages in %s", dir)
+	}
+	return pages, nil
+}
+
+// Fatal prints the error and exits non-zero.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/soccer"
+)
+
+func TestCorpusFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var cf CorpusFlags
+	cf.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cf.Config()
+	if cfg.Matches != 10 || cfg.Seed != 42 || !cfg.PaperCoverage {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestCorpusFlagsParsing(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var cf CorpusFlags
+	cf.Register(fs)
+	if err := fs.Parse([]string{"-matches", "3", "-seed", "7", "-no-coverage"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cf.Config()
+	if cfg.Matches != 3 || cfg.Seed != 7 || cfg.PaperCoverage {
+		t.Errorf("parsed = %+v", cfg)
+	}
+}
+
+func TestWriteReadPagesDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	corpus := soccer.Generate(soccer.Config{Matches: 3, Seed: 5, NarrationsPerMatch: 40})
+	if err := WritePagesDir(dir, corpus); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := ReadPagesDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 3 {
+		t.Fatalf("%d pages", len(pages))
+	}
+	// Pages come back sorted by file name; every match must be present.
+	byID := map[string]bool{}
+	for _, p := range pages {
+		byID[p.ID] = true
+	}
+	for _, m := range corpus.Matches {
+		if !byID[m.ID] {
+			t.Errorf("match %s lost in round trip", m.ID)
+		}
+	}
+}
+
+func TestReadPagesDirErrors(t *testing.T) {
+	if _, err := ReadPagesDir("/nonexistent-dir-for-test"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := ReadPagesDir(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "x.html"), []byte("<garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPagesDir(bad); err == nil {
+		t.Error("malformed page accepted")
+	}
+}
+
+func TestLoadPagesFromDir(t *testing.T) {
+	dir := t.TempDir()
+	corpus := soccer.Generate(soccer.Config{Matches: 2, Seed: 5, NarrationsPerMatch: 40})
+	if err := WritePagesDir(dir, corpus); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var cf CorpusFlags
+	cf.Register(fs)
+	if err := fs.Parse([]string{"-pages", dir}); err != nil {
+		t.Fatal(err)
+	}
+	pages, c, err := cf.LoadPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Error("corpus should be nil when loading from disk")
+	}
+	if len(pages) != 2 {
+		t.Errorf("%d pages", len(pages))
+	}
+}
+
+func TestWritePagesDirBadTarget(t *testing.T) {
+	corpus := soccer.Generate(soccer.Config{Matches: 1, Seed: 1, NarrationsPerMatch: 30})
+	// Target path collides with an existing file.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePagesDir(file, corpus); err == nil {
+		t.Error("WritePagesDir into a file succeeded")
+	}
+}
+
+func TestLoadPagesBadDir(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var cf CorpusFlags
+	cf.Register(fs)
+	if err := fs.Parse([]string{"-pages", "/definitely/not/here"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cf.LoadPages(); err == nil {
+		t.Error("missing pages dir accepted")
+	}
+}

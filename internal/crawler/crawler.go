@@ -1,0 +1,191 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Crawler fetches a match site: the listing page, then every linked match
+// page, concurrently with a bounded worker pool. It is deliberately a real
+// HTTP client so the acquisition path of the paper's pipeline is exercised
+// end to end, even though the site it points at is usually the in-process
+// Server.
+type Crawler struct {
+	// Client is the HTTP client; nil uses a client with a 10s timeout.
+	Client *http.Client
+	// Concurrency bounds parallel fetches; 0 means 4.
+	Concurrency int
+	// Retries is how many times a failed page fetch is retried before the
+	// crawl aborts; 0 means 2. Real match sites drop requests under load,
+	// and losing a whole crawl to one hiccup would lose a whole index build.
+	Retries int
+	// RetryDelay spaces retries; 0 means 50ms.
+	RetryDelay time.Duration
+}
+
+// fetchWithRetry fetches a URL, retrying transient failures.
+func (c *Crawler) fetchWithRetry(ctx context.Context, client *http.Client, u string) (string, error) {
+	retries := c.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	delay := c.RetryDelay
+	if delay == 0 {
+		delay = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		body, err := fetch(ctx, client, u)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+	}
+	return "", fmt.Errorf("after %d attempts: %w", retries+1, lastErr)
+}
+
+// Crawl fetches baseURL's /matches listing and every match page it links,
+// returning parsed pages in listing order. Any fetch or parse error aborts
+// the crawl.
+func (c *Crawler) Crawl(ctx context.Context, baseURL string) ([]*MatchPage, error) {
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	conc := c.Concurrency
+	if conc <= 0 {
+		conc = 4
+	}
+
+	listing, err := c.fetchWithRetry(ctx, client, strings.TrimSuffix(baseURL, "/")+"/matches")
+	if err != nil {
+		return nil, fmt.Errorf("crawler: listing: %w", err)
+	}
+	links := ExtractLinks(listing)
+	var matchURLs []string
+	for _, l := range links {
+		if strings.Contains(l, "/match/") {
+			abs, err := resolveURL(baseURL, l)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: bad link %q: %w", l, err)
+			}
+			matchURLs = append(matchURLs, abs)
+		}
+	}
+
+	type result struct {
+		idx  int
+		page *MatchPage
+		err  error
+	}
+	results := make([]result, len(matchURLs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	for i, u := range matchURLs {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			body, err := c.fetchWithRetry(ctx, client, u)
+			if err != nil {
+				results[i] = result{idx: i, err: fmt.Errorf("fetch %s: %w", u, err)}
+				return
+			}
+			page, err := ParseMatchPage(body)
+			if err != nil {
+				results[i] = result{idx: i, err: fmt.Errorf("parse %s: %w", u, err)}
+				return
+			}
+			results[i] = result{idx: i, page: page}
+		}(i, u)
+	}
+	wg.Wait()
+
+	pages := make([]*MatchPage, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("crawler: %w", r.err)
+		}
+		pages = append(pages, r.page)
+	}
+	return pages, nil
+}
+
+func fetch(ctx context.Context, client *http.Client, u string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// ExtractLinks returns the href targets of every anchor in the HTML, in
+// document order with duplicates removed.
+func ExtractLinks(htmlSrc string) []string {
+	var out []string
+	seen := map[string]bool{}
+	rest := htmlSrc
+	for {
+		i := strings.Index(rest, `href="`)
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len(`href="`):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			break
+		}
+		href := rest[:j]
+		rest = rest[j:]
+		if href != "" && !seen[href] {
+			seen[href] = true
+			out = append(out, href)
+		}
+	}
+	return out
+}
+
+func resolveURL(base, ref string) (string, error) {
+	b, err := url.Parse(base)
+	if err != nil {
+		return "", err
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return "", err
+	}
+	return b.ResolveReference(r).String(), nil
+}
+
+// SortPagesByID orders pages deterministically, which downstream indexing
+// relies on for reproducible document ids.
+func SortPagesByID(pages []*MatchPage) {
+	sort.Slice(pages, func(i, j int) bool { return pages[i].ID < pages[j].ID })
+}

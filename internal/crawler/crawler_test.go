@@ -1,0 +1,259 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/soccer"
+)
+
+func testCorpus(t testing.TB) *soccer.Corpus {
+	t.Helper()
+	return soccer.Generate(soccer.Config{Matches: 3, Seed: 7, NarrationsPerMatch: 40})
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	m := c.Matches[0]
+	page, err := ParseMatchPage(RenderMatchPage(m))
+	if err != nil {
+		t.Fatalf("ParseMatchPage: %v", err)
+	}
+	if page.ID != m.ID || page.Home != m.Home.Name || page.Away != m.Away.Name {
+		t.Errorf("header mismatch: %+v", page)
+	}
+	if page.HomeScore != m.HomeScore || page.AwayScore != m.AwayScore {
+		t.Errorf("score mismatch: %d-%d vs %d-%d", page.HomeScore, page.AwayScore, m.HomeScore, m.AwayScore)
+	}
+	if page.Date != m.Date || page.Referee != m.Referee || page.Stadium != m.Home.Stadium {
+		t.Errorf("meta mismatch: %+v", page)
+	}
+	if len(page.Lineups[m.Home.Name]) != 11 || len(page.Lineups[m.Away.Name]) != 11 {
+		t.Errorf("lineups: %d home, %d away", len(page.Lineups[m.Home.Name]), len(page.Lineups[m.Away.Name]))
+	}
+	if page.Coaches[m.Home.Name] != m.Home.Coach {
+		t.Errorf("coach = %q", page.Coaches[m.Home.Name])
+	}
+	for i, p := range m.Home.Players {
+		got := page.Lineups[m.Home.Name][i]
+		want := PlayerLine{Name: p.Name, Short: p.Short, Position: p.Position, Shirt: p.Shirt}
+		if got != want {
+			t.Errorf("player %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if len(page.Goals) != len(m.Goals) {
+		t.Fatalf("goals = %d, want %d", len(page.Goals), len(m.Goals))
+	}
+	for i, g := range m.Goals {
+		got := page.Goals[i]
+		if got.Minute != g.Minute || got.Scorer != g.Scorer.Short || got.Team != g.Team.Name || got.OwnGoal != g.OwnGoal {
+			t.Errorf("goal %d = %+v", i, got)
+		}
+	}
+	if len(page.Subs) != len(m.Substitutions) {
+		t.Errorf("subs = %d, want %d", len(page.Subs), len(m.Substitutions))
+	}
+	if len(page.Narrations) != len(m.Narrations) {
+		t.Fatalf("narrations = %d, want %d", len(page.Narrations), len(m.Narrations))
+	}
+	for i, n := range m.Narrations {
+		if page.Narrations[i].Text != n.Text || page.Narrations[i].Minute != n.Minute {
+			t.Errorf("narration %d = %+v, want %+v", i, page.Narrations[i], n)
+		}
+	}
+}
+
+func TestPageEscaping(t *testing.T) {
+	// Names with apostrophes (Eto'o, O'Shea) and narration punctuation must
+	// survive the HTML round trip.
+	c := soccer.Generate(soccer.Config{Matches: 10, Seed: 1, NarrationsPerMatch: 60})
+	for _, m := range c.Matches {
+		page, err := ParseMatchPage(RenderMatchPage(m))
+		if err != nil {
+			t.Fatalf("match %s: %v", m.ID, err)
+		}
+		for i, n := range m.Narrations {
+			if page.Narrations[i].Text != n.Text {
+				t.Fatalf("match %s narration %d: %q != %q", m.ID, i, page.Narrations[i].Text, n.Text)
+			}
+		}
+	}
+}
+
+func TestParseMatchPageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no header", "<html><body></body></html>"},
+		{"bad score", `<h1 class="match" data-id="x" data-home-score="NaN" data-away-score="0"></h1>`},
+		{"bad minute", `<h1 class="match" data-id="x" data-home-score="0" data-away-score="0"></h1>` + "\n" +
+			`<li class="narration" data-minute="soon">text</li>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseMatchPage(c.src); err == nil {
+				t.Error("ParseMatchPage accepted malformed page")
+			}
+		})
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	html := `<a href="/match/a">A</a> <a href="/match/b">B</a> <a href="/match/a">dup</a> <a href="http://x/y">ext</a>`
+	got := ExtractLinks(html)
+	want := []string{"/match/a", "/match/b", "http://x/y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractLinks = %v", got)
+	}
+}
+
+func TestCrawlEndToEnd(t *testing.T) {
+	c := testCorpus(t)
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+
+	pages, err := (&Crawler{}).Crawl(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if len(pages) != len(c.Matches) {
+		t.Fatalf("crawled %d pages, want %d", len(pages), len(c.Matches))
+	}
+	for i, m := range c.Matches {
+		if pages[i].ID != m.ID {
+			t.Errorf("page %d id = %q, want %q", i, pages[i].ID, m.ID)
+		}
+	}
+}
+
+func TestCrawlRootRedirect(t *testing.T) {
+	c := testCorpus(t)
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	// The crawler appends /matches itself; fetching the root should also
+	// work through the redirect for humans pointing a browser at it.
+	pages, err := (&Crawler{Concurrency: 1}).Crawl(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("Crawl with trailing slash: %v", err)
+	}
+	if len(pages) != len(c.Matches) {
+		t.Errorf("crawled %d pages", len(pages))
+	}
+}
+
+func TestCrawlUnknownHost(t *testing.T) {
+	_, err := (&Crawler{}).Crawl(context.Background(), "http://127.0.0.1:1")
+	if err == nil {
+		t.Error("Crawl of dead endpoint succeeded")
+	}
+}
+
+func TestCrawl404Page(t *testing.T) {
+	c := testCorpus(t)
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	// A direct fetch of a missing match must 404.
+	body, err := fetch(context.Background(), srv.Client(), srv.URL+"/match/nope")
+	if err == nil {
+		t.Errorf("missing match fetched: %q", body[:40])
+	}
+}
+
+func TestCrawlSurvivesFlakyServer(t *testing.T) {
+	// The server fails every first request per URL with a 500; retries must
+	// carry the crawl through.
+	c := testCorpus(t)
+	inner := NewServer(c)
+	var mu sync.Mutex
+	failed := map[string]bool{}
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		first := !failed[r.URL.Path]
+		failed[r.URL.Path] = true
+		mu.Unlock()
+		if first {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	pages, err := (&Crawler{Retries: 2, RetryDelay: time.Millisecond}).Crawl(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Crawl with retries: %v", err)
+	}
+	if len(pages) != len(c.Matches) {
+		t.Errorf("crawled %d pages, want %d", len(pages), len(c.Matches))
+	}
+}
+
+func TestCrawlGivesUpAfterRetries(t *testing.T) {
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer always.Close()
+	_, err := (&Crawler{Retries: 1, RetryDelay: time.Millisecond}).Crawl(context.Background(), always.URL)
+	if err == nil {
+		t.Fatal("crawl of permanently failing server succeeded")
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Errorf("error does not mention retries: %v", err)
+	}
+}
+
+func TestSortPagesByID(t *testing.T) {
+	pages := []*MatchPage{{ID: "c"}, {ID: "a"}, {ID: "b"}}
+	SortPagesByID(pages)
+	if pages[0].ID != "a" || pages[2].ID != "c" {
+		t.Errorf("sorted order: %v %v %v", pages[0].ID, pages[1].ID, pages[2].ID)
+	}
+}
+
+func TestServerListingContainsAllMatches(t *testing.T) {
+	c := testCorpus(t)
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	body, err := fetch(context.Background(), srv.Client(), srv.URL+"/matches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.Matches {
+		if !strings.Contains(body, m.ID) {
+			t.Errorf("listing missing match %s", m.ID)
+		}
+	}
+}
+
+func TestCrawlContextCancellation(t *testing.T) {
+	// A cancelled context must abort retries promptly.
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer always.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := (&Crawler{Retries: 5, RetryDelay: time.Second}).Crawl(ctx, always.URL)
+	if err == nil {
+		t.Fatal("cancelled crawl succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("cancelled crawl took %v", time.Since(start))
+	}
+}
+
+func TestCrawlBadBaseURL(t *testing.T) {
+	if _, err := (&Crawler{}).Crawl(context.Background(), "://not a url"); err == nil {
+		t.Error("malformed base URL accepted")
+	}
+}

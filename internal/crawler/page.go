@@ -1,0 +1,177 @@
+// Package crawler implements the web acquisition front of the pipeline
+// (Section 3.1 step 1): an HTTP crawler that walks a match-listing site,
+// fetches match pages and parses out the "basic information" (teams,
+// lineups, goals, substitutions, stadium, referee) and the minute-by-minute
+// narrations.
+//
+// The paper crawls uefa.com and sporx.com; this package substitutes an
+// in-process net/http site (Server) generated from the simulated corpus,
+// so the crawler exercises real HTTP fetching, link extraction and page
+// parsing against pages with the same information content.
+package crawler
+
+import (
+	"fmt"
+	"html"
+	"strconv"
+	"strings"
+)
+
+// PlayerLine is one lineup row of a match page.
+type PlayerLine struct {
+	Name     string
+	Short    string
+	Position string
+	Shirt    int
+}
+
+// GoalLine is one goal in the basic information.
+type GoalLine struct {
+	Minute  int
+	Scorer  string // short name
+	Team    string
+	OwnGoal bool
+}
+
+// SubLine is one substitution in the basic information.
+type SubLine struct {
+	Minute int
+	Off    string // short name leaving
+	On     string // short name entering
+	Team   string
+}
+
+// NarrationLine is one commentary entry.
+type NarrationLine struct {
+	Minute int
+	Text   string
+}
+
+// MatchPage is everything parsed from one crawled match page. It is the
+// crawler-side mirror of soccer.Match, decoupled so the extraction pipeline
+// never depends on simulator internals.
+type MatchPage struct {
+	ID        string
+	Home      string
+	Away      string
+	HomeScore int
+	AwayScore int
+	Date      string
+	Referee   string
+	Stadium   string
+	// Lineups maps team name to its players.
+	Lineups map[string][]PlayerLine
+	// Coaches maps team name to coach name.
+	Coaches    map[string]string
+	Goals      []GoalLine
+	Subs       []SubLine
+	Narrations []NarrationLine
+}
+
+// ParseMatchPage parses the HTML produced by Server. The format is one
+// element per line with data-* attributes, so parsing is a line scan; a
+// malformed page yields an error naming the offending line.
+func ParseMatchPage(htmlSrc string) (*MatchPage, error) {
+	p := &MatchPage{Lineups: map[string][]PlayerLine{}, Coaches: map[string]string{}}
+	currentTeam := ""
+	for lineNo, raw := range strings.Split(htmlSrc, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, `<h1 class="match"`):
+			p.ID = attr(line, "data-id")
+			p.Home = attr(line, "data-home")
+			p.Away = attr(line, "data-away")
+			var err error
+			if p.HomeScore, err = atoiAttr(line, "data-home-score"); err != nil {
+				return nil, fmt.Errorf("crawler: line %d: %v", lineNo+1, err)
+			}
+			if p.AwayScore, err = atoiAttr(line, "data-away-score"); err != nil {
+				return nil, fmt.Errorf("crawler: line %d: %v", lineNo+1, err)
+			}
+		case strings.HasPrefix(line, `<div class="meta"`):
+			p.Date = attr(line, "data-date")
+			p.Referee = attr(line, "data-referee")
+			p.Stadium = attr(line, "data-stadium")
+		case strings.HasPrefix(line, `<ul class="lineup"`):
+			currentTeam = attr(line, "data-team")
+			p.Coaches[currentTeam] = attr(line, "data-coach")
+		case strings.HasPrefix(line, `<li class="player"`):
+			shirt, err := atoiAttr(line, "data-shirt")
+			if err != nil {
+				return nil, fmt.Errorf("crawler: line %d: %v", lineNo+1, err)
+			}
+			p.Lineups[currentTeam] = append(p.Lineups[currentTeam], PlayerLine{
+				Name:     text(line),
+				Short:    attr(line, "data-short"),
+				Position: attr(line, "data-pos"),
+				Shirt:    shirt,
+			})
+		case strings.HasPrefix(line, `<li class="goal"`):
+			min, err := atoiAttr(line, "data-minute")
+			if err != nil {
+				return nil, fmt.Errorf("crawler: line %d: %v", lineNo+1, err)
+			}
+			p.Goals = append(p.Goals, GoalLine{
+				Minute:  min,
+				Scorer:  text(line),
+				Team:    attr(line, "data-team"),
+				OwnGoal: attr(line, "data-own") == "true",
+			})
+		case strings.HasPrefix(line, `<li class="sub"`):
+			min, err := atoiAttr(line, "data-minute")
+			if err != nil {
+				return nil, fmt.Errorf("crawler: line %d: %v", lineNo+1, err)
+			}
+			p.Subs = append(p.Subs, SubLine{
+				Minute: min,
+				Off:    text(line),
+				On:     attr(line, "data-on"),
+				Team:   attr(line, "data-team"),
+			})
+		case strings.HasPrefix(line, `<li class="narration"`):
+			min, err := atoiAttr(line, "data-minute")
+			if err != nil {
+				return nil, fmt.Errorf("crawler: line %d: %v", lineNo+1, err)
+			}
+			p.Narrations = append(p.Narrations, NarrationLine{Minute: min, Text: text(line)})
+		}
+	}
+	if p.ID == "" {
+		return nil, fmt.Errorf("crawler: page has no match header")
+	}
+	return p, nil
+}
+
+// attr extracts an HTML attribute value from a single-line element.
+func attr(line, name string) string {
+	key := name + `="`
+	i := strings.Index(line, key)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return html.UnescapeString(rest[:j])
+}
+
+// text extracts the unescaped inner text of a single-line element.
+func text(line string) string {
+	i := strings.IndexByte(line, '>')
+	j := strings.LastIndexByte(line, '<')
+	if i < 0 || j <= i {
+		return ""
+	}
+	return html.UnescapeString(line[i+1 : j])
+}
+
+func atoiAttr(line, name string) (int, error) {
+	v := attr(line, name)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s=%q not a number", name, v)
+	}
+	return n, nil
+}

@@ -1,0 +1,109 @@
+package crawler
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"repro/internal/soccer"
+)
+
+// NewServer returns an http.Handler serving the simulated corpus as a small
+// match-report site: "/matches" lists links to "/match/<id>" pages whose
+// markup ParseMatchPage understands. It stands in for uefa.com in every
+// test and example, and cmd/soccrawl can serve it on a real port.
+func NewServer(c *soccer.Corpus) http.Handler {
+	mux := http.NewServeMux()
+	byID := make(map[string]*soccer.Match, len(c.Matches))
+	for _, m := range c.Matches {
+		byID[m.ID] = m
+	}
+	mux.HandleFunc("/matches", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		b.WriteString("<html><head><title>Matches</title></head><body>\n<ul>\n")
+		for _, m := range c.Matches {
+			fmt.Fprintf(&b, "<li><a href=\"/match/%s\">%s vs %s</a></li>\n",
+				html.EscapeString(m.ID), html.EscapeString(m.Home.Name), html.EscapeString(m.Away.Name))
+		}
+		b.WriteString("</ul>\n</body></html>\n")
+		writeHTML(w, b.String())
+	})
+	mux.HandleFunc("/match/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/match/")
+		m, ok := byID[id]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeHTML(w, RenderMatchPage(m))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/matches", http.StatusFound)
+	})
+	return mux
+}
+
+func writeHTML(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, body)
+}
+
+// PagesFromCorpus renders and re-parses every match, producing the pages a
+// crawl of the served site would yield without the HTTP round trip. Tests,
+// benches and examples that don't exercise the network use this.
+func PagesFromCorpus(c *soccer.Corpus) []*MatchPage {
+	pages := make([]*MatchPage, 0, len(c.Matches))
+	for _, m := range c.Matches {
+		page, err := ParseMatchPage(RenderMatchPage(m))
+		if err != nil {
+			// Render and Parse are inverse by construction; a failure here
+			// is a programming error, not an input error.
+			panic("crawler: corpus page round trip failed: " + err.Error())
+		}
+		pages = append(pages, page)
+	}
+	return pages
+}
+
+// RenderMatchPage renders one match as the line-oriented HTML the parser
+// reads back. Round-tripping through Render/Parse is lossless for all the
+// basic information and narrations (TestPageRoundTrip pins this).
+func RenderMatchPage(m *soccer.Match) string {
+	var b strings.Builder
+	esc := html.EscapeString
+	fmt.Fprintf(&b, "<html><head><title>%s vs %s</title></head><body>\n", esc(m.Home.Name), esc(m.Away.Name))
+	fmt.Fprintf(&b, "<h1 class=\"match\" data-id=\"%s\" data-home=\"%s\" data-away=\"%s\" data-home-score=\"%d\" data-away-score=\"%d\">%s %d - %d %s</h1>\n",
+		esc(m.ID), esc(m.Home.Name), esc(m.Away.Name), m.HomeScore, m.AwayScore,
+		esc(m.Home.Name), m.HomeScore, m.AwayScore, esc(m.Away.Name))
+	fmt.Fprintf(&b, "<div class=\"meta\" data-date=\"%s\" data-referee=\"%s\" data-stadium=\"%s\"></div>\n",
+		esc(m.Date), esc(m.Referee), esc(m.Home.Stadium))
+	for _, t := range m.Teams() {
+		fmt.Fprintf(&b, "<ul class=\"lineup\" data-team=\"%s\" data-coach=\"%s\">\n", esc(t.Name), esc(t.Coach))
+		for _, p := range t.Players {
+			fmt.Fprintf(&b, "<li class=\"player\" data-short=\"%s\" data-pos=\"%s\" data-shirt=\"%d\">%s</li>\n",
+				esc(p.Short), esc(p.Position), p.Shirt, esc(p.Name))
+		}
+		b.WriteString("</ul>\n")
+	}
+	b.WriteString("<ul class=\"goals\">\n")
+	for _, g := range m.Goals {
+		fmt.Fprintf(&b, "<li class=\"goal\" data-minute=\"%d\" data-team=\"%s\" data-own=\"%t\">%s</li>\n",
+			g.Minute, esc(g.Team.Name), g.OwnGoal, esc(g.Scorer.Short))
+	}
+	b.WriteString("</ul>\n<ul class=\"subs\">\n")
+	for _, s := range m.Substitutions {
+		fmt.Fprintf(&b, "<li class=\"sub\" data-minute=\"%d\" data-team=\"%s\" data-on=\"%s\">%s</li>\n",
+			s.Minute, esc(s.Team.Name), esc(s.On.Short), esc(s.Off.Short))
+	}
+	b.WriteString("</ul>\n<ol class=\"narrations\">\n")
+	for _, n := range m.Narrations {
+		fmt.Fprintf(&b, "<li class=\"narration\" data-minute=\"%d\">%s</li>\n", n.Minute, esc(n.Text))
+	}
+	b.WriteString("</ol>\n</body></html>\n")
+	return b.String()
+}

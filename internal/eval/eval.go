@@ -1,0 +1,250 @@
+// Package eval implements the retrieval evaluation of Section 4: the ten
+// keyword queries of Table 3, relevance judgments derived from the
+// simulator's ground-truth event log (substituting for the paper's manual
+// assessments), and mean-average-precision scoring in the paper's
+// "relevant-found / relevant  percent" reporting format.
+package eval
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+// Query is one evaluation query: the keyword text users type plus the
+// ground-truth relevance predicate.
+type Query struct {
+	// ID is the paper's label ("Q-1").
+	ID string
+	// Description paraphrases the information need.
+	Description string
+	// Keywords is the keyword query submitted to every index.
+	Keywords string
+	// Relevant decides whether a ground-truth event satisfies the need.
+	Relevant func(m *soccer.Match, t *soccer.TruthEvent) bool
+}
+
+// PaperQueries returns the Table 3 query set. The named players exist in
+// the simulated squads (internal/soccer/names.go), so every query has a
+// non-empty relevant set on the default corpus.
+func PaperQueries() []Query {
+	hasSubject := func(t *soccer.TruthEvent, short string) bool {
+		return t.Subject != nil && t.Subject.Short == short
+	}
+	return []Query{
+		{
+			ID: "Q-1", Description: "Find all goals", Keywords: "goal",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.IsGoal(t.Kind)
+			},
+		},
+		{
+			ID: "Q-2", Description: "Find all goals scored by Barcelona", Keywords: "barcelona goal",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.IsGoal(t.Kind) && soccer.CreditedTeam(m, t) != nil &&
+					soccer.CreditedTeam(m, t).Name == "Barcelona"
+			},
+		},
+		{
+			ID: "Q-3", Description: "Find all goals scored by Messi at Barcelona", Keywords: "messi barcelona goal",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.IsGoal(t.Kind) && hasSubject(t, "Messi")
+			},
+		},
+		{
+			ID: "Q-4", Description: "Find all punishments", Keywords: "punishment",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.KindIn(t.Kind, soccer.PunishmentKinds)
+			},
+		},
+		{
+			ID: "Q-5", Description: "Find all yellow cards received by Alex", Keywords: "alex yellow card",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.KindIn(t.Kind, soccer.YellowCardKinds) && hasSubject(t, "Alex")
+			},
+		},
+		{
+			ID: "Q-6", Description: "Find all goals scored to Casillas", Keywords: "goal scored to casillas",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				if !soccer.IsGoal(t.Kind) {
+					return false
+				}
+				conceding := soccer.ConcedingTeam(m, t)
+				return conceding != nil && conceding.Goalkeeper() != nil &&
+					conceding.Goalkeeper().Short == "Casillas"
+			},
+		},
+		{
+			ID: "Q-7", Description: "Find all negative moves of Henry", Keywords: "henry negative moves",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.KindIn(t.Kind, soccer.NegativeKinds) && hasSubject(t, "Henry")
+			},
+		},
+		{
+			ID: "Q-8", Description: "Find all events involving Ronaldo", Keywords: "ronaldo",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return hasSubject(t, "Ronaldo") || (t.Object != nil && t.Object.Short == "Ronaldo")
+			},
+		},
+		{
+			ID: "Q-9", Description: "Find all saves done by the goalkeeper of Barcelona", Keywords: "save goalkeeper barcelona",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.KindIn(t.Kind, soccer.SaveKinds) &&
+					t.SubjectTeam != nil && t.SubjectTeam.Name == "Barcelona"
+			},
+		},
+		{
+			ID: "Q-10", Description: "Find all shoots delivered by defence players", Keywords: "shoot defence players",
+			Relevant: func(m *soccer.Match, t *soccer.TruthEvent) bool {
+				return soccer.KindIn(t.Kind, soccer.ShootKinds) &&
+					t.Subject != nil && soccer.IsDefencePosition(t.Subject.Position)
+			},
+		},
+	}
+}
+
+// TruthRef identifies one ground-truth event.
+type TruthRef struct {
+	MatchID  string
+	TruthIdx int
+}
+
+// Judge scores ranked result lists against the corpus ground truth.
+type Judge struct {
+	corpus  *soccer.Corpus
+	matches map[string]*soccer.Match
+	// byNarration maps (matchID, narrationIdx) to the truth index.
+	byNarration map[TruthRef]int
+	// byKey maps (matchID, minute, subject) to candidate truth indexes, for
+	// basic-info documents with no narration link.
+	byKey map[string][]int
+}
+
+// NewJudge indexes the corpus ground truth.
+func NewJudge(c *soccer.Corpus) *Judge {
+	j := &Judge{
+		corpus:      c,
+		matches:     map[string]*soccer.Match{},
+		byNarration: map[TruthRef]int{},
+		byKey:       map[string][]int{},
+	}
+	for _, m := range c.Matches {
+		j.matches[m.ID] = m
+		for i, t := range m.Truth {
+			if t.NarrationIdx >= 0 {
+				j.byNarration[TruthRef{m.ID, t.NarrationIdx}] = i
+			}
+			subj := ""
+			if t.Subject != nil {
+				subj = t.Subject.Name
+			}
+			key := fmt.Sprintf("%s|%d|%s", m.ID, t.Minute, subj)
+			j.byKey[key] = append(j.byKey[key], i)
+		}
+	}
+	return j
+}
+
+// RelevantSet returns the ground-truth events satisfying the query.
+func (j *Judge) RelevantSet(q Query) map[TruthRef]bool {
+	out := map[TruthRef]bool{}
+	for _, m := range j.corpus.Matches {
+		for i := range m.Truth {
+			if q.Relevant(m, &m.Truth[i]) {
+				out[TruthRef{m.ID, i}] = true
+			}
+		}
+	}
+	return out
+}
+
+// ResolveHit maps a search hit back to the ground-truth event its document
+// describes, via the narration link when present, else the
+// kind/minute/subject key. Rule-minted documents (assists) resolve to
+// nothing and count as non-relevant for every paper query.
+func (j *Judge) ResolveHit(h semindex.Hit) (TruthRef, bool) {
+	matchID := h.Meta(semindex.MetaMatchID)
+	if matchID == "" {
+		return TruthRef{}, false
+	}
+	if idxStr := h.Meta(semindex.MetaNarration); idxStr != "" && idxStr != "-1" {
+		idx, err := strconv.Atoi(idxStr)
+		if err == nil {
+			if ti, ok := j.byNarration[TruthRef{matchID, idx}]; ok {
+				return TruthRef{matchID, ti}, true
+			}
+		}
+	}
+	kind := h.Meta(semindex.MetaKind)
+	minute := h.Meta(semindex.MetaMinute)
+	subject := firstAlt(h.Meta(semindex.MetaSubject))
+	for _, ti := range j.byKey[fmt.Sprintf("%s|%s|%s", matchID, minute, subject)] {
+		truthKind := string(j.matches[matchID].Truth[ti].Kind)
+		// Basic-information documents carry the generic kind ("Goal") while
+		// the ground truth records the specific one ("HeaderGoal"); accept
+		// either direction of refinement.
+		if kind == truthKind || strings.Contains(truthKind, kind) || strings.Contains(kind, truthKind) {
+			return TruthRef{matchID, ti}, true
+		}
+	}
+	return TruthRef{}, false
+}
+
+func firstAlt(s string) string {
+	if i := strings.IndexByte(s, '|'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Result is the score of one query against one index.
+type Result struct {
+	// AP is the average precision in [0, 1].
+	AP float64
+	// Relevant is |R|, the ground-truth relevant count.
+	Relevant int
+	// RelevantFound is how many distinct relevant events were retrieved.
+	RelevantFound int
+}
+
+// Found renders the paper's "x/N" figure: AP·R over R.
+func (r Result) Found() string {
+	return fmt.Sprintf("%.1f/%d", r.AP*float64(r.Relevant), r.Relevant)
+}
+
+// Percent renders AP as the paper's percentage.
+func (r Result) Percent() string { return fmt.Sprintf("%.1f%%", r.AP*100) }
+
+// AveragePrecision walks the ranked hits, counting a hit as relevant when
+// it resolves to a not-yet-seen relevant ground-truth event (two documents
+// describing the same event — e.g. a TRAD narration and a color mention —
+// cannot both collect credit).
+func (j *Judge) AveragePrecision(q Query, hits []semindex.Hit) Result {
+	relevant := j.RelevantSet(q)
+	res := Result{Relevant: len(relevant)}
+	if len(relevant) == 0 {
+		return res
+	}
+	seen := map[TruthRef]bool{}
+	sumPrec := 0.0
+	for rank, h := range hits {
+		ref, ok := j.ResolveHit(h)
+		if !ok || !relevant[ref] || seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		res.RelevantFound++
+		sumPrec += float64(res.RelevantFound) / float64(rank+1)
+	}
+	res.AP = sumPrec / float64(len(relevant))
+	return res
+}
+
+// Evaluate runs a query against an index and scores it. The result list is
+// unbounded: average precision over the full ranking, as in the paper.
+func (j *Judge) Evaluate(q Query, si *semindex.SemanticIndex) Result {
+	return j.AveragePrecision(q, si.Search(q.Keywords, 0))
+}

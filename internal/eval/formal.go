@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// FormalQuery is one Table 3 information need expressed as formal SPARQL
+// over the inferred knowledge base — the querying regime the paper calls
+// "the best that can be achieved with semantic querying" and measures the
+// keyword system against. Several needs require a union of SELECTs (our
+// engine, like many small BGP engines, has no UNION operator), which is
+// itself part of the usability argument: compare these to the two-word
+// keyword queries of Table 3.
+type FormalQuery struct {
+	ID string
+	// SPARQL queries whose ?e solutions are unioned.
+	SPARQL []string
+}
+
+// FormalQueries returns the SPARQL formulations of Q-1..Q-10.
+func FormalQueries() []FormalQuery {
+	return []FormalQuery{
+		{ID: "Q-1", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Goal . }`,
+			`SELECT DISTINCT ?e WHERE { ?e a pre:OwnGoal . }`,
+		}},
+		{ID: "Q-2", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Goal . ?e pre:scoringTeam pre:Barcelona . }`,
+			// Own goals credit the opponent: an own goal in a Barcelona match
+			// whose scorer plays for the other side.
+			`SELECT DISTINCT ?e WHERE {
+				?e a pre:OwnGoal . ?e pre:inMatch ?m . ?m pre:homeTeam pre:Barcelona .
+				?e pre:subjectTeam ?st . FILTER(?st != pre:Barcelona)
+			}`,
+			`SELECT DISTINCT ?e WHERE {
+				?e a pre:OwnGoal . ?e pre:inMatch ?m . ?m pre:awayTeam pre:Barcelona .
+				?e pre:subjectTeam ?st . FILTER(?st != pre:Barcelona)
+			}`,
+		}},
+		{ID: "Q-3", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Goal . ?e pre:scorerPlayer pre:Lionel_Messi . }`,
+		}},
+		{ID: "Q-4", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Punishment . }`,
+		}},
+		{ID: "Q-5", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:YellowCard . ?e pre:punishedPlayer pre:Alex . }`,
+			`SELECT DISTINCT ?e WHERE { ?e a pre:SecondYellowCard . ?e pre:punishedPlayer pre:Alex . }`,
+		}},
+		{ID: "Q-6", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Goal . ?e pre:scoredToGoalkeeper pre:Iker_Casillas . }`,
+		}},
+		{ID: "Q-7", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { pre:Thierry_Henry pre:actorOfNegativeMove ?e . }`,
+		}},
+		{ID: "Q-8", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e pre:subjectPlayer pre:Cristiano_Ronaldo . }`,
+			`SELECT DISTINCT ?e WHERE { ?e pre:objectPlayer pre:Cristiano_Ronaldo . }`,
+		}},
+		{ID: "Q-9", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Save . ?e pre:subjectTeam pre:Barcelona . }`,
+		}},
+		{ID: "Q-10", SPARQL: []string{
+			`SELECT DISTINCT ?e WHERE { ?e a pre:Shoot . ?e pre:shootingPlayer ?p . ?p a pre:DefencePlayer . }`,
+		}},
+	}
+}
+
+// ExecFormal runs the union over the merged inferred graph, returning the
+// distinct ?e individuals.
+func ExecFormal(fq FormalQuery, g *rdf.Graph) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, src := range fq.SPARQL {
+		q := sparql.MustParse(src)
+		for _, sol := range q.Exec(g) {
+			e, ok := sol["e"]
+			if !ok || seen[e] {
+				continue
+			}
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	rdf.SortTerms(out)
+	return out
+}
+
+// FormalResult is precision/recall of a formal query against ground truth.
+type FormalResult struct {
+	Retrieved int
+	Relevant  int
+	// TruePositives are retrieved individuals resolving to relevant events.
+	TruePositives int
+}
+
+// Precision of the formal result (1.0 when nothing retrieved and nothing
+// relevant).
+func (r FormalResult) Precision() float64 {
+	if r.Retrieved == 0 {
+		if r.Relevant == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(r.TruePositives) / float64(r.Retrieved)
+}
+
+// Recall of the formal result.
+func (r FormalResult) Recall() float64 {
+	if r.Relevant == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(r.Relevant)
+}
+
+// EvaluateFormal scores a formal query's solution set against the ground
+// truth of the corresponding Table 3 query. Individuals are resolved to
+// truth events through the knowledge base itself (match, minute, subject,
+// types).
+func (j *Judge) EvaluateFormal(fq FormalQuery, paper Query, g *rdf.Graph) FormalResult {
+	relevant := j.RelevantSet(paper)
+	res := FormalResult{Relevant: len(relevant)}
+	seen := map[TruthRef]bool{}
+	for _, e := range ExecFormal(fq, g) {
+		res.Retrieved++
+		ref, ok := j.resolveIndividual(g, e)
+		if ok && relevant[ref] && !seen[ref] {
+			seen[ref] = true
+			res.TruePositives++
+		}
+	}
+	return res
+}
+
+// resolveIndividual maps an event individual in the knowledge base to its
+// ground-truth event via (match, minute, subject) plus type compatibility.
+func (j *Judge) resolveIndividual(g *rdf.Graph, e rdf.Term) (TruthRef, bool) {
+	pre := func(local string) rdf.Term { return rdf.NewIRI(rdf.NSSoccer + local) }
+	matchTerm := g.FirstObject(e, pre("inMatch"))
+	if matchTerm.IsZero() {
+		return TruthRef{}, false
+	}
+	matchID := matchTerm.LocalName()
+	m, ok := j.matches[matchID]
+	if !ok {
+		return TruthRef{}, false
+	}
+	minute := g.FirstObject(e, pre("inMinute")).Value
+	subject := ""
+	if subs := g.Objects(e, pre("subjectPlayer")); len(subs) > 0 {
+		subject = g.FirstObject(subs[0], pre("hasName")).Value
+		if subject == "" {
+			subject = strings.ReplaceAll(subs[0].LocalName(), "_", " ")
+		}
+	}
+	key := matchID + "|" + minute + "|" + subject
+	types := g.Objects(e, rdf.RDFType)
+	// Two passes: exact type matches first, substring compatibility second.
+	// An inferred assist also carries type Pass (domain of passingPlayer)
+	// and shares minute and subject with its source pass; only the exact
+	// pass keeps it from resolving to the wrong truth event.
+	for _, exact := range []bool{true, false} {
+		for _, ti := range j.byKey[key] {
+			truthKind := string(m.Truth[ti].Kind)
+			for _, t := range types {
+				name := t.LocalName()
+				if name == truthKind {
+					return TruthRef{matchID, ti}, true
+				}
+				if !exact && (strings.Contains(truthKind, name) || strings.Contains(name, truthKind)) {
+					return TruthRef{matchID, ti}, true
+				}
+			}
+		}
+	}
+	return TruthRef{}, false
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/semindex"
+)
+
+// Metrics extends the paper's mean-average-precision reporting with the
+// other standard ranked-retrieval measures, so the reproduced tables can be
+// read against modern IR conventions.
+type Metrics struct {
+	AP   float64
+	P5   float64 // precision at 5
+	P10  float64 // precision at 10
+	RR   float64 // reciprocal rank of the first relevant hit
+	NDCG float64 // nDCG over the full ranking with binary gains
+	// Relevant and RelevantFound mirror Result.
+	Relevant      int
+	RelevantFound int
+}
+
+// FullMetrics scores a ranked list with all supported measures.
+func (j *Judge) FullMetrics(q Query, hits []semindex.Hit) Metrics {
+	relevant := j.RelevantSet(q)
+	m := Metrics{Relevant: len(relevant)}
+	if len(relevant) == 0 {
+		return m
+	}
+	seen := map[TruthRef]bool{}
+	sumPrec := 0.0
+	dcg := 0.0
+	relAt := make([]bool, len(hits))
+	for rank, h := range hits {
+		ref, ok := j.ResolveHit(h)
+		if !ok || !relevant[ref] || seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		relAt[rank] = true
+		m.RelevantFound++
+		sumPrec += float64(m.RelevantFound) / float64(rank+1)
+		dcg += 1 / math.Log2(float64(rank)+2)
+		if m.RR == 0 {
+			m.RR = 1 / float64(rank+1)
+		}
+	}
+	m.AP = sumPrec / float64(len(relevant))
+	m.P5 = precisionAt(relAt, 5)
+	m.P10 = precisionAt(relAt, 10)
+
+	// Ideal DCG: all |R| relevant docs at the top.
+	idcg := 0.0
+	for i := 0; i < len(relevant); i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	if idcg > 0 {
+		m.NDCG = dcg / idcg
+	}
+	return m
+}
+
+func precisionAt(relAt []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	n := k
+	if len(relAt) < n {
+		n = len(relAt)
+	}
+	for i := 0; i < n; i++ {
+		if relAt[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+func TestFullMetricsAgreesWithAP(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 3, Seed: 11, NarrationsPerMatch: 60, PaperCoverage: true})
+	j := NewJudge(c)
+	si := semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(c))
+	for _, q := range PaperQueries() {
+		hits := si.Search(q.Keywords, 0)
+		ap := j.AveragePrecision(q, hits)
+		m := j.FullMetrics(q, hits)
+		if math.Abs(ap.AP-m.AP) > 1e-9 {
+			t.Errorf("%s: AP disagree %f vs %f", q.ID, ap.AP, m.AP)
+		}
+		if m.RelevantFound != ap.RelevantFound {
+			t.Errorf("%s: found disagree", q.ID)
+		}
+		if m.NDCG < 0 || m.NDCG > 1.0000001 {
+			t.Errorf("%s: NDCG out of range: %f", q.ID, m.NDCG)
+		}
+		if m.RR < 0 || m.RR > 1 {
+			t.Errorf("%s: RR out of range: %f", q.ID, m.RR)
+		}
+	}
+}
+
+func TestFullMetricsPerfectRanking(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 11, NarrationsPerMatch: 50, PaperCoverage: true})
+	j := NewJudge(c)
+	si := semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(c))
+	q := PaperQueries()[3] // punishments: FULL_INF retrieves them perfectly
+	hits := si.Search(q.Keywords, 0)
+	m := j.FullMetrics(q, hits)
+	if m.AP > 0.99 {
+		if m.NDCG < 0.99 {
+			t.Errorf("perfect AP but NDCG %f", m.NDCG)
+		}
+		if m.RR != 1 {
+			t.Errorf("perfect AP but RR %f", m.RR)
+		}
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	relAt := []bool{true, false, true, false, false}
+	if got := precisionAt(relAt, 5); got != 0.4 {
+		t.Errorf("P@5 = %f", got)
+	}
+	// Shorter list than k: misses count against precision.
+	if got := precisionAt([]bool{true}, 10); got != 0.1 {
+		t.Errorf("P@10 with one hit = %f", got)
+	}
+	if got := precisionAt(nil, 0); got != 0 {
+		t.Errorf("P@0 = %f", got)
+	}
+}
+
+func TestFullMetricsEmptyRelevantSet(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 11, NarrationsPerMatch: 50})
+	j := NewJudge(c)
+	q := Query{ID: "none", Keywords: "x",
+		Relevant: func(*soccer.Match, *soccer.TruthEvent) bool { return false }}
+	m := j.FullMetrics(q, nil)
+	if m.AP != 0 || m.NDCG != 0 || m.Relevant != 0 {
+		t.Errorf("empty relevant set metrics = %+v", m)
+	}
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/semindex"
+)
+
+// RandomizationTest runs a two-sided paired randomization (permutation)
+// test on per-query scores of two systems — the standard IR significance
+// test for small query sets like the paper's ten queries. The returned
+// p-value is the fraction of sign-flip permutations whose mean difference
+// is at least as extreme as the observed one.
+//
+// With only ten queries there are 2^10 = 1024 permutations, so the test
+// enumerates them exactly when feasible and samples otherwise.
+func RandomizationTest(scoresA, scoresB []float64, iterations int, seed int64) float64 {
+	if len(scoresA) != len(scoresB) || len(scoresA) == 0 {
+		return 1
+	}
+	n := len(scoresA)
+	diffs := make([]float64, n)
+	observed := 0.0
+	for i := range scoresA {
+		diffs[i] = scoresA[i] - scoresB[i]
+		observed += diffs[i]
+	}
+	observed = math.Abs(observed / float64(n))
+
+	// Exact enumeration when the permutation space is small.
+	if n <= 20 {
+		total := 1 << n
+		extreme := 0
+		for mask := 0; mask < total; mask++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					sum -= diffs[i]
+				} else {
+					sum += diffs[i]
+				}
+			}
+			if math.Abs(sum/float64(n)) >= observed-1e-12 {
+				extreme++
+			}
+		}
+		return float64(extreme) / float64(total)
+	}
+
+	if iterations <= 0 {
+		iterations = 10000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	extreme := 0
+	for it := 0; it < iterations; it++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sum += diffs[i]
+			} else {
+				sum -= diffs[i]
+			}
+		}
+		if math.Abs(sum/float64(n)) >= observed-1e-12 {
+			extreme++
+		}
+	}
+	return float64(extreme) / float64(iterations)
+}
+
+// CompareSystems scores two indices on the paper queries and reports the
+// per-query APs with the randomization-test p-value of their difference.
+func (j *Judge) CompareSystems(a, b *semindex.SemanticIndex) (apsA, apsB []float64, pValue float64) {
+	for _, q := range PaperQueries() {
+		apsA = append(apsA, j.AveragePrecision(q, a.Search(q.Keywords, 0)).AP)
+		apsB = append(apsB, j.AveragePrecision(q, b.Search(q.Keywords, 0)).AP)
+	}
+	return apsA, apsB, RandomizationTest(apsA, apsB, 0, 1)
+}

@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/semindex"
+)
+
+// WriteTrecRun exports ranked results in the standard TREC run format
+// ("qid Q0 docno rank score runid"), so the reproduced system's output can
+// be scored by trec_eval or compared against other systems with standard
+// tooling. Document numbers are matchID#docID, stable across runs of the
+// same corpus.
+func WriteTrecRun(w io.Writer, runID string, queries []Query, si *semindex.SemanticIndex, depth int) error {
+	if depth <= 0 {
+		depth = 100
+	}
+	bw := bufio.NewWriter(w)
+	for _, q := range queries {
+		hits := si.Search(q.Keywords, depth)
+		for rank, h := range hits {
+			docno := fmt.Sprintf("%s#%d", h.Meta(semindex.MetaMatchID), h.DocID)
+			if _, err := fmt.Fprintf(bw, "%s Q0 %s %d %.6f %s\n",
+				q.ID, docno, rank+1, h.Score, runID); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTrecQrels exports the ground-truth judgments in TREC qrels format
+// ("qid 0 docno rel"), pairing with WriteTrecRun. Relevance is judged per
+// document: 1 when the document resolves to a relevant ground-truth event.
+func (j *Judge) WriteTrecQrels(w io.Writer, queries []Query, si *semindex.SemanticIndex) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range queries {
+		relevant := j.RelevantSet(q)
+		for id := 0; id < si.Index.NumDocs(); id++ {
+			h := semindex.Hit{DocID: id, Doc: si.Index.Doc(id)}
+			rel := 0
+			if ref, ok := j.ResolveHit(h); ok && relevant[ref] {
+				rel = 1
+			}
+			docno := fmt.Sprintf("%s#%d", h.Meta(semindex.MetaMatchID), id)
+			if _, err := fmt.Fprintf(bw, "%s 0 %s %d\n", q.ID, docno, rel); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+func TestWriteTrecRunFormat(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 50, PaperCoverage: true})
+	si := semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(c))
+	var buf bytes.Buffer
+	if err := WriteTrecRun(&buf, "fullinf", PaperQueries(), si, 10); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 6 {
+			t.Fatalf("line %d has %d fields: %q", lines, len(fields), sc.Text())
+		}
+		if fields[1] != "Q0" || fields[5] != "fullinf" {
+			t.Errorf("malformed line: %q", sc.Text())
+		}
+		if !strings.HasPrefix(fields[0], "Q-") {
+			t.Errorf("qid = %q", fields[0])
+		}
+		if !strings.Contains(fields[2], "#") {
+			t.Errorf("docno = %q", fields[2])
+		}
+	}
+	if lines == 0 {
+		t.Fatal("empty run file")
+	}
+}
+
+func TestWriteTrecQrelsConsistentWithJudge(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 50, PaperCoverage: true})
+	si := semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(c))
+	j := NewJudge(c)
+	var buf bytes.Buffer
+	if err := j.WriteTrecQrels(&buf, PaperQueries()[:1], si); err != nil {
+		t.Fatal(err)
+	}
+	// The number of rel=1 lines for Q-1 is at least the goal count (several
+	// documents can resolve to the same event: the paper's TRAD narration
+	// doc and the event doc).
+	rel := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if strings.HasSuffix(sc.Text(), " 1") {
+			rel++
+		}
+	}
+	goals := 0
+	for _, m := range c.Matches {
+		goals += len(m.Goals)
+	}
+	if rel < goals {
+		t.Errorf("qrels mark %d relevant docs for %d goals", rel, goals)
+	}
+}

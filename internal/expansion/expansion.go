@@ -1,0 +1,112 @@
+// Package expansion implements the query-expansion baseline of Section 5:
+// query keywords are widened with hand-listed domain verbs ("goal" gains
+// "score", "miss" and their derivatives) and with ontological knowledge
+// ("punishment" gains its subclasses "yellow card" and "red card" plus the
+// verb "book"), and the expanded query runs directly against the
+// traditional free-text index.
+//
+// The paper's finding — expansion lands between TRAD and semantic indexing
+// because extra terms also introduce false positives — is reproduced by
+// Table 5's bench.
+package expansion
+
+import (
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/reasoner"
+	"repro/internal/soccer"
+)
+
+// DomainTerms is the hand-crafted verb/derivative map. Keys and values are
+// lowercase surface forms; the analyzer handles stemming, so one derivative
+// per stem family suffices.
+var DomainTerms = map[string][]string{
+	"goal":       {"scores", "scored", "misses"},
+	"punishment": {"booked", "card"},
+	"yellow":     {"booked"},
+	"save":       {"denying", "saves"},
+	"shoot":      {"shot", "fires", "shoots"},
+	"foul":       {"fouls", "challenge", "free-kick"},
+	"pass":       {"crosses", "delivers"},
+	"offside":    {"flagged"},
+	"negative":   {"offside", "foul", "booked"},
+	"moves":      {"challenge"},
+	"corner":     {"delivers"},
+	"assist":     {"pass"},
+}
+
+// Expander widens keyword queries.
+type Expander struct {
+	// Reasoner supplies the ontological subclass expansion; nil disables it.
+	Reasoner *reasoner.Reasoner
+	// Terms is the domain verb map; nil uses DomainTerms.
+	Terms map[string][]string
+}
+
+// New returns an expander over the soccer ontology.
+func New() *Expander {
+	return &Expander{Reasoner: reasoner.New(soccer.BuildOntology())}
+}
+
+// Expand returns the expanded keyword query: the original tokens followed
+// by their domain-verb expansions and, for tokens naming an ontology class,
+// the camel-split names of all subclasses.
+func (e *Expander) Expand(query string) string {
+	terms := e.Terms
+	if terms == nil {
+		terms = DomainTerms
+	}
+	tokens := index.Tokenize(strings.ToLower(query))
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	add := func(s string) {
+		for _, w := range index.Tokenize(strings.ToLower(s)) {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	for _, t := range tokens {
+		for _, x := range terms[t] {
+			add(x)
+		}
+		if e.Reasoner != nil {
+			e.expandOntological(t, add)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// expandOntological appends the subclasses of any ontology class whose
+// camel-split name equals the token ("punishment" -> YellowCard, RedCard,
+// SecondYellowCard).
+func (e *Expander) expandOntological(token string, add func(string)) {
+	ont := e.Reasoner.Ontology()
+	for _, c := range ont.Classes() {
+		if !strings.EqualFold(c.IRI.LocalName(), token) {
+			continue
+		}
+		for _, sub := range e.Reasoner.SubClasses(c.IRI) {
+			add(camelToWords(sub.LocalName()))
+		}
+	}
+}
+
+func camelToWords(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			b.WriteByte(' ')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package expansion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpandDomainVerbs(t *testing.T) {
+	e := New()
+	got := e.Expand("goal")
+	for _, want := range []string{"goal", "scores", "scored", "misses"} {
+		if !strings.Contains(" "+got+" ", " "+want+" ") {
+			t.Errorf("Expand(goal) = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestExpandOntologicalSubclasses(t *testing.T) {
+	// The paper's example: "punishment" is augmented with its subclasses
+	// "yellow card" and "red card" as well as the verb "book".
+	e := New()
+	got := e.Expand("punishment")
+	for _, want := range []string{"punishment", "booked", "yellow", "red", "card"} {
+		if !strings.Contains(" "+got+" ", " "+want+" ") {
+			t.Errorf("Expand(punishment) = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestExpandKeepsOriginalTokensFirst(t *testing.T) {
+	e := New()
+	got := strings.Fields(e.Expand("barcelona goal"))
+	if len(got) < 2 || got[0] != "barcelona" || got[1] != "goal" {
+		t.Errorf("original tokens not preserved in order: %v", got)
+	}
+}
+
+func TestExpandNoDuplicates(t *testing.T) {
+	e := New()
+	got := strings.Fields(e.Expand("goal goal scores"))
+	seen := map[string]bool{}
+	for _, w := range got {
+		if seen[w] {
+			t.Errorf("duplicate token %q in %v", w, got)
+		}
+		seen[w] = true
+	}
+}
+
+func TestExpandUnknownTermUnchanged(t *testing.T) {
+	e := New()
+	if got := e.Expand("ronaldo"); got != "ronaldo" {
+		t.Errorf("Expand(ronaldo) = %q", got)
+	}
+}
+
+func TestExpandWithoutReasoner(t *testing.T) {
+	e := &Expander{}
+	got := e.Expand("punishment")
+	if !strings.Contains(got, "booked") {
+		t.Errorf("domain map not applied: %q", got)
+	}
+	if strings.Contains(got, "yellow") {
+		t.Errorf("ontological expansion applied without reasoner: %q", got)
+	}
+}
+
+func TestExpandCustomTerms(t *testing.T) {
+	e := &Expander{Terms: map[string][]string{"rebound": {"basket", "board"}}}
+	got := e.Expand("rebound")
+	if !strings.Contains(got, "basket") || !strings.Contains(got, "board") {
+		t.Errorf("custom terms ignored: %q", got)
+	}
+}
+
+func TestCamelToWords(t *testing.T) {
+	if got := camelToWords("SecondYellowCard"); got != "Second Yellow Card" {
+		t.Errorf("camelToWords = %q", got)
+	}
+}

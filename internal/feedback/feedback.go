@@ -1,0 +1,103 @@
+// Package feedback implements the paper's final future-work item (Section
+// 8): "a mechanism that expands the index automatically according to the
+// user feedback".
+//
+// The mechanism is click-through vocabulary learning. When a user clicks a
+// result, the query's terms evidently describe that document in the user's
+// vocabulary — even when the document's own text doesn't contain them
+// (searching "spot kick", browsing to the penalty document, clicking).
+// The tracker accumulates clicks and, above a confidence threshold, folds
+// the learned terms into a dedicated feedback field of a rebuilt index, so
+// the next user typing "spot kick" retrieves the penalty documents
+// directly. Rebuilding (rather than mutating) matches the paper's stance
+// that the index is a cheap, regenerable layer above the ontology.
+package feedback
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+// FieldFeedback is the index field learned terms are written into.
+const FieldFeedback = "feedback"
+
+// FeedbackBoost is the query-time weight of the learned field: below the
+// ontological fields (it is folk vocabulary, not extraction) but above
+// free text.
+const FeedbackBoost = 1.3
+
+// Tracker accumulates click-through evidence for one semantic index.
+type Tracker struct {
+	// MinClicks is the confidence threshold before a (term, doc) pair is
+	// folded into the index; default 2 — a single click is noise.
+	MinClicks int
+
+	si *semindex.SemanticIndex
+	// clicks counts query-term clicks per document.
+	clicks map[int]map[string]int
+}
+
+// NewTracker wraps an index.
+func NewTracker(si *semindex.SemanticIndex) *Tracker {
+	return &Tracker{MinClicks: 2, si: si, clicks: map[int]map[string]int{}}
+}
+
+// RecordClick notes that a user issued the query and clicked the document.
+func (t *Tracker) RecordClick(query string, docID int) {
+	if docID < 0 || docID >= t.si.Index.NumDocs() {
+		return
+	}
+	terms := index.Tokenize(strings.ToLower(query))
+	m := t.clicks[docID]
+	if m == nil {
+		m = map[string]int{}
+		t.clicks[docID] = m
+	}
+	for _, term := range terms {
+		m[term]++
+	}
+}
+
+// LearnedTerms returns the terms that reached the confidence threshold for
+// a document, sorted.
+func (t *Tracker) LearnedTerms(docID int) []string {
+	min := t.MinClicks
+	if min <= 0 {
+		min = 2
+	}
+	var out []string
+	for term, n := range t.clicks[docID] {
+		if n >= min {
+			out = append(out, term)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rebuild produces a new semantic index with the learned terms appended as
+// the feedback field of each clicked document. The original index is
+// untouched.
+func (t *Tracker) Rebuild() *semindex.SemanticIndex {
+	src := t.si.Index
+	out := index.New(src.Analyzer())
+	for id := 0; id < src.NumDocs(); id++ {
+		d := &index.Document{Fields: append([]index.Field(nil), src.Doc(id).Fields...)}
+		if terms := t.LearnedTerms(id); len(terms) > 0 {
+			d.Add(FieldFeedback, strings.Join(terms, " "))
+		}
+		out.Add(d)
+	}
+	return &semindex.SemanticIndex{Level: t.si.Level, Index: out}
+}
+
+// SearchWithFeedback queries a rebuilt index with the standard semantic
+// boosts extended by the feedback field.
+func SearchWithFeedback(si *semindex.SemanticIndex, query string, limit int) []semindex.Hit {
+	boosts := append(append([]index.FieldBoost(nil), semindex.QueryBoosts...),
+		index.FieldBoost{Field: FieldFeedback, Boost: FeedbackBoost})
+	return si.SearchWithBoosts(query, limit, boosts)
+}

@@ -1,0 +1,131 @@
+package feedback
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+func testIndex(t testing.TB) *semindex.SemanticIndex {
+	t.Helper()
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 60, PaperCoverage: true})
+	return semindex.NewBuilder().Build(semindex.FullInf, crawler.PagesFromCorpus(c))
+}
+
+// TestVocabularyLearning is the canonical future-work scenario: "spot
+// kick" is folk vocabulary for a penalty that appears nowhere in the
+// corpus; after confident click feedback, the query works.
+func TestVocabularyLearning(t *testing.T) {
+	si := testIndex(t)
+	if hits := si.Search("spot kick", 0); hasKind(hits, "PenaltyGoal") || hasKind(hits, "PenaltyKick") {
+		t.Skip("corpus accidentally matches 'spot kick'; adjust seed")
+	}
+
+	// Find a penalty document to click on.
+	target := -1
+	for id := 0; id < si.Index.NumDocs(); id++ {
+		if strings.HasPrefix(si.Index.Doc(id).Get("_kind"), "Penalty") {
+			target = id
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no penalty event in tiny corpus")
+	}
+
+	tr := NewTracker(si)
+	tr.RecordClick("spot kick", target)
+	if got := tr.LearnedTerms(target); len(got) != 0 {
+		t.Errorf("single click already learned: %v", got)
+	}
+	tr.RecordClick("spot kick", target)
+	if got := tr.LearnedTerms(target); len(got) != 2 { // "spot", "kick"
+		t.Fatalf("LearnedTerms = %v", got)
+	}
+
+	expanded := tr.Rebuild()
+	hits := SearchWithFeedback(expanded, "spot", 5)
+	found := false
+	for _, h := range hits {
+		if h.DocID == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("learned vocabulary did not retrieve the clicked document")
+	}
+	// The original index is untouched.
+	if si.Index.DocFreq(FieldFeedback, "spot") != 0 {
+		t.Error("Rebuild mutated the source index")
+	}
+}
+
+func TestClickBoostImprovesRanking(t *testing.T) {
+	si := testIndex(t)
+	hits := si.Search("foul", 10)
+	if len(hits) < 3 {
+		t.Skip("not enough fouls")
+	}
+	// Click the third-ranked foul repeatedly for the same query.
+	clicked := hits[2].DocID
+	tr := NewTracker(si)
+	for i := 0; i < 3; i++ {
+		tr.RecordClick("foul", clicked)
+	}
+	again := SearchWithFeedback(tr.Rebuild(), "foul", 10)
+	posBefore, posAfter := rankOf(hits, clicked), rankOfFeedback(again, clicked)
+	if posAfter < 0 {
+		t.Fatal("clicked doc missing after rebuild")
+	}
+	if posAfter >= posBefore {
+		t.Errorf("click boost did not improve rank: %d -> %d", posBefore, posAfter)
+	}
+}
+
+func TestRecordClickBounds(t *testing.T) {
+	si := testIndex(t)
+	tr := NewTracker(si)
+	tr.RecordClick("goal", -1)
+	tr.RecordClick("goal", 1<<30)
+	if len(tr.clicks) != 0 {
+		t.Error("out-of-range clicks recorded")
+	}
+}
+
+func TestRebuildWithoutClicksIsEquivalent(t *testing.T) {
+	si := testIndex(t)
+	rebuilt := NewTracker(si).Rebuild()
+	a := si.Search("goal", 5)
+	b := rebuilt.Search("goal", 5)
+	if len(a) != len(b) {
+		t.Fatalf("hit counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].DocID != b[i].DocID {
+			t.Errorf("rank %d differs: %d vs %d", i, a[i].DocID, b[i].DocID)
+		}
+	}
+}
+
+func hasKind(hits []semindex.Hit, kind string) bool {
+	for _, h := range hits {
+		if h.Meta("_kind") == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func rankOf(hits []semindex.Hit, docID int) int {
+	for i, h := range hits {
+		if h.DocID == docID {
+			return i
+		}
+	}
+	return -1
+}
+
+func rankOfFeedback(hits []semindex.Hit, docID int) int { return rankOf(hits, docID) }

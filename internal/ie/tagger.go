@@ -1,0 +1,167 @@
+// Package ie implements the information-extraction module of Section 3.3:
+// a named-entity recognizer that rewrites player and team mentions into
+// positional tags ("Iniesta scores!" becomes "<t2p8> scores!"), and a
+// two-level lexical analyzer that first screens narrations for known
+// trigger keywords and then applies hand-crafted templates to extract typed
+// events with their subject and object roles.
+//
+// As in the paper ([30]), the approach uses no linguistic tooling — no POS
+// tagging, parsing or chunking — just the entity dictionary built from the
+// crawled basic information and an ordered template table. On the
+// simulated UEFA-style corpus it reaches the 100% extraction rate the
+// authors report for uefa.com narrations; TestExtractionRecall pins that.
+package ie
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/crawler"
+)
+
+// EntityKind discriminates tag referents.
+type EntityKind uint8
+
+const (
+	// EntityPlayer tags resolve to a lineup (or bench) player.
+	EntityPlayer EntityKind = iota
+	// EntityTeam tags resolve to one of the two teams.
+	EntityTeam
+)
+
+// Entity is what a tag resolves back to.
+type Entity struct {
+	Kind EntityKind
+	// Team is 1 (home) or 2 (away).
+	Team int
+	// Player is the 1-based lineup slot for player entities (bench players
+	// get slots past the lineup), 0 for team entities.
+	Player int
+	// Name is the player's short narration name, or the team name.
+	Name string
+	// FullName is the player's full name ("" for teams).
+	FullName string
+	// Position is the player's squad position code ("" for teams/bench
+	// players of unknown position).
+	Position string
+}
+
+// Tag returns the positional tag text for the entity, e.g. "<t1p5>" in the
+// paper's "<team1 player5>" notation.
+func (e Entity) Tag() string {
+	if e.Kind == EntityTeam {
+		return fmt.Sprintf("<t%d>", e.Team)
+	}
+	return fmt.Sprintf("<t%dp%d>", e.Team, e.Player)
+}
+
+// Tagger is the NER stage: it owns the per-match entity dictionary built
+// from the crawled basic information.
+type Tagger struct {
+	// entities in decreasing name length, so "Van der Sar" wins over any
+	// shorter overlapping name at the same position.
+	entities []Entity
+	byTag    map[string]Entity
+}
+
+// NewTagger builds the dictionary for one match page: both teams, their
+// lineups, and the bench players appearing in substitutions.
+func NewTagger(page *crawler.MatchPage) *Tagger {
+	t := &Tagger{byTag: map[string]Entity{}}
+	teams := [2]string{page.Home, page.Away}
+	for ti, teamName := range teams {
+		team := Entity{Kind: EntityTeam, Team: ti + 1, Name: teamName}
+		t.add(team)
+		for pi, p := range page.Lineups[teamName] {
+			t.add(Entity{
+				Kind: EntityPlayer, Team: ti + 1, Player: pi + 1,
+				Name: p.Short, FullName: p.Name, Position: p.Position,
+			})
+		}
+		// Bench players from the substitution list.
+		slot := len(page.Lineups[teamName])
+		for _, s := range page.Subs {
+			if s.Team != teamName {
+				continue
+			}
+			slot++
+			t.add(Entity{
+				Kind: EntityPlayer, Team: ti + 1, Player: slot,
+				Name: s.On, FullName: s.On,
+			})
+		}
+	}
+	// Longest-name-first ordering for the scanner.
+	for i := 1; i < len(t.entities); i++ {
+		for j := i; j > 0 && len(t.entities[j].Name) > len(t.entities[j-1].Name); j-- {
+			t.entities[j], t.entities[j-1] = t.entities[j-1], t.entities[j]
+		}
+	}
+	return t
+}
+
+func (t *Tagger) add(e Entity) {
+	t.entities = append(t.entities, e)
+	t.byTag[e.Tag()] = e
+}
+
+// Resolve maps a tag back to its entity.
+func (t *Tagger) Resolve(tag string) (Entity, bool) {
+	e, ok := t.byTag[tag]
+	return e, ok
+}
+
+// Tag rewrites every entity mention in the text into its positional tag.
+// Matching is longest-first at word boundaries, so "Real Madrid" does not
+// decay into a mention of a hypothetical "Real".
+func (t *Tagger) Tag(text string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(text) {
+		if !atWordStart(text, i) {
+			b.WriteByte(text[i])
+			i++
+			continue
+		}
+		matched := false
+		for _, e := range t.entities {
+			n := len(e.Name)
+			if i+n > len(text) || text[i:i+n] != e.Name {
+				continue
+			}
+			if !atWordEnd(text, i+n) {
+				continue
+			}
+			b.WriteString(e.Tag())
+			i += n
+			matched = true
+			break
+		}
+		if !matched {
+			b.WriteByte(text[i])
+			i++
+		}
+	}
+	return b.String()
+}
+
+// atWordStart reports whether position i begins a word (start of text or
+// preceded by a non-letter).
+func atWordStart(s string, i int) bool {
+	if i == 0 {
+		return true
+	}
+	r := rune(s[i-1])
+	return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '\''
+}
+
+// atWordEnd reports whether position i (one past a candidate match) ends a
+// word.
+func atWordEnd(s string, i int) bool {
+	if i >= len(s) {
+		return true
+	}
+	r := rune(s[i])
+	return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '\''
+}

@@ -1,0 +1,116 @@
+// Package index implements the inverted-index retrieval substrate the paper
+// builds on Apache Lucene (Section 3.6): text analysis (tokenization,
+// stopwords, Porter stemming), an in-memory inverted index with positional
+// postings and stored fields, TF-IDF vector-space ranking in the style of
+// Lucene's classic similarity, per-field boosts, and term, boolean and
+// phrase queries with a keyword query parser.
+//
+// It is the layer that connects "real life applications to the theoretical
+// background of vector space models", as the paper puts it — and the layer
+// the semantic index of internal/semindex is constructed on.
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Analyzer turns field text into index terms.
+type Analyzer interface {
+	// Analyze returns the terms of the text, in order of appearance.
+	// Positions in the returned slice are the token positions used by
+	// phrase queries.
+	Analyze(text string) []string
+}
+
+// StandardAnalyzer is the default analysis chain: unicode word
+// tokenization, lowercasing, English stopword removal and Porter stemming.
+// Stopword removal and stemming can be disabled for ablation experiments.
+type StandardAnalyzer struct {
+	// KeepStopwords disables stopword removal.
+	KeepStopwords bool
+	// NoStemming disables the Porter stemmer.
+	NoStemming bool
+}
+
+// Analyze implements Analyzer.
+func (a StandardAnalyzer) Analyze(text string) []string {
+	tokens := Tokenize(text)
+	out := tokens[:0]
+	for _, t := range tokens {
+		t = strings.ToLower(t)
+		if !a.KeepStopwords && stopwords[t] {
+			continue
+		}
+		if !a.NoStemming {
+			t = PorterStem(t)
+		}
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// KeywordAnalyzer indexes the whole field value as a single lowercased
+// term, for exact-match fields such as dates.
+type KeywordAnalyzer struct{}
+
+// Analyze implements Analyzer.
+func (KeywordAnalyzer) Analyze(text string) []string {
+	t := strings.ToLower(strings.TrimSpace(text))
+	if t == "" {
+		return nil
+	}
+	return []string{t}
+}
+
+// Tokenize splits text into maximal runs of letters, digits and
+// apostrophes, so "Eto'o" and "4-4-2" survive sensibly ("4", "4", "2").
+func Tokenize(text string) []string {
+	var out []string
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, trimApostrophes(text[start:i]))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, trimApostrophes(text[start:]))
+	}
+	// Drop tokens that were nothing but apostrophes.
+	filtered := out[:0]
+	for _, t := range out {
+		if t != "" {
+			filtered = append(filtered, t)
+		}
+	}
+	if len(filtered) == 0 {
+		return nil
+	}
+	return filtered
+}
+
+func trimApostrophes(s string) string { return strings.Trim(s, "'") }
+
+// stopwords is Lucene's classic English stopword set.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "if": true, "in": true,
+	"into": true, "is": true, "it": true, "no": true, "not": true, "of": true,
+	"on": true, "or": true, "such": true, "that": true, "the": true,
+	"their": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// IsStopword reports whether the lowercased token is in the stopword set.
+// The query parser uses it to keep phrasal prepositions ("by", "to", "of")
+// out of ordinary term queries while still recognizing them as operators.
+func IsStopword(token string) bool { return stopwords[token] }

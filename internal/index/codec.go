@@ -1,0 +1,306 @@
+package index
+
+// On-disk persistence for indices. The paper's production argument is that
+// the semantic index — not the ontology store — is the system's serving
+// data structure; a serving structure needs to be built offline and shipped
+// to query nodes, so the index supports a compact binary codec:
+//
+//	ix.Encode(f)             // offline builder
+//	ix, err := index.Decode(f, nil)  // query node
+//
+// Format (little-endian, length-prefixed strings):
+//
+//	magic "SIDX" | version u32
+//	numDocs u32
+//	  per doc: numFields u32, then per field: name, text, boost f64
+//	numFields u32
+//	  per field: name
+//	    numTerms u32
+//	    per term: term, numPostings u32
+//	      per posting: docID u32, boost f64, numPositions u32, positions u32...
+//	    numDocLens u32, per entry: docID u32, len u32
+//	    numBoosts u32, per entry: docID u32, boost f64
+//
+// The analyzer is not serialized: the reader must be constructed with the
+// same analyzer configuration the writer used (the soccer pipeline always
+// uses StandardAnalyzer, and readers that disagree would disagree on query
+// analysis anyway).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+const (
+	codecMagic   = "SIDX"
+	codecVersion = 1
+)
+
+// Encode serializes the index. Output is deterministic for a given index.
+func (ix *Index) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	writeU32(bw, codecVersion)
+
+	// Stored documents.
+	writeU32(bw, uint32(len(ix.docs)))
+	for _, d := range ix.docs {
+		writeU32(bw, uint32(len(d.Fields)))
+		for _, f := range d.Fields {
+			writeString(bw, f.Name)
+			writeString(bw, f.Text)
+			writeF64(bw, f.Boost)
+		}
+	}
+
+	// Inverted fields, sorted for determinism.
+	names := ix.FieldNames()
+	writeU32(bw, uint32(len(names)))
+	for _, name := range names {
+		fi := ix.fields[name]
+		writeString(bw, name)
+
+		terms := make([]string, 0, len(fi.postings))
+		for t := range fi.postings {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		writeU32(bw, uint32(len(terms)))
+		for _, t := range terms {
+			writeString(bw, t)
+			pl := fi.postings[t]
+			writeU32(bw, uint32(len(pl)))
+			for _, p := range pl {
+				writeU32(bw, uint32(p.DocID))
+				writeF64(bw, p.Boost)
+				writeU32(bw, uint32(len(p.Positions)))
+				for _, pos := range p.Positions {
+					writeU32(bw, uint32(pos))
+				}
+			}
+		}
+
+		writeU32(bw, uint32(len(fi.docLen)))
+		for _, id := range sortedKeys(fi.docLen) {
+			writeU32(bw, uint32(id))
+			writeU32(bw, uint32(fi.docLen[id]))
+		}
+		writeU32(bw, uint32(len(fi.boost)))
+		boostIDs := make([]int, 0, len(fi.boost))
+		for id := range fi.boost {
+			boostIDs = append(boostIDs, id)
+		}
+		sort.Ints(boostIDs)
+		for _, id := range boostIDs {
+			writeU32(bw, uint32(id))
+			writeF64(bw, fi.boost[id])
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode deserializes an index written by Encode. The analyzer must
+// match the one used at build time.
+func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", version)
+	}
+
+	ix := New(analyzer)
+
+	numDocs, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if numDocs > 1<<28 {
+		return nil, fmt.Errorf("index: implausible doc count %d", numDocs)
+	}
+	ix.docs = make([]*Document, numDocs)
+	for i := range ix.docs {
+		nf, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		d := &Document{Fields: make([]Field, nf)}
+		for j := range d.Fields {
+			if d.Fields[j].Name, err = readString(br); err != nil {
+				return nil, err
+			}
+			if d.Fields[j].Text, err = readString(br); err != nil {
+				return nil, err
+			}
+			if d.Fields[j].Boost, err = readF64(br); err != nil {
+				return nil, err
+			}
+		}
+		ix.docs[i] = d
+	}
+
+	numFields, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < numFields; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		fi := &fieldIndex{
+			postings: make(map[string][]Posting),
+			docLen:   make(map[int]int),
+			boost:    make(map[int]float64),
+		}
+		ix.fields[name] = fi
+
+		numTerms, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		for t := uint32(0); t < numTerms; t++ {
+			term, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			numPostings, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			pl := make([]Posting, numPostings)
+			for p := range pl {
+				docID, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				boost, err := readF64(br)
+				if err != nil {
+					return nil, err
+				}
+				numPos, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				if numPos > 1<<24 {
+					return nil, fmt.Errorf("index: implausible position count %d", numPos)
+				}
+				positions := make([]int, numPos)
+				for k := range positions {
+					v, err := readU32(br)
+					if err != nil {
+						return nil, err
+					}
+					positions[k] = int(v)
+				}
+				pl[p] = Posting{DocID: int(docID), Boost: boost, Positions: positions}
+			}
+			fi.postings[term] = pl
+		}
+
+		numLens, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		for l := uint32(0); l < numLens; l++ {
+			id, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			n, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			fi.docLen[int(id)] = int(n)
+			fi.sumLen += int(n)
+		}
+		numBoosts, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		for bIdx := uint32(0); bIdx < numBoosts; bIdx++ {
+			id, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			v, err := readF64(br)
+			if err != nil {
+				return nil, err
+			}
+			fi.boost[int(id)] = v
+		}
+	}
+	return ix, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:])
+}
+
+func writeF64(w *bufio.Writer, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	w.Write(buf[:])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("index: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readF64(r *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("index: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<26 {
+		return "", fmt.Errorf("index: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("index: %w", err)
+	}
+	return string(buf), nil
+}
+
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,201 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// Posting records the occurrences of one term in one document field.
+type Posting struct {
+	// DocID is the document the term occurs in.
+	DocID int
+	// Positions are the token positions of each occurrence, ascending.
+	Positions []int
+	// Boost is the field boost captured at indexing time.
+	Boost float64
+}
+
+// Freq returns the within-document term frequency.
+func (p Posting) Freq() int { return len(p.Positions) }
+
+// fieldIndex is the inverted index of a single field.
+type fieldIndex struct {
+	postings map[string][]Posting
+	// docLen maps docID to the field's token count, for length norms.
+	docLen map[int]int
+	// sumLen accumulates total tokens, for BM25's average field length.
+	sumLen int
+	// boost records the per-doc field boost (last write wins per doc).
+	boost map[int]float64
+}
+
+// avgLen is the mean field length across documents carrying the field.
+func (fi *fieldIndex) avgLen() float64 {
+	if len(fi.docLen) == 0 {
+		return 0
+	}
+	return float64(fi.sumLen) / float64(len(fi.docLen))
+}
+
+// Index is an in-memory inverted index over documents with analyzed fields,
+// the stand-in for a Lucene index. Build it once with Add, then search; it
+// is not safe for concurrent mutation but safe for concurrent searching,
+// mirroring the paper's offline-build / online-query discipline.
+type Index struct {
+	analyzer Analyzer
+	sim      Similarity
+	fields   map[string]*fieldIndex
+	docs     []*Document
+}
+
+// New returns an empty index using the analyzer for every field and the
+// classic TF-IDF similarity.
+func New(a Analyzer) *Index {
+	if a == nil {
+		a = StandardAnalyzer{}
+	}
+	return &Index{analyzer: a, sim: ClassicTFIDF{}, fields: make(map[string]*fieldIndex)}
+}
+
+// SetSimilarity swaps the ranking function (e.g. for the BM25 ablation).
+// Must be called before searching; it does not affect indexed data.
+func (ix *Index) SetSimilarity(s Similarity) { ix.sim = s }
+
+// Analyzer returns the index's analyzer, which query parsers must reuse so
+// query terms and index terms agree.
+func (ix *Index) Analyzer() Analyzer { return ix.analyzer }
+
+// Add indexes the document and returns its docID. Fields whose name starts
+// with '_' are stored but not indexed — the semantic index uses them to
+// carry evaluation metadata without polluting the term space.
+func (ix *Index) Add(d *Document) int {
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, d)
+	for _, f := range d.Fields {
+		if len(f.Name) > 0 && f.Name[0] == '_' {
+			continue
+		}
+		fi := ix.fields[f.Name]
+		if fi == nil {
+			fi = &fieldIndex{
+				postings: make(map[string][]Posting),
+				docLen:   make(map[int]int),
+				boost:    make(map[int]float64),
+			}
+			ix.fields[f.Name] = fi
+		}
+		terms := ix.analyzer.Analyze(f.Text)
+		base := fi.docLen[id] // continuation position for multi-valued fields
+		fi.docLen[id] = base + len(terms)
+		fi.sumLen += len(terms)
+		boost := f.Boost
+		if boost == 0 {
+			boost = 1
+		}
+		fi.boost[id] = boost
+		for pos, term := range terms {
+			pl := fi.postings[term]
+			if n := len(pl); n > 0 && pl[n-1].DocID == id {
+				pl[n-1].Positions = append(pl[n-1].Positions, base+pos)
+			} else {
+				pl = append(pl, Posting{DocID: id, Positions: []int{base + pos}, Boost: boost})
+			}
+			fi.postings[term] = pl
+		}
+	}
+	return id
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.docs) }
+
+// Stats summarizes index size.
+type Stats struct {
+	// Docs is the document count.
+	Docs int
+	// Fields is the number of distinct indexed fields.
+	Fields int
+	// Terms is the total distinct (field, term) pairs.
+	Terms int
+	// Postings is the total posting count across all terms.
+	Postings int
+}
+
+// Stats computes the index size summary by walking the term dictionaries.
+func (ix *Index) Stats() Stats {
+	s := Stats{Docs: len(ix.docs), Fields: len(ix.fields)}
+	for _, fi := range ix.fields {
+		s.Terms += len(fi.postings)
+		for _, pl := range fi.postings {
+			s.Postings += len(pl)
+		}
+	}
+	return s
+}
+
+// Doc returns the stored document for a docID.
+func (ix *Index) Doc(id int) *Document {
+	if id < 0 || id >= len(ix.docs) {
+		return nil
+	}
+	return ix.docs[id]
+}
+
+// FieldNames returns the indexed field names, sorted.
+func (ix *Index) FieldNames() []string {
+	out := make([]string, 0, len(ix.fields))
+	for n := range ix.fields {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Terms returns the sorted term dictionary of a field, for vocabulary
+// scans such as spelling suggestion.
+func (ix *Index) Terms(field string) []string {
+	fi := ix.fields[field]
+	if fi == nil {
+		return nil
+	}
+	out := make([]string, 0, len(fi.postings))
+	for t := range fi.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Postings returns the posting list of an analyzed term in a field. The
+// term must already be in index form (lowercased, stemmed); use the
+// analyzer to normalize raw text first.
+func (ix *Index) Postings(field, term string) []Posting {
+	fi := ix.fields[field]
+	if fi == nil {
+		return nil
+	}
+	return fi.postings[term]
+}
+
+// DocFreq returns the number of documents containing the term in the field.
+func (ix *Index) DocFreq(field, term string) int { return len(ix.Postings(field, term)) }
+
+// IDF computes the classic Lucene inverse document frequency:
+// 1 + ln(N / (df + 1)).
+func (ix *Index) IDF(field, term string) float64 {
+	df := ix.DocFreq(field, term)
+	return 1 + math.Log(float64(len(ix.docs))/float64(df+1))
+}
+
+// fieldNorm is Lucene's length normalization: 1/sqrt(tokens in field).
+func (ix *Index) fieldNorm(field string, docID int) float64 {
+	fi := ix.fields[field]
+	if fi == nil {
+		return 0
+	}
+	l := fi.docLen[docID]
+	if l == 0 {
+		return 0
+	}
+	return 1 / math.Sqrt(float64(l))
+}

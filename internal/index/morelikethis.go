@@ -1,0 +1,82 @@
+package index
+
+import "sort"
+
+// MoreLikeThis builds a query from the most discriminative terms of an
+// existing document — the "related events" feature of a search UI. Terms
+// are ranked by TF-IDF within the given fields; the top maxTerms become a
+// Should-disjunction over the same fields.
+//
+// It returns nil when the document has no usable terms.
+func (ix *Index) MoreLikeThis(docID int, fields []FieldBoost, maxTerms int) Query {
+	d := ix.Doc(docID)
+	if d == nil {
+		return nil
+	}
+	if maxTerms <= 0 {
+		maxTerms = 8
+	}
+	type scored struct {
+		term  string
+		score float64
+	}
+	seen := map[string]bool{}
+	var candidates []scored
+	for _, fb := range fields {
+		text := d.Get(fb.Field)
+		if text == "" {
+			continue
+		}
+		for _, term := range ix.analyzer.Analyze(text) {
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			df := ix.DocFreq(fb.Field, term)
+			if df <= 0 {
+				continue
+			}
+			// Skip terms in more than a third of documents (but never below
+			// a floor of 5, so tiny indices keep their vocabulary): such
+			// terms carry no signal and would drag in everything.
+			ceiling := ix.NumDocs() / 3
+			if ceiling < 5 {
+				ceiling = 5
+			}
+			if df > ceiling {
+				continue
+			}
+			candidates = append(candidates, scored{term: term, score: ix.IDF(fb.Field, term)})
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].score != candidates[j].score {
+			return candidates[i].score > candidates[j].score
+		}
+		return candidates[i].term < candidates[j].term
+	})
+	if len(candidates) > maxTerms {
+		candidates = candidates[:maxTerms]
+	}
+	var should []Query
+	for _, c := range candidates {
+		for _, fb := range fields {
+			should = append(should, TermQuery{Field: fb.Field, Term: c.term, Boost: fb.Boost})
+		}
+	}
+	return BooleanQuery{Should: should, DisableCoord: true, MustNot: []Query{docIDQuery{docID}}}
+}
+
+// docIDQuery matches exactly one document, used to exclude the source doc
+// from its own related-results list.
+type docIDQuery struct{ id int }
+
+func (q docIDQuery) scores(ix *Index) map[int]float64 {
+	if q.id < 0 || q.id >= ix.NumDocs() {
+		return nil
+	}
+	return map[int]float64{q.id: 1}
+}

@@ -1,0 +1,241 @@
+package index
+
+// PorterStem reduces an English word to its stem using Porter's algorithm
+// (M.F. Porter, "An algorithm for suffix stripping", 1980) — the stemmer
+// Lucene's classic English analysis uses. The input must already be
+// lowercased. Words of one or two letters are returned unchanged, as in the
+// original definition.
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] acts as a consonant at position i.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in w[:k].
+func measure(w []byte) int {
+	n := 0
+	i := 0
+	k := len(w)
+	// Skip initial consonants.
+	for i < k && isCons(w, i) {
+		i++
+	}
+	for i < k {
+		// In a vowel run.
+		for i < k && !isCons(w, i) {
+			i++
+		}
+		if i >= k {
+			break
+		}
+		n++
+		for i < k && isCons(w, i) {
+			i++
+		}
+	}
+	return n
+}
+
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends with a double consonant.
+func endsDoubleCons(w []byte) bool {
+	k := len(w)
+	return k >= 2 && w[k-1] == w[k-2] && isCons(w, k-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func endsCVC(w []byte) bool {
+	k := len(w)
+	if k < 3 {
+		return false
+	}
+	if !isCons(w, k-3) || isCons(w, k-2) || !isCons(w, k-1) {
+		return false
+	}
+	c := w[k-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r when the stem before s has
+// measure > m. It reports whether the suffix matched (regardless of the
+// measure test).
+func replaceSuffix(w *[]byte, s, r string, m int) bool {
+	if !hasSuffix(*w, s) {
+		return false
+	}
+	stem := (*w)[:len(*w)-len(s)]
+	if measure(stem) > m {
+		*w = append(stem, r...)
+	}
+	return true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		stem := w[:len(w)-3]
+		if measure(stem) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	// Post-adjustment after removing -ed/-ing.
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem):
+		c := stem[len(stem)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Pairs = []struct{ s, r string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, p := range step2Pairs {
+		if replaceSuffix(&w, p.s, p.r, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Pairs = []struct{ s, r string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, p := range step3Pairs {
+		if replaceSuffix(&w, p.s, p.r, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if measure(stem) <= 1 {
+			return w
+		}
+		if s == "ion" {
+			c := stem[len(stem)-1]
+			if c != 's' && c != 't' {
+				return w
+			}
+		}
+		return stem
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,228 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseQuery parses Lucene-flavoured user query syntax into a Query:
+//
+//	goal barcelona          terms over the default fields
+//	"yellow card"           phrase
+//	event:goal              explicit field
+//	+messi -ronaldo         required / excluded terms
+//	mesi~                   fuzzy term (edit distance 1)
+//
+// defaultFields carries the fields (with boosts) unfielded terms search.
+func ParseQuery(src string, defaultFields []FieldBoost) (Query, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	var q BooleanQuery
+	for _, t := range toks {
+		clause := buildClause(t, defaultFields)
+		if clause == nil {
+			continue
+		}
+		switch t.op {
+		case '+':
+			q.Must = append(q.Must, clause)
+		case '-':
+			q.MustNot = append(q.MustNot, clause)
+		default:
+			q.Should = append(q.Should, clause)
+		}
+	}
+	if len(q.Must)+len(q.Should)+len(q.MustNot) == 0 {
+		return nil, fmt.Errorf("index: empty query %q", src)
+	}
+	return q, nil
+}
+
+type queryToken struct {
+	op     byte   // '+', '-' or 0
+	field  string // "" = default fields
+	text   string
+	phrase bool
+	fuzzy  bool
+}
+
+func lexQuery(src string) ([]queryToken, error) {
+	var out []queryToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+			continue
+		}
+		var t queryToken
+		if c == '+' || c == '-' {
+			t.op = c
+			i++
+		}
+		// Optional field prefix.
+		if j := fieldPrefixEnd(src[i:]); j > 0 {
+			t.field = src[i : i+j]
+			i += j + 1 // past ':'
+		}
+		if i < len(src) && src[i] == '"' {
+			j := strings.IndexByte(src[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("index: unterminated phrase in %q", src)
+			}
+			t.text = src[i+1 : i+1+j]
+			t.phrase = true
+			i += j + 2
+		} else {
+			j := i
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' {
+				j++
+			}
+			t.text = src[i:j]
+			i = j
+			if strings.HasSuffix(t.text, "~") {
+				t.text = strings.TrimSuffix(t.text, "~")
+				t.fuzzy = true
+			}
+		}
+		if t.text != "" {
+			out = append(out, t)
+		} else if t.op != 0 || t.field != "" {
+			return nil, fmt.Errorf("index: dangling operator or field in %q", src)
+		}
+	}
+	return out, nil
+}
+
+// fieldPrefixEnd returns the length of a leading "name" if src starts with
+// "name:" where name is alphanumeric, else 0.
+func fieldPrefixEnd(src string) int {
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == ':':
+			if i > 0 {
+				return i
+			}
+			return 0
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+func buildClause(t queryToken, defaultFields []FieldBoost) Query {
+	fields := defaultFields
+	if t.field != "" {
+		fields = []FieldBoost{{Field: t.field, Boost: 1}}
+	}
+	var per []Query
+	for _, fb := range fields {
+		switch {
+		case t.phrase:
+			per = append(per, PhraseQuery{Field: fb.Field, Terms: strings.Fields(t.text), Boost: fb.Boost})
+		case t.fuzzy:
+			per = append(per, FuzzyQuery{Field: fb.Field, Term: t.text, Boost: fb.Boost})
+		default:
+			per = append(per, TermQuery{Field: fb.Field, Term: t.text, Boost: fb.Boost})
+		}
+	}
+	if len(per) == 1 {
+		return per[0]
+	}
+	return BooleanQuery{Should: per, DisableCoord: true}
+}
+
+// FuzzyQuery matches terms within Levenshtein distance 1 of the query term
+// (after analysis), rescoring exact matches at full weight and fuzzy
+// matches at half. It exists for misspelled player names ("mesi~").
+type FuzzyQuery struct {
+	Field string
+	Term  string
+	Boost float64
+}
+
+func (q FuzzyQuery) scores(ix *Index) map[int]float64 {
+	analyzed := ix.analyzer.Analyze(q.Term)
+	if len(analyzed) != 1 {
+		return nil
+	}
+	target := analyzed[0]
+	boost := q.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	fi := ix.fields[q.Field]
+	if fi == nil {
+		return nil
+	}
+	out := make(map[int]float64)
+	avg := fi.avgLen()
+	for term, pl := range fi.postings {
+		var weight float64
+		switch {
+		case term == target:
+			weight = 1
+		case WithinEditDistance1(term, target):
+			weight = 0.5
+		default:
+			continue
+		}
+		df := len(pl)
+		for _, p := range pl {
+			s := ix.sim.TermScore(p.Freq(), df, len(ix.docs), fi.docLen[p.DocID], avg) * p.Boost * boost * weight
+			if s > out[p.DocID] {
+				out[p.DocID] = s
+			}
+		}
+	}
+	return out
+}
+
+// WithinEditDistance1 reports whether two strings are within Levenshtein
+// distance 1 (one insertion, deletion or substitution), computed without
+// building a distance matrix.
+func WithinEditDistance1(a, b string) bool {
+	if a == b {
+		return true
+	}
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb-la > 1 {
+		return false
+	}
+	ra, rb := []rune(a), []rune(b)
+	i, j := 0, 0
+	edited := false
+	for i < len(ra) && j < len(rb) {
+		if ra[i] == rb[j] {
+			i++
+			j++
+			continue
+		}
+		if edited {
+			return false
+		}
+		edited = true
+		if len(ra) == len(rb) {
+			i++ // substitution
+		}
+		j++ // insertion into a / deletion from b
+	}
+	// Whatever remains unconsumed must fit in the edit budget: nothing if
+	// an edit was already spent, at most one trailing rune otherwise.
+	remaining := (len(ra) - i) + (len(rb) - j)
+	if edited {
+		return remaining == 0
+	}
+	return remaining <= 1
+}

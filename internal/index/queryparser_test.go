@@ -1,0 +1,204 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var defaultQPFields = []FieldBoost{{Field: "event", Boost: 4}, {Field: "narration", Boost: 1}}
+
+func TestParseQueryTerms(t *testing.T) {
+	ix := buildTestIndex()
+	q, err := ParseQuery("goal messi", defaultQPFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(q, 0)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// Top hit should be the Messi goal (matches both terms).
+	if got := ix.Doc(hits[0].DocID).Get("narration"); got != "Messi scores a wonderful goal" {
+		t.Errorf("top = %q", got)
+	}
+}
+
+func TestParseQueryFieldPrefix(t *testing.T) {
+	ix := buildTestIndex()
+	q, err := ParseQuery("event:goal", defaultQPFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(q, 0)
+	if len(hits) != 2 {
+		t.Fatalf("field query hits = %d", len(hits))
+	}
+	for _, h := range hits {
+		if ix.Doc(h.DocID).Get("event") != "Goal" {
+			t.Errorf("non-goal doc matched event:goal")
+		}
+	}
+}
+
+func TestParseQueryPhrase(t *testing.T) {
+	ix := buildTestIndex()
+	q, err := ParseQuery(`"free kick"`, defaultQPFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(q, 0)
+	if len(hits) != 1 {
+		t.Fatalf("phrase hits = %d", len(hits))
+	}
+	if ix.Doc(hits[0].DocID).Get("event") != "Foul" {
+		t.Error("phrase matched wrong doc")
+	}
+}
+
+func TestParseQueryRequiredExcluded(t *testing.T) {
+	ix := buildTestIndex()
+	q, err := ParseQuery("+goal -misses", defaultQPFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(q, 0)
+	for _, h := range hits {
+		n := ix.Doc(h.DocID).Get("narration")
+		if n == "Ronaldo misses a goal from close range" {
+			t.Errorf("excluded doc returned: %q", n)
+		}
+	}
+	if len(hits) == 0 {
+		t.Error("no hits for required term")
+	}
+}
+
+func TestParseQueryFuzzy(t *testing.T) {
+	ix := buildTestIndex()
+	q, err := ParseQuery("mesi~", defaultQPFields) // misspelled Messi
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(q, 0)
+	found := false
+	for _, h := range hits {
+		if ix.Doc(h.DocID).Get("narration") == "Messi scores a wonderful goal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fuzzy query missed Messi")
+	}
+	// Exact matches outrank fuzzy ones.
+	exact, _ := ParseQuery("messi", defaultQPFields)
+	he := ix.Search(exact, 1)
+	hf := ix.Search(q, 1)
+	if len(he) > 0 && len(hf) > 0 && hf[0].Score >= he[0].Score {
+		t.Errorf("fuzzy score %f >= exact %f", hf[0].Score, he[0].Score)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, src := range []string{"", "   ", `"unterminated`, "+", "field:"} {
+		if _, err := ParseQuery(src, defaultQPFields); err == nil {
+			t.Errorf("ParseQuery accepted %q", src)
+		}
+	}
+}
+
+func TestWithinEditDistance1(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"messi", "messi", true},
+		{"mesi", "messi", true},   // insertion
+		{"messsi", "messi", true}, // deletion
+		{"massi", "messi", true},  // substitution
+		{"mess", "messi", true},   // trailing insertion
+		{"mi", "messi", false},
+		{"ronaldo", "messi", false},
+		{"", "a", true},
+		{"", "", true},
+		{"ab", "ba", false}, // transposition is distance 2 here
+	}
+	for _, c := range cases {
+		if got := WithinEditDistance1(c.a, c.b); got != c.want {
+			t.Errorf("WithinEditDistance1(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: edit distance 1 is symmetric.
+func TestEditDistanceSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		return WithinEditDistance1(a, b) == WithinEditDistance1(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreLikeThis(t *testing.T) {
+	ix := New(StandardAnalyzer{})
+	// Three card-ish docs and two unrelated corners.
+	ix.Add(new(Document).Add("event", "YellowCard").Add("narration", "booked for a late challenge"))
+	ix.Add(new(Document).Add("event", "YellowCard").Add("narration", "sees yellow after a challenge"))
+	ix.Add(new(Document).Add("event", "RedCard").Add("narration", "sent off after a second booking"))
+	ix.Add(new(Document).Add("event", "Corner").Add("narration", "delivers the corner"))
+	ix.Add(new(Document).Add("event", "Corner").Add("narration", "takes the corner short"))
+
+	fields := []FieldBoost{{Field: "event", Boost: 4}, {Field: "narration", Boost: 1}}
+	q := ix.MoreLikeThis(0, fields, 8)
+	if q == nil {
+		t.Fatal("nil query")
+	}
+	hits := ix.Search(q, 0)
+	for _, h := range hits {
+		if h.DocID == 0 {
+			t.Error("source doc in its own results")
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("no related docs")
+	}
+	if got := ix.Doc(hits[0].DocID).Get("event"); got == "Corner" {
+		t.Errorf("top related is a Corner; ranking = %v", hits)
+	}
+}
+
+func TestMoreLikeThisBounds(t *testing.T) {
+	ix := New(StandardAnalyzer{})
+	ix.Add(new(Document).Add("f", "term"))
+	if q := ix.MoreLikeThis(-1, []FieldBoost{{Field: "f", Boost: 1}}, 5); q != nil {
+		t.Error("negative id produced a query")
+	}
+	if q := ix.MoreLikeThis(99, []FieldBoost{{Field: "f", Boost: 1}}, 5); q != nil {
+		t.Error("out-of-range id produced a query")
+	}
+	// A doc whose only term is ubiquitous (df above the ceiling) yields nil.
+	ubiq := New(StandardAnalyzer{})
+	for i := 0; i < 30; i++ {
+		ubiq.Add(new(Document).Add("f", "same"))
+	}
+	if q := ubiq.MoreLikeThis(0, []FieldBoost{{Field: "f", Boost: 1}}, 5); q != nil {
+		t.Error("ubiquitous-term doc produced a query")
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	ix := buildTestIndex()
+	s := ix.Stats()
+	if s.Docs != 5 || s.Fields != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Terms == 0 || s.Postings < s.Terms {
+		t.Errorf("stats = %+v", s)
+	}
+}

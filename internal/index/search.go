@@ -1,0 +1,233 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// Query scores documents against the index. Implementations are TermQuery,
+// PhraseQuery and BooleanQuery.
+type Query interface {
+	// scores returns the raw per-document scores of this query clause.
+	scores(ix *Index) map[int]float64
+}
+
+// Hit is one search result.
+type Hit struct {
+	DocID int
+	Score float64
+}
+
+// Search evaluates the query and returns hits sorted by descending score
+// (docID ascending on ties, for determinism). limit <= 0 returns all hits.
+func (ix *Index) Search(q Query, limit int) []Hit {
+	sc := q.scores(ix)
+	hits := make([]Hit, 0, len(sc))
+	for id, s := range sc {
+		if s > 0 {
+			hits = append(hits, Hit{DocID: id, Score: s})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DocID < hits[j].DocID
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// TermQuery matches documents containing a single term in one field,
+// scored with classic TF-IDF: sqrt(tf) · idf² · fieldBoost · lengthNorm.
+type TermQuery struct {
+	Field string
+	// Term must be in raw text form; it is analyzed against the index's
+	// analyzer before lookup.
+	Term string
+	// Boost scales this clause (0 means 1).
+	Boost float64
+}
+
+func (q TermQuery) scores(ix *Index) map[int]float64 {
+	terms := ix.analyzer.Analyze(q.Term)
+	if len(terms) != 1 {
+		// A term that analyzes to several tokens (or none, e.g. a pure
+		// stopword) is treated as a phrase or as unmatchable respectively.
+		if len(terms) == 0 {
+			return nil
+		}
+		return PhraseQuery{Field: q.Field, Terms: terms, Boost: q.Boost}.scores(ix)
+	}
+	term := terms[0]
+	boost := q.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	fi := ix.fields[q.Field]
+	if fi == nil {
+		return nil
+	}
+	pl := fi.postings[term]
+	df := len(pl)
+	avg := fi.avgLen()
+	out := make(map[int]float64, df)
+	for _, p := range pl {
+		base := ix.sim.TermScore(p.Freq(), df, len(ix.docs), fi.docLen[p.DocID], avg)
+		out[p.DocID] = base * p.Boost * boost
+	}
+	return out
+}
+
+// PhraseQuery matches documents where the terms occur consecutively in one
+// field. Terms are raw tokens, analyzed individually before matching.
+type PhraseQuery struct {
+	Field string
+	Terms []string
+	Boost float64
+}
+
+func (q PhraseQuery) scores(ix *Index) map[int]float64 {
+	var terms []string
+	for _, t := range q.Terms {
+		terms = append(terms, ix.analyzer.Analyze(t)...)
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	boost := q.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	// Intersect posting lists positionally.
+	first := ix.Postings(q.Field, terms[0])
+	idfSum := 0.0
+	for _, t := range terms {
+		idfSum += ix.IDF(q.Field, t)
+	}
+	out := make(map[int]float64)
+	for _, p0 := range first {
+		freq := 0
+		for _, start := range p0.Positions {
+			if phraseAt(ix, q.Field, terms, p0.DocID, start) {
+				freq++
+			}
+		}
+		if freq > 0 {
+			tf := math.Sqrt(float64(freq))
+			out[p0.DocID] = tf * idfSum * p0.Boost * ix.fieldNorm(q.Field, p0.DocID) * boost
+		}
+	}
+	return out
+}
+
+func phraseAt(ix *Index, field string, terms []string, docID, start int) bool {
+	for i := 1; i < len(terms); i++ {
+		if !hasPosition(ix.Postings(field, terms[i]), docID, start+i) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasPosition(pl []Posting, docID, pos int) bool {
+	// Posting lists are built in ascending docID order.
+	i := sort.Search(len(pl), func(i int) bool { return pl[i].DocID >= docID })
+	if i >= len(pl) || pl[i].DocID != docID {
+		return false
+	}
+	ps := pl[i].Positions
+	j := sort.SearchInts(ps, pos)
+	return j < len(ps) && ps[j] == pos
+}
+
+// BooleanQuery combines clauses: Must clauses all have to match, MustNot
+// clauses exclude documents, Should clauses add score. A document matches
+// when every Must matches, no MustNot matches, and (if there are no Must
+// clauses) at least one Should matches. Scores are summed and multiplied by
+// Lucene's coord factor: matchedClauses/totalScoringClauses.
+type BooleanQuery struct {
+	Must    []Query
+	Should  []Query
+	MustNot []Query
+	// DisableCoord turns off the coordination factor, which the semantic
+	// ranking layer does when it applies its own field weighting.
+	DisableCoord bool
+}
+
+func (q BooleanQuery) scores(ix *Index) map[int]float64 {
+	total := len(q.Must) + len(q.Should)
+	if total == 0 {
+		return nil
+	}
+	sum := make(map[int]float64)
+	matched := make(map[int]int)
+	mustMatched := make(map[int]int)
+	for _, c := range q.Must {
+		for id, s := range c.scores(ix) {
+			sum[id] += s
+			matched[id]++
+			mustMatched[id]++
+		}
+	}
+	for _, c := range q.Should {
+		for id, s := range c.scores(ix) {
+			sum[id] += s
+			matched[id]++
+		}
+	}
+	excluded := make(map[int]bool)
+	for _, c := range q.MustNot {
+		for id := range c.scores(ix) {
+			excluded[id] = true
+		}
+	}
+	out := make(map[int]float64, len(sum))
+	for id, s := range sum {
+		if excluded[id] || mustMatched[id] < len(q.Must) {
+			continue
+		}
+		coord := 1.0
+		if !q.DisableCoord {
+			coord = float64(matched[id]) / float64(total)
+		}
+		out[id] = s * coord
+	}
+	return out
+}
+
+// MatchAllQuery matches every document with a constant score, useful for
+// "list everything" style queries and tests.
+type MatchAllQuery struct{}
+
+func (MatchAllQuery) scores(ix *Index) map[int]float64 {
+	out := make(map[int]float64, len(ix.docs))
+	for id := range ix.docs {
+		out[id] = 1
+	}
+	return out
+}
+
+// FieldBoost pairs a field with a query-time boost, for multi-field keyword
+// search.
+type FieldBoost struct {
+	Field string
+	Boost float64
+}
+
+// MultiFieldQuery builds the query Lucene's MultiFieldQueryParser would:
+// for each whitespace token of the text, a disjunction of term queries over
+// the given fields, all combined as Should clauses.
+func MultiFieldQuery(text string, fields []FieldBoost) Query {
+	var should []Query
+	for _, tok := range Tokenize(text) {
+		var perField []Query
+		for _, fb := range fields {
+			perField = append(perField, TermQuery{Field: fb.Field, Term: tok, Boost: fb.Boost})
+		}
+		should = append(should, BooleanQuery{Should: perField, DisableCoord: true})
+	}
+	return BooleanQuery{Should: should}
+}

@@ -1,0 +1,52 @@
+package index
+
+import "math"
+
+// Similarity scores a single term's contribution to a document, the
+// pluggable ranking core. The default reproduces Lucene's classic
+// TF-IDF similarity (what the paper's Lucene 2.x would have used); BM25 is
+// provided as the modern alternative for the ranking ablation bench.
+type Similarity interface {
+	// TermScore scores one term occurrence set: freq occurrences in a field
+	// of fieldLen tokens, df documents containing the term out of numDocs,
+	// avgLen the mean field length across documents.
+	TermScore(freq, df, numDocs, fieldLen int, avgLen float64) float64
+}
+
+// ClassicTFIDF is Lucene's classic similarity:
+// sqrt(tf) · idf² · 1/sqrt(fieldLen), idf = 1 + ln(N/(df+1)).
+type ClassicTFIDF struct{}
+
+// TermScore implements Similarity.
+func (ClassicTFIDF) TermScore(freq, df, numDocs, fieldLen int, avgLen float64) float64 {
+	if freq == 0 || fieldLen == 0 {
+		return 0
+	}
+	idf := 1 + math.Log(float64(numDocs)/float64(df+1))
+	return math.Sqrt(float64(freq)) * idf * idf / math.Sqrt(float64(fieldLen))
+}
+
+// BM25 is Okapi BM25 with the usual k1/b parameterization. Zero values get
+// the standard defaults k1=1.2, b=0.75.
+type BM25 struct {
+	K1 float64
+	B  float64
+}
+
+// TermScore implements Similarity.
+func (s BM25) TermScore(freq, df, numDocs, fieldLen int, avgLen float64) float64 {
+	if freq == 0 || fieldLen == 0 {
+		return 0
+	}
+	k1, b := s.K1, s.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	idf := math.Log(1 + (float64(numDocs)-float64(df)+0.5)/(float64(df)+0.5))
+	tf := float64(freq)
+	norm := 1 - b + b*float64(fieldLen)/math.Max(avgLen, 1)
+	return idf * tf * (k1 + 1) / (tf + k1*norm)
+}

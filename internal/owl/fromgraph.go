@@ -1,0 +1,120 @@
+package owl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// FromGraph reconstructs an Ontology from a TBox graph produced by
+// TBoxGraph, closing the persistence loop for the schema itself: the
+// ontology can be serialized as Turtle, shipped, and loaded on another
+// node just like the per-match ABox models.
+//
+// Restrictions are not reified into RDF by TBoxGraph (they live in the
+// Ontology value), so a loaded ontology carries declarations, hierarchies,
+// domains, ranges and disjointness — everything the query-time components
+// need; only the consistency checker loses its restriction checks.
+func FromGraph(g *rdf.Graph, namespace string) (*Ontology, error) {
+	o := New(namespace)
+	local := func(t rdf.Term) (string, error) {
+		if !t.IsIRI() || !strings.HasPrefix(t.Value, namespace) {
+			return "", fmt.Errorf("owl: term %v outside namespace %s", t, namespace)
+		}
+		return t.Value[len(namespace):], nil
+	}
+
+	// Declarations first, so parents/domains/ranges resolve.
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFType, rdf.OWLClass) {
+		name, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		o.AddClass(name)
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFType, rdf.OWLObjectProperty) {
+		name, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		o.AddObjectProperty(name)
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFType, rdf.OWLDataProperty) {
+		name, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		o.AddDataProperty(name)
+	}
+
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFSSubClassOf, rdf.Wildcard) {
+		child, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		parent, err := local(t.O)
+		if err != nil {
+			return nil, err
+		}
+		o.AddClass(child, parent)
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFSSubPropertyOf, rdf.Wildcard) {
+		child, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		parent, err := local(t.O)
+		if err != nil {
+			return nil, err
+		}
+		p := o.Property(child)
+		pp := o.Property(parent)
+		if p == nil || pp == nil {
+			return nil, fmt.Errorf("owl: subPropertyOf references undeclared property %s or %s", child, parent)
+		}
+		if p.Kind == ObjectProperty {
+			o.AddObjectProperty(child, parent)
+		} else {
+			o.AddDataProperty(child, parent)
+		}
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFSDomain, rdf.Wildcard) {
+		prop, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		dom, err := local(t.O)
+		if err != nil {
+			return nil, err
+		}
+		o.SetDomain(prop, dom)
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.RDFSRange, rdf.Wildcard) {
+		prop, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		// Ranges may be datatype IRIs outside the namespace.
+		if strings.HasPrefix(t.O.Value, namespace) {
+			o.SetRange(prop, t.O.Value[len(namespace):])
+		} else {
+			o.SetRangeIRI(prop, t.O)
+		}
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.OWLDisjointWith, rdf.Wildcard) {
+		a, err := local(t.S)
+		if err != nil {
+			return nil, err
+		}
+		b, err := local(t.O)
+		if err != nil {
+			return nil, err
+		}
+		o.AddDisjoint(a, b)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("owl: loaded ontology invalid: %w", err)
+	}
+	return o, nil
+}

@@ -1,0 +1,320 @@
+// Package populate implements ontology population (Section 3.4): it turns
+// the crawled basic information and the extracted events of one match into
+// an OWL model of individuals, one independent model per game — the
+// paper's unit of inference that keeps reasoning cost flat in corpus size.
+//
+// Role filling follows the paper's generic-property design: every event
+// class has subjectPlayer/objectPlayer sub-properties (scorerPlayer,
+// fouledPlayer, ...); the populator asserts the most specific property the
+// ontology defines for the event kind and falls back to the generic one,
+// so an extractor that only finds the subject still produces a usable
+// individual.
+package populate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/ie"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/soccer"
+)
+
+// EventRecord links an event individual to its source data for the
+// indexing stage.
+type EventRecord struct {
+	// Individual is the event's IRI in the model.
+	Individual rdf.Term
+	// Kind is the asserted event class.
+	Kind soccer.EventKind
+	// Minute is the event minute.
+	Minute int
+	// Narration is the source text ("" for basic-info-only events).
+	Narration string
+	// NarrationIdx indexes the page's narration list, -1 when the record
+	// came from basic information with no matching narration.
+	NarrationIdx int
+}
+
+// PopulatedMatch is the result of populating one match.
+type PopulatedMatch struct {
+	// Model is the per-match ABox (pre-inference).
+	Model *owl.Model
+	// MatchIRI is the match individual.
+	MatchIRI rdf.Term
+	// Page is the source crawl page.
+	Page *crawler.MatchPage
+	// Events lists every event individual, basic-info and extracted alike.
+	Events []EventRecord
+}
+
+// rolePair names the specific subject/object sub-properties for a kind.
+type rolePair struct {
+	subj string // sub-property of subjectPlayer ("" = use generic)
+	obj  string // sub-property of objectPlayer ("" = use generic)
+}
+
+var roleProperties = map[soccer.EventKind]rolePair{
+	soccer.KindGoal:          {subj: "scorerPlayer"},
+	soccer.KindHeaderGoal:    {subj: "scorerPlayer"},
+	soccer.KindPenaltyGoal:   {subj: "scorerPlayer"},
+	soccer.KindFreeKickGoal:  {subj: "scorerPlayer"},
+	soccer.KindOwnGoal:       {subj: "scorerPlayer"},
+	soccer.KindPass:          {subj: "passingPlayer", obj: "passReceiver"},
+	soccer.KindLongPass:      {subj: "passingPlayer", obj: "passReceiver"},
+	soccer.KindShortPass:     {subj: "passingPlayer", obj: "passReceiver"},
+	soccer.KindCrossPass:     {subj: "passingPlayer", obj: "passReceiver"},
+	soccer.KindThroughPass:   {subj: "passingPlayer", obj: "passReceiver"},
+	soccer.KindShoot:         {subj: "shootingPlayer"},
+	soccer.KindShotOnTarget:  {subj: "shootingPlayer"},
+	soccer.KindShotOffTarget: {subj: "shootingPlayer"},
+	soccer.KindHeaderShot:    {subj: "shootingPlayer"},
+	soccer.KindSave:          {subj: "savingPlayer", obj: "savedFromPlayer"},
+	soccer.KindPenaltySave:   {subj: "savingPlayer", obj: "savedFromPlayer"},
+	soccer.KindTackle:        {subj: "tacklingPlayer", obj: "tackledPlayer"},
+	soccer.KindInterception:  {subj: "interceptingPlayer"},
+	soccer.KindClearance:     {subj: "clearingPlayer"},
+	soccer.KindDribble:       {subj: "dribblingPlayer", obj: "dribbledPastPlayer"},
+	soccer.KindFoul:          {subj: "foulingPlayer", obj: "fouledPlayer"},
+	soccer.KindHandBall:      {subj: "foulingPlayer"},
+	soccer.KindYellowCard:    {subj: "punishedPlayer"},
+	soccer.KindSecondYellow:  {subj: "punishedPlayer"},
+	soccer.KindRedCard:       {subj: "punishedPlayer"},
+	soccer.KindOffside:       {subj: "offsidePlayer"},
+	soccer.KindMissedGoal:    {subj: "missingPlayer"},
+	soccer.KindMissedPenalty: {subj: "missingPlayer"},
+	soccer.KindInjury:        {obj: "injuredPlayer"},
+	soccer.KindSubstitution:  {subj: "substitutedPlayer", obj: "substitutePlayer"},
+	soccer.KindCorner:        {subj: "cornerTaker"},
+	soccer.KindFreeKick:      {subj: "freeKickTaker"},
+	soccer.KindPenaltyKick:   {subj: "penaltyTaker"},
+	soccer.KindThrowIn:       {subj: "throwInTaker"},
+}
+
+// Populator builds per-match models over a shared ontology.
+type Populator struct {
+	Ontology *owl.Ontology
+}
+
+// Populate builds the model for one match from its crawl page and the
+// extracted events. Extracted goals and substitutions that duplicate
+// basic-information entries enrich the existing individual (adding the
+// specific subtype and narration) instead of creating a second one.
+func (p *Populator) Populate(page *crawler.MatchPage, events []ie.Event) *PopulatedMatch {
+	m := owl.NewModel(p.Ontology)
+	m.IDPrefix = iriSafe(page.ID) + "_"
+	pm := &PopulatedMatch{Model: m, Page: page}
+
+	matchIRI := m.NamedIndividual(iriSafe(page.ID), "Match")
+	pm.MatchIRI = matchIRI
+	m.SetString(matchIRI, "hasDate", page.Date)
+	m.SetInt(matchIRI, "homeScore", page.HomeScore)
+	m.SetInt(matchIRI, "awayScore", page.AwayScore)
+
+	stadium := m.NamedIndividual(iriSafe(page.Stadium), "Stadium")
+	m.Set(matchIRI, "playedAtStadium", stadium)
+	referee := m.NamedIndividual(iriSafe(page.Referee), "Referee")
+	m.SetString(referee, "hasName", page.Referee)
+	m.Set(matchIRI, "hasReferee", referee)
+
+	teamIRIs := map[string]rdf.Term{}
+	playerIRIs := map[string]rdf.Term{} // short name -> IRI
+	for i, teamName := range []string{page.Home, page.Away} {
+		tIRI := m.NamedIndividual(iriSafe(teamName), "Team")
+		teamIRIs[teamName] = tIRI
+		m.SetString(tIRI, "hasName", teamName)
+		if i == 0 {
+			m.Set(matchIRI, "homeTeam", tIRI)
+		} else {
+			m.Set(matchIRI, "awayTeam", tIRI)
+		}
+		if coach := page.Coaches[teamName]; coach != "" {
+			cIRI := m.NamedIndividual(iriSafe(coach), "Coach")
+			m.SetString(cIRI, "hasName", coach)
+			m.Set(tIRI, "hasCoach", cIRI)
+		}
+		for _, pl := range page.Lineups[teamName] {
+			plIRI := m.NamedIndividual(iriSafe(pl.Name), soccer.PositionClass(pl.Position))
+			playerIRIs[pl.Short] = plIRI
+			m.SetString(plIRI, "hasName", pl.Name)
+			m.SetInt(plIRI, "shirtNumber", pl.Shirt)
+			m.Set(plIRI, "playsFor", tIRI)
+			m.Set(tIRI, "hasPlayer", plIRI)
+			if pl.Position == "GK" {
+				m.Set(tIRI, "hasGoalkeeper", plIRI)
+			}
+		}
+	}
+	// Bench players named only in substitutions.
+	for _, s := range page.Subs {
+		if _, ok := playerIRIs[s.On]; ok {
+			continue
+		}
+		plIRI := m.NamedIndividual(iriSafe(s.On), "Player")
+		playerIRIs[s.On] = plIRI
+		m.SetString(plIRI, "hasName", s.On)
+		m.Set(plIRI, "playsFor", teamIRIs[s.Team])
+	}
+
+	// Basic-information goals, keyed for dedup against extracted goals.
+	goalByKey := map[string]rdf.Term{}
+	for _, g := range page.Goals {
+		cls := "Goal"
+		if g.OwnGoal {
+			cls = "OwnGoal"
+		}
+		ev := m.NewIndividual(cls)
+		m.SetInt(ev, "inMinute", g.Minute)
+		m.Set(ev, "inMatch", matchIRI)
+		m.SetString(ev, "extractedBy", "basic")
+		if pl, ok := playerIRIs[g.Scorer]; ok {
+			m.Set(ev, "scorerPlayer", pl)
+		}
+		// GoalInfo.Team is the credited team — for an own goal, the
+		// opponent of the scorer, which is exactly what scoringTeam means.
+		m.Set(ev, "scoringTeam", teamIRIs[g.Team])
+		goalByKey[goalKey(g.Minute, g.Scorer)] = ev
+		kind := soccer.KindGoal
+		if g.OwnGoal {
+			kind = soccer.KindOwnGoal
+		}
+		pm.Events = append(pm.Events, EventRecord{Individual: ev, Kind: kind, Minute: g.Minute, NarrationIdx: -1})
+	}
+	// Basic-information substitutions.
+	subByKey := map[string]rdf.Term{}
+	for _, s := range page.Subs {
+		ev := m.NewIndividual("Substitution")
+		m.SetInt(ev, "inMinute", s.Minute)
+		m.Set(ev, "inMatch", matchIRI)
+		m.SetString(ev, "extractedBy", "basic")
+		if pl, ok := playerIRIs[s.Off]; ok {
+			m.Set(ev, "substitutedPlayer", pl)
+		}
+		if pl, ok := playerIRIs[s.On]; ok {
+			m.Set(ev, "substitutePlayer", pl)
+		}
+		m.Set(ev, "subjectTeam", teamIRIs[s.Team])
+		subByKey[goalKey(s.Minute, s.Off)] = ev
+		pm.Events = append(pm.Events, EventRecord{Individual: ev, Kind: soccer.KindSubstitution, Minute: s.Minute, NarrationIdx: -1})
+	}
+
+	// Extracted events.
+	for _, ev := range events {
+		p.populateEvent(pm, m, matchIRI, teamIRIs, playerIRIs, goalByKey, subByKey, ev)
+	}
+	return pm
+}
+
+func (p *Populator) populateEvent(pm *PopulatedMatch, m *owl.Model, matchIRI rdf.Term,
+	teamIRIs, playerIRIs map[string]rdf.Term, goalByKey, subByKey map[string]rdf.Term, ev ie.Event) {
+
+	// Deduplicate against basic information: enrich instead of duplicating.
+	if isGoalKind(ev.Kind) && ev.HasSubject() {
+		if existing, ok := goalByKey[goalKey(ev.Minute, ev.Subject.Name)]; ok {
+			// Add the more specific subtype (HeaderGoal etc.) and narration.
+			m.Graph.AddSPO(existing, rdf.RDFType, p.Ontology.IRI(string(ev.Kind)))
+			m.SetString(existing, "narration", ev.Narration)
+			p.attachRecordNarration(pm, existing, ev)
+			return
+		}
+	}
+	if ev.Kind == soccer.KindSubstitution && ev.HasSubject() {
+		if existing, ok := subByKey[goalKey(ev.Minute, ev.Subject.Name)]; ok {
+			m.SetString(existing, "narration", ev.Narration)
+			p.attachRecordNarration(pm, existing, ev)
+			return
+		}
+	}
+
+	ind := m.NewIndividual(string(ev.Kind))
+	m.SetInt(ind, "inMinute", ev.Minute)
+	m.Set(ind, "inMatch", matchIRI)
+	m.SetString(ind, "narration", ev.Narration)
+	if ev.Kind != soccer.KindUnknown {
+		m.SetString(ind, "extractedBy", "ie")
+	}
+
+	roles := roleProperties[ev.Kind]
+	if ev.HasSubject() {
+		if pl, ok := playerIRIs[ev.Subject.Name]; ok {
+			prop := roles.subj
+			if prop == "" {
+				prop = "subjectPlayer"
+			}
+			m.Set(ind, prop, pl)
+		}
+	}
+	if ev.HasObject() {
+		if pl, ok := playerIRIs[ev.Object.Name]; ok {
+			prop := roles.obj
+			if prop == "" {
+				prop = "objectPlayer"
+			}
+			m.Set(ind, prop, pl)
+		}
+	}
+	if ev.SubjectTeam != "" {
+		if tIRI, ok := teamIRIs[ev.SubjectTeam]; ok {
+			m.Set(ind, "subjectTeam", tIRI)
+			if isGoalKind(ev.Kind) && ev.Kind != soccer.KindOwnGoal {
+				m.Set(ind, "scoringTeam", tIRI)
+			}
+		}
+	}
+	if ev.ObjectTeam != "" {
+		if tIRI, ok := teamIRIs[ev.ObjectTeam]; ok {
+			m.Set(ind, "objectTeam", tIRI)
+		}
+	}
+	pm.Events = append(pm.Events, EventRecord{
+		Individual: ind, Kind: ev.Kind, Minute: ev.Minute,
+		Narration: ev.Narration, NarrationIdx: ev.NarrationIdx,
+	})
+}
+
+// attachRecordNarration back-fills the narration on the EventRecord created
+// from basic information once the extracted duplicate supplies the text.
+func (p *Populator) attachRecordNarration(pm *PopulatedMatch, ind rdf.Term, ev ie.Event) {
+	for i := range pm.Events {
+		if pm.Events[i].Individual == ind {
+			if pm.Events[i].Narration == "" {
+				pm.Events[i].Narration = ev.Narration
+				pm.Events[i].NarrationIdx = ev.NarrationIdx
+			}
+			// Keep the most specific kind.
+			if pm.Events[i].Kind == soccer.KindGoal && ev.Kind != soccer.KindGoal {
+				pm.Events[i].Kind = ev.Kind
+			}
+			return
+		}
+	}
+}
+
+func isGoalKind(k soccer.EventKind) bool {
+	switch k {
+	case soccer.KindGoal, soccer.KindHeaderGoal, soccer.KindPenaltyGoal,
+		soccer.KindFreeKickGoal, soccer.KindOwnGoal:
+		return true
+	}
+	return false
+}
+
+func goalKey(minute int, who string) string { return fmt.Sprintf("%d|%s", minute, who) }
+
+// iriSafe turns display names into IRI-safe local names.
+func iriSafe(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('_')
+		default:
+			// Drop apostrophes and other punctuation: Eto'o -> Etoo.
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Graph is an in-memory set of triples with three hash indexes (by subject,
+// by predicate, by object) so the pattern queries issued by the reasoner and
+// rule engine are answered without scanning.
+//
+// A Graph is safe for concurrent readers; writes must not race with reads.
+// The pipeline follows the paper's discipline of building models offline,
+// so the only concurrent access pattern is read-only querying, which is what
+// the RWMutex protects cheaply.
+type Graph struct {
+	mu      sync.RWMutex
+	triples map[Triple]struct{}
+	bySubj  map[Term][]Triple
+	byPred  map[Term][]Triple
+	byObj   map[Term][]Triple
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		triples: make(map[Triple]struct{}),
+		bySubj:  make(map[Term][]Triple),
+		byPred:  make(map[Term][]Triple),
+		byObj:   make(map[Term][]Triple),
+	}
+}
+
+// Add inserts a triple. It reports whether the triple was not already
+// present, which the semi-naive rule engine uses to detect a fixpoint.
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.triples[t]; ok {
+		return false
+	}
+	g.triples[t] = struct{}{}
+	g.bySubj[t.S] = append(g.bySubj[t.S], t)
+	g.byPred[t.P] = append(g.byPred[t.P], t)
+	g.byObj[t.O] = append(g.byObj[t.O], t)
+	return true
+}
+
+// AddSPO is Add with unpacked terms.
+func (g *Graph) AddSPO(s, p, o Term) bool { return g.Add(Triple{S: s, P: p, O: o}) }
+
+// Remove deletes a triple. It reports whether the triple was present.
+// Removal rebuilds the three per-term posting slices, which is O(degree);
+// the pipeline only removes triples when retracting a failed extraction,
+// so this is never on a hot path.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.triples[t]; !ok {
+		return false
+	}
+	delete(g.triples, t)
+	g.bySubj[t.S] = dropTriple(g.bySubj[t.S], t)
+	g.byPred[t.P] = dropTriple(g.byPred[t.P], t)
+	g.byObj[t.O] = dropTriple(g.byObj[t.O], t)
+	return true
+}
+
+func dropTriple(list []Triple, t Triple) []Triple {
+	for i, x := range list {
+		if x == t {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// Has reports whether the exact triple is present.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.triples[t]
+	return ok
+}
+
+// HasSPO is Has with unpacked terms.
+func (g *Graph) HasSPO(s, p, o Term) bool { return g.Has(Triple{S: s, P: p, O: o}) }
+
+// Len returns the number of triples.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.triples)
+}
+
+// Wildcard is the zero Term; passing it to Match leaves that position
+// unconstrained.
+var Wildcard = Term{}
+
+// Match returns all triples matching the pattern, where the zero Term acts
+// as a wildcard in any position. The most selective available index is used.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.matchLocked(s, p, o)
+}
+
+func (g *Graph) matchLocked(s, p, o Term) []Triple {
+	switch {
+	case !s.IsZero():
+		return filterTriples(g.bySubj[s], Wildcard, p, o)
+	case !o.IsZero():
+		return filterTriples(g.byObj[o], s, p, Wildcard)
+	case !p.IsZero():
+		return filterTriples(g.byPred[p], s, Wildcard, o)
+	default:
+		out := make([]Triple, 0, len(g.triples))
+		for t := range g.triples {
+			out = append(out, t)
+		}
+		return out
+	}
+}
+
+func filterTriples(candidates []Triple, s, p, o Term) []Triple {
+	out := make([]Triple, 0, len(candidates))
+	for _, t := range candidates {
+		if (s.IsZero() || t.S == s) && (p.IsZero() || t.P == p) && (o.IsZero() || t.O == o) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Objects returns the distinct objects of triples (s, p, *), in stable order.
+func (g *Graph) Objects(s, p Term) []Term {
+	ts := g.Match(s, p, Wildcard)
+	return distinctTerms(ts, func(t Triple) Term { return t.O })
+}
+
+// Subjects returns the distinct subjects of triples (*, p, o), in stable order.
+func (g *Graph) Subjects(p, o Term) []Term {
+	ts := g.Match(Wildcard, p, o)
+	return distinctTerms(ts, func(t Triple) Term { return t.S })
+}
+
+func distinctTerms(ts []Triple, pick func(Triple) Term) []Term {
+	seen := make(map[Term]struct{}, len(ts))
+	out := make([]Term, 0, len(ts))
+	for _, t := range ts {
+		v := pick(t)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	SortTerms(out)
+	return out
+}
+
+// FirstObject returns the object of the first (s, p, *) triple, or the zero
+// Term when none exists. Handy for functional properties such as inMinute.
+func (g *Graph) FirstObject(s, p Term) Term {
+	os := g.Objects(s, p)
+	if len(os) == 0 {
+		return Term{}
+	}
+	return os[0]
+}
+
+// All returns every triple in deterministic (sorted) order, which the Turtle
+// writer and tests rely on for reproducible output.
+func (g *Graph) All() []Triple {
+	g.mu.RLock()
+	ts := make([]Triple, 0, len(g.triples))
+	for t := range g.triples {
+		ts = append(ts, t)
+	}
+	g.mu.RUnlock()
+	SortTriples(ts)
+	return ts
+}
+
+// AddAll copies every triple of src into g.
+func (g *Graph) AddAll(src *Graph) {
+	for _, t := range src.All() {
+		g.Add(t)
+	}
+}
+
+// Clone returns a deep copy of the graph. The inference pipeline clones the
+// extracted model before saturating it so the FULL_EXT index can still be
+// built from the pre-inference state.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.AddAll(g)
+	return out
+}
+
+// blankCounter makes blank labels unique across every graph in the
+// process, not just within one: per-match models are routinely merged
+// (formal queries, the global-model ablation), and graph-local counters
+// would collide the rule-minted assists of different matches into one node.
+var blankCounter atomic.Int64
+
+// NewBlankNode mints a fresh blank node, used by the rule engine's
+// makeTemp builtin. Labels are unique process-wide.
+func (g *Graph) NewBlankNode() Term {
+	return NewBlank(blankLabel(int(blankCounter.Add(1))))
+}
+
+func blankLabel(id int) string {
+	// Base-10 label with a stable prefix; labels never collide because ids
+	// increase monotonically per graph.
+	const prefix = "b"
+	buf := [20]byte{}
+	i := len(buf)
+	for id > 0 {
+		i--
+		buf[i] = byte('0' + id%10)
+		id /= 10
+	}
+	return prefix + string(buf[i:])
+}
+
+// SortTerms orders terms by kind then value, language and datatype.
+func SortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return lessTerm(ts[i], ts[j]) })
+}
+
+// SortTriples orders triples lexicographically by subject, predicate, object.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return lessTerm(a.S, b.S)
+		}
+		if a.P != b.P {
+			return lessTerm(a.P, b.P)
+		}
+		return lessTerm(a.O, b.O)
+	})
+}
+
+func lessTerm(a, b Term) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	if a.Lang != b.Lang {
+		return a.Lang < b.Lang
+	}
+	return a.Datatype < b.Datatype
+}

@@ -1,0 +1,294 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func soccerIRI(local string) Term { return NewIRI(NSSoccer + local) }
+
+func TestGraphAddHasLen(t *testing.T) {
+	g := NewGraph()
+	tr := NewTriple(soccerIRI("goal1"), RDFType, soccerIRI("Goal"))
+	if !g.Add(tr) {
+		t.Error("first Add returned false")
+	}
+	if g.Add(tr) {
+		t.Error("duplicate Add returned true")
+	}
+	if !g.Has(tr) {
+		t.Error("Has missed added triple")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if !g.HasSPO(tr.S, tr.P, tr.O) {
+		t.Error("HasSPO missed added triple")
+	}
+}
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	a := NewTriple(soccerIRI("e1"), RDFType, soccerIRI("Goal"))
+	b := NewTriple(soccerIRI("e1"), RDFType, soccerIRI("Event"))
+	g.Add(a)
+	g.Add(b)
+	if !g.Remove(a) {
+		t.Error("Remove of present triple returned false")
+	}
+	if g.Remove(a) {
+		t.Error("Remove of absent triple returned true")
+	}
+	if g.Has(a) {
+		t.Error("removed triple still present")
+	}
+	if !g.Has(b) {
+		t.Error("unrelated triple removed")
+	}
+	if got := g.Match(soccerIRI("e1"), Wildcard, Wildcard); len(got) != 1 {
+		t.Errorf("subject index has %d entries after removal, want 1", len(got))
+	}
+	if got := g.Match(Wildcard, Wildcard, soccerIRI("Goal")); len(got) != 0 {
+		t.Errorf("object index has %d entries after removal, want 0", len(got))
+	}
+}
+
+func TestGraphMatchPatterns(t *testing.T) {
+	g := NewGraph()
+	goal := soccerIRI("goal1")
+	foul := soccerIRI("foul1")
+	g.AddSPO(goal, RDFType, soccerIRI("Goal"))
+	g.AddSPO(foul, RDFType, soccerIRI("Foul"))
+	g.AddSPO(goal, soccerIRI("inMinute"), NewInt(10))
+	g.AddSPO(foul, soccerIRI("inMinute"), NewInt(43))
+
+	cases := []struct {
+		name    string
+		s, p, o Term
+		want    int
+	}{
+		{"all wildcards", Wildcard, Wildcard, Wildcard, 4},
+		{"by subject", goal, Wildcard, Wildcard, 2},
+		{"by predicate", Wildcard, RDFType, Wildcard, 2},
+		{"by object", Wildcard, Wildcard, soccerIRI("Goal"), 1},
+		{"s+p", goal, RDFType, Wildcard, 1},
+		{"p+o", Wildcard, RDFType, soccerIRI("Foul"), 1},
+		{"exact", goal, soccerIRI("inMinute"), NewInt(10), 1},
+		{"no match", goal, RDFType, soccerIRI("Foul"), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := g.Match(c.s, c.p, c.o); len(got) != c.want {
+				t.Errorf("Match returned %d triples, want %d", len(got), c.want)
+			}
+		})
+	}
+}
+
+func TestGraphObjectsSubjectsDeterministic(t *testing.T) {
+	g := NewGraph()
+	e := soccerIRI("e1")
+	g.AddSPO(e, RDFType, soccerIRI("Goal"))
+	g.AddSPO(e, RDFType, soccerIRI("Event"))
+	g.AddSPO(e, RDFType, soccerIRI("PositiveEvent"))
+	want := []Term{soccerIRI("Event"), soccerIRI("Goal"), soccerIRI("PositiveEvent")}
+	for i := 0; i < 5; i++ {
+		if got := g.Objects(e, RDFType); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Objects = %v, want %v", got, want)
+		}
+	}
+	subs := g.Subjects(RDFType, soccerIRI("Goal"))
+	if len(subs) != 1 || subs[0] != e {
+		t.Errorf("Subjects = %v", subs)
+	}
+}
+
+func TestGraphObjectsDeduplicated(t *testing.T) {
+	g := NewGraph()
+	e := soccerIRI("e1")
+	// Same object via two predicates should still appear once per predicate query.
+	g.AddSPO(e, soccerIRI("subjectPlayer"), NewLiteral("Messi"))
+	g.AddSPO(e, soccerIRI("scorerPlayer"), NewLiteral("Messi"))
+	if got := g.Objects(e, soccerIRI("subjectPlayer")); len(got) != 1 {
+		t.Errorf("Objects = %v", got)
+	}
+}
+
+func TestFirstObject(t *testing.T) {
+	g := NewGraph()
+	e := soccerIRI("e1")
+	if !g.FirstObject(e, RDFType).IsZero() {
+		t.Error("FirstObject on empty graph not zero")
+	}
+	g.AddSPO(e, soccerIRI("inMinute"), NewInt(7))
+	if got := g.FirstObject(e, soccerIRI("inMinute")); got != NewInt(7) {
+		t.Errorf("FirstObject = %v", got)
+	}
+}
+
+func TestGraphCloneIndependence(t *testing.T) {
+	g := NewGraph()
+	g.AddSPO(soccerIRI("a"), RDFType, soccerIRI("Goal"))
+	c := g.Clone()
+	c.AddSPO(soccerIRI("b"), RDFType, soccerIRI("Foul"))
+	if g.Len() != 1 {
+		t.Errorf("clone write leaked into original: len=%d", g.Len())
+	}
+	if c.Len() != 2 {
+		t.Errorf("clone len = %d, want 2", c.Len())
+	}
+	// Blank node sequences must not collide after cloning.
+	b1 := g.NewBlankNode()
+	b2 := c.NewBlankNode()
+	if b1 != b2 {
+		// Same counter state is fine (they're different graphs), but within a
+		// graph they must be distinct.
+		t.Logf("blank nodes diverge across graphs: %v vs %v", b1, b2)
+	}
+	if g.NewBlankNode() == b1 {
+		t.Error("NewBlankNode repeated a label")
+	}
+}
+
+func TestNewBlankNodeUnique(t *testing.T) {
+	g := NewGraph()
+	seen := make(map[Term]bool)
+	for i := 0; i < 1000; i++ {
+		b := g.NewBlankNode()
+		if seen[b] {
+			t.Fatalf("duplicate blank node %v at iteration %d", b, i)
+		}
+		seen[b] = true
+	}
+}
+
+func TestGraphAddAll(t *testing.T) {
+	a := NewGraph()
+	a.AddSPO(soccerIRI("x"), RDFType, soccerIRI("Goal"))
+	b := NewGraph()
+	b.AddSPO(soccerIRI("y"), RDFType, soccerIRI("Foul"))
+	b.AddAll(a)
+	if b.Len() != 2 {
+		t.Errorf("AddAll result len = %d, want 2", b.Len())
+	}
+}
+
+func TestGraphConcurrentReads(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 100; i++ {
+		g.AddSPO(soccerIRI(fmt.Sprintf("e%d", i)), RDFType, soccerIRI("Event"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if n := len(g.Match(Wildcard, RDFType, soccerIRI("Event"))); n != 100 {
+					t.Errorf("concurrent Match = %d, want 100", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSortTriplesTotalOrder(t *testing.T) {
+	ts := []Triple{
+		{soccerIRI("b"), RDFType, soccerIRI("Goal")},
+		{soccerIRI("a"), RDFType, soccerIRI("Goal")},
+		{soccerIRI("a"), RDFType, soccerIRI("Event")},
+		{soccerIRI("a"), RDFSLabel, NewLiteral("x")},
+	}
+	SortTriples(ts)
+	for i := 1; i < len(ts); i++ {
+		a, b := ts[i-1], ts[i]
+		if a == b {
+			t.Fatalf("duplicate after sort at %d", i)
+		}
+	}
+	if ts[len(ts)-1].S != soccerIRI("b") {
+		t.Errorf("sort order wrong: %v", ts)
+	}
+}
+
+// randomTriple builds a deterministic pseudo-random triple for property tests.
+func randomTriple(r *rand.Rand) Triple {
+	subj := soccerIRI(fmt.Sprintf("s%d", r.Intn(20)))
+	pred := soccerIRI(fmt.Sprintf("p%d", r.Intn(5)))
+	var obj Term
+	switch r.Intn(3) {
+	case 0:
+		obj = soccerIRI(fmt.Sprintf("o%d", r.Intn(20)))
+	case 1:
+		obj = NewInt(r.Intn(90))
+	default:
+		obj = NewLiteral(fmt.Sprintf("lit %d", r.Intn(20)))
+	}
+	return Triple{S: subj, P: pred, O: obj}
+}
+
+// Property: for any set of triples, every index answers Match consistently
+// with a naive scan.
+func TestMatchAgreesWithScanProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		var all []Triple
+		for i := 0; i < int(n%64)+1; i++ {
+			tr := randomTriple(r)
+			if g.Add(tr) {
+				all = append(all, tr)
+			}
+		}
+		probe := randomTriple(r)
+		check := func(s, p, o Term) bool {
+			got := g.Match(s, p, o)
+			want := 0
+			for _, tr := range all {
+				if (s.IsZero() || tr.S == s) && (p.IsZero() || tr.P == p) && (o.IsZero() || tr.O == o) {
+					want++
+				}
+			}
+			return len(got) == want
+		}
+		return check(probe.S, Wildcard, Wildcard) &&
+			check(Wildcard, probe.P, Wildcard) &&
+			check(Wildcard, Wildcard, probe.O) &&
+			check(probe.S, probe.P, Wildcard) &&
+			check(probe.S, probe.P, probe.O) &&
+			check(Wildcard, Wildcard, Wildcard)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add then Remove of a random triple set leaves the graph empty
+// and all indexes clean.
+func TestAddRemoveInverseProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		uniq := make(map[Triple]bool)
+		for i := 0; i < int(n%48)+1; i++ {
+			tr := randomTriple(r)
+			g.Add(tr)
+			uniq[tr] = true
+		}
+		for tr := range uniq {
+			if !g.Remove(tr) {
+				return false
+			}
+		}
+		return g.Len() == 0 && len(g.Match(Wildcard, Wildcard, Wildcard)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// N-Triples support: the line-oriented exchange format. Turtle is the
+// pipeline's native serialization (compact, prefixed); N-Triples is what
+// external triple stores bulk-load, so the system can hand its models to
+// other semantic-web tooling.
+
+// WriteNTriples serializes the graph one triple per line, sorted.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.All() {
+		if _, err := fmt.Fprintln(bw, t.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNTriples parses N-Triples lines into a new graph. Comments (#) and
+// blank lines are skipped.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		g.Add(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: %w", err)
+	}
+	return g, nil
+}
+
+func parseNTripleLine(line string) (Triple, error) {
+	rest := line
+	s, rest, err := readNTTerm(rest)
+	if err != nil {
+		return Triple{}, err
+	}
+	p, rest, err := readNTTerm(rest)
+	if err != nil {
+		return Triple{}, err
+	}
+	o, rest, err := readNTTerm(rest)
+	if err != nil {
+		return Triple{}, err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." {
+		return Triple{}, fmt.Errorf("expected terminating '.', got %q", rest)
+	}
+	if s.IsLiteral() {
+		return Triple{}, fmt.Errorf("literal subject")
+	}
+	if !p.IsIRI() {
+		return Triple{}, fmt.Errorf("non-IRI predicate")
+	}
+	return Triple{S: s, P: p, O: o}, nil
+}
+
+func readNTTerm(s string) (Term, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of line")
+	}
+	switch s[0] {
+	case '<':
+		j := strings.IndexByte(s, '>')
+		if j < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI")
+		}
+		return NewIRI(s[1:j]), s[j+1:], nil
+	case '_':
+		if len(s) < 2 || s[1] != ':' {
+			return Term{}, "", fmt.Errorf("malformed blank node")
+		}
+		j := 2
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		return NewBlank(s[2:j]), s[j:], nil
+	case '"':
+		j := 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return Term{}, "", fmt.Errorf("unterminated literal")
+		}
+		lex := unescapeLiteral(s[1:j])
+		rest := s[j+1:]
+		switch {
+		case strings.HasPrefix(rest, "@"):
+			k := 1
+			for k < len(rest) && rest[k] != ' ' && rest[k] != '\t' {
+				k++
+			}
+			return NewLangLiteral(lex, rest[1:k]), rest[k:], nil
+		case strings.HasPrefix(rest, "^^<"):
+			k := strings.IndexByte(rest, '>')
+			if k < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype")
+			}
+			return NewTypedLiteral(lex, rest[3:k]), rest[k+1:], nil
+		default:
+			return NewLiteral(lex), rest, nil
+		}
+	default:
+		return Term{}, "", fmt.Errorf("unexpected term start %q", s[0])
+	}
+}

@@ -1,0 +1,96 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := NewGraph()
+	goal := soccerIRI("goal_1")
+	g.AddSPO(goal, RDFType, soccerIRI("Goal"))
+	g.AddSPO(goal, soccerIRI("inMinute"), NewInt(10))
+	g.AddSPO(goal, soccerIRI("narration"), NewLiteral(`Eto'o "scores"!`))
+	g.AddSPO(goal, soccerIRI("comment"), NewLangLiteral("gol", "tr"))
+	g.AddSPO(NewBlank("b9"), RDFType, soccerIRI("Assist"))
+
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip %d triples, want %d", back.Len(), g.Len())
+	}
+	for _, tr := range g.All() {
+		if !back.Has(tr) {
+			t.Errorf("lost %v", tr)
+		}
+	}
+}
+
+func TestNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+<http://x/a> <http://x/p> "v" .
+
+<http://x/b> <http://x/p> <http://x/c> .
+`
+	g, err := ReadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestNTriplesErrors(t *testing.T) {
+	cases := []string{
+		`<http://x/a> <http://x/p> "v"`,           // missing dot
+		`<http://x/a> <http://x/p>`,               // missing object
+		`"lit" <http://x/p> <http://x/o> .`,       // literal subject
+		`<http://x/a> "lit" <http://x/o> .`,       // literal predicate
+		`<http://x/a> _:b <http://x/o> .`,         // blank predicate
+		`<http://x/a> <http://x/p> "unclosed .`,   // unterminated literal
+		`<http://x/a <http://x/p> <http://x/o> .`, // malformed IRI
+	}
+	for _, src := range cases {
+		if _, err := ReadNTriples(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestNTriplesRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < int(n%40)+1; i++ {
+			g.Add(randomTriple(r))
+		}
+		var buf bytes.Buffer
+		if WriteNTriples(&buf, g) != nil {
+			return false
+		}
+		back, err := ReadNTriples(&buf)
+		if err != nil || back.Len() != g.Len() {
+			return false
+		}
+		for _, tr := range g.All() {
+			if !back.Has(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

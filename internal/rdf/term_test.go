@@ -1,0 +1,145 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind TermKind
+	}{
+		{"iri", NewIRI(NSSoccer + "Goal"), IRI},
+		{"blank", NewBlank("b1"), Blank},
+		{"plain literal", NewLiteral("hello"), Literal},
+		{"lang literal", NewLangLiteral("gol", "tr"), Literal},
+		{"typed literal", NewTypedLiteral("5", XSDInteger), Literal},
+		{"int literal", NewInt(42), Literal},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind != c.kind {
+				t.Errorf("kind = %v, want %v", c.term.Kind, c.kind)
+			}
+			if c.term.IsZero() {
+				t.Error("constructed term reported IsZero")
+			}
+		})
+	}
+}
+
+func TestTermKindPredicates(t *testing.T) {
+	if !NewIRI("x").IsIRI() || NewIRI("x").IsBlank() || NewIRI("x").IsLiteral() {
+		t.Error("IRI predicates wrong")
+	}
+	if !NewBlank("b").IsBlank() || NewBlank("b").IsIRI() {
+		t.Error("blank predicates wrong")
+	}
+	if !NewLiteral("l").IsLiteral() || NewLiteral("l").IsIRI() {
+		t.Error("literal predicates wrong")
+	}
+}
+
+func TestTermInt(t *testing.T) {
+	if v, ok := NewInt(45).Int(); !ok || v != 45 {
+		t.Errorf("Int() = %d, %v; want 45, true", v, ok)
+	}
+	if _, ok := NewLiteral("abc").Int(); ok {
+		t.Error("non-numeric literal parsed as int")
+	}
+	if _, ok := NewIRI("x").Int(); ok {
+		t.Error("IRI parsed as int")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI(NSSoccer + "Goal"), "Goal"},
+		{NewIRI("http://example.org/path/Player"), "Player"},
+		{NewIRI("urn:noseparator"), "urn:noseparator"},
+		{NewBlank("b7"), "b7"},
+		{NewLiteral("Lionel Messi"), "Lionel Messi"},
+	}
+	for _, c := range cases {
+		if got := c.term.LocalName(); got != c.want {
+			t.Errorf("LocalName(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/y"), "<http://x/y>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("plain"), `"plain"`},
+		{NewLangLiteral("gol", "tr"), `"gol"@tr`},
+		{NewTypedLiteral("7", XSDInteger), `"7"^^<` + XSDInteger + `>`},
+		{NewLiteral(`with "quotes" and \slash`), `"with \"quotes\" and \\slash"`},
+		{NewLiteral("line\nbreak"), `"line\nbreak"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermComparability(t *testing.T) {
+	a := NewIRI(NSSoccer + "Goal")
+	b := NewIRI(NSSoccer + "Goal")
+	if a != b {
+		t.Error("identical IRIs compare unequal")
+	}
+	m := map[Term]int{a: 1}
+	if m[b] != 1 {
+		t.Error("term does not work as map key")
+	}
+	if NewLiteral("x") == NewLangLiteral("x", "en") {
+		t.Error("plain and lang literal compare equal")
+	}
+}
+
+func TestExpandQName(t *testing.T) {
+	if got, ok := ExpandQName("pre:Goal"); !ok || got != NSSoccer+"Goal" {
+		t.Errorf("ExpandQName(pre:Goal) = %q, %v", got, ok)
+	}
+	if got, ok := ExpandQName("rdf:type"); !ok || got != NSRDF+"type" {
+		t.Errorf("ExpandQName(rdf:type) = %q, %v", got, ok)
+	}
+	if _, ok := ExpandQName("nope:X"); ok {
+		t.Error("unknown prefix expanded")
+	}
+	if _, ok := ExpandQName("nocolon"); ok {
+		t.Error("name without colon expanded")
+	}
+}
+
+func TestCompactIRI(t *testing.T) {
+	if got := CompactIRI(NSSoccer + "Goal"); got != "pre:Goal" {
+		t.Errorf("CompactIRI = %q, want pre:Goal", got)
+	}
+	if got := CompactIRI("http://unknown.example/x"); got != "<http://unknown.example/x>" {
+		t.Errorf("CompactIRI = %q", got)
+	}
+	// A local part with characters outside the safe set must fall back to <>.
+	if got := CompactIRI(NSSoccer + "a b"); got != "<"+NSSoccer+"a b>" {
+		t.Errorf("CompactIRI with space = %q", got)
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		return unescapeLiteral(escapeLiteral(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

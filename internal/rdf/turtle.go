@@ -1,0 +1,415 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the Turtle-subset serialization the pipeline uses to
+// persist per-match models, standing in for the paper's per-game OWL files.
+//
+// The subset is: @prefix directives, one triple per statement terminated by
+// ".", prefixed names, <absolute IRIs>, _:blank nodes, and literals with
+// optional @lang or ^^datatype. Multi-predicate ";" and multi-object ","
+// abbreviations are produced by the writer and accepted by the reader.
+
+// WriteTurtle serializes the graph. Output is deterministic: prefixes and
+// triples are sorted, so round-tripping a model yields byte-identical files,
+// which the snapshot tests rely on.
+func WriteTurtle(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+
+	prefixes := make([]string, 0, len(Prefixes))
+	for p := range Prefixes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		if _, err := fmt.Fprintf(bw, "@prefix %s: <%s> .\n", p, Prefixes[p]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+
+	triples := g.All()
+	var prevSubj Term
+	open := false
+	for i, t := range triples {
+		if t.S != prevSubj {
+			if open {
+				if _, err := fmt.Fprintln(bw, " ."); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%s %s %s", turtleTerm(t.S), turtleTerm(t.P), turtleTerm(t.O)); err != nil {
+				return err
+			}
+			prevSubj = t.S
+			open = true
+			continue
+		}
+		if t.P == triples[i-1].P {
+			if _, err := fmt.Fprintf(bw, ", %s", turtleTerm(t.O)); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(bw, " ;\n    %s %s", turtleTerm(t.P), turtleTerm(t.O)); err != nil {
+				return err
+			}
+		}
+	}
+	if open {
+		if _, err := fmt.Fprintln(bw, " ."); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func turtleTerm(t Term) string {
+	switch t.Kind {
+	case IRI:
+		return CompactIRI(t.Value)
+	case Blank:
+		return "_:" + t.Value
+	default:
+		return t.String()
+	}
+}
+
+// ReadTurtle parses the subset produced by WriteTurtle (plus simple
+// hand-written files) into a new graph.
+func ReadTurtle(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	p := &turtleParser{
+		scan:     bufio.NewScanner(r),
+		prefixes: make(map[string]string),
+	}
+	for k, v := range Prefixes {
+		p.prefixes[k] = v
+	}
+	p.scan.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if err := p.parseInto(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type turtleParser struct {
+	scan     *bufio.Scanner
+	prefixes map[string]string
+	line     int
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) parseInto(g *Graph) error {
+	// Statements can span lines (the writer emits ";"-continued blocks), so
+	// accumulate until a terminating "." outside a literal.
+	var stmt strings.Builder
+	for p.scan.Scan() {
+		p.line++
+		line := strings.TrimSpace(p.scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "@prefix") {
+			if err := p.parsePrefix(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if stmt.Len() > 0 {
+			stmt.WriteByte(' ')
+		}
+		stmt.WriteString(line)
+		if endsStatement(line) {
+			if err := p.parseStatement(strings.TrimSpace(stmt.String()), g); err != nil {
+				return err
+			}
+			stmt.Reset()
+		}
+	}
+	if err := p.scan.Err(); err != nil {
+		return fmt.Errorf("turtle: %w", err)
+	}
+	if stmt.Len() > 0 {
+		return p.errf("unterminated statement %q", stmt.String())
+	}
+	return nil
+}
+
+// endsStatement reports whether a line ends with a statement-terminating
+// "." that is not inside a quoted literal.
+func endsStatement(line string) bool {
+	inString := false
+	escaped := false
+	last := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inString {
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inString = false
+			}
+			continue
+		}
+		if c == '"' {
+			inString = true
+		}
+		if c != ' ' && c != '\t' {
+			last = c
+		}
+	}
+	return !inString && last == '.'
+}
+
+func (p *turtleParser) parsePrefix(line string) error {
+	// @prefix pre: <http://...> .
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "@prefix"))
+	rest = strings.TrimSuffix(strings.TrimSpace(rest), ".")
+	rest = strings.TrimSpace(rest)
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return p.errf("malformed @prefix %q", line)
+	}
+	name := strings.TrimSpace(rest[:colon])
+	iri := strings.TrimSpace(rest[colon+1:])
+	if !strings.HasPrefix(iri, "<") || !strings.HasSuffix(iri, ">") {
+		return p.errf("malformed prefix IRI %q", iri)
+	}
+	p.prefixes[name] = iri[1 : len(iri)-1]
+	return nil
+}
+
+func (p *turtleParser) parseStatement(stmt string, g *Graph) error {
+	toks, err := tokenizeTurtle(stmt)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	if toks[len(toks)-1] != "." {
+		return p.errf("statement missing terminating '.': %q", stmt)
+	}
+	toks = toks[:len(toks)-1]
+	if len(toks) < 3 {
+		return p.errf("short statement %q", stmt)
+	}
+	subj, err := p.resolveTerm(toks[0])
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	i := 1
+	for i < len(toks) {
+		pred, err := p.resolveTerm(toks[i])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		i++
+		for {
+			if i >= len(toks) {
+				return p.errf("predicate %s has no object", pred)
+			}
+			obj, err := p.resolveTerm(toks[i])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			g.Add(Triple{S: subj, P: pred, O: obj})
+			i++
+			if i < len(toks) && toks[i] == "," {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(toks) {
+			if toks[i] != ";" {
+				return p.errf("expected ';' or ',' before %q", toks[i])
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// tokenizeTurtle splits a statement into IRIs, prefixed names, blank nodes,
+// literals (kept as single tokens including @lang / ^^type suffixes) and the
+// punctuation tokens ".", ";" and ",".
+func tokenizeTurtle(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '.' || c == ';' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated IRI in %q", s)
+			}
+			toks = append(toks, s[i:i+j+1])
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(s) {
+				if s[j] == '\\' {
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated literal in %q", s)
+			}
+			j++ // past closing quote
+			// Attach @lang or ^^<type> / ^^qname suffix.
+			if j < len(s) && s[j] == '@' {
+				k := j + 1
+				for k < len(s) && s[k] != ' ' && s[k] != '\t' && s[k] != ';' && s[k] != ',' && s[k] != '.' {
+					k++
+				}
+				j = k
+			} else if j+1 < len(s) && s[j] == '^' && s[j+1] == '^' {
+				k := j + 2
+				if k < len(s) && s[k] == '<' {
+					m := strings.IndexByte(s[k:], '>')
+					if m < 0 {
+						return nil, fmt.Errorf("unterminated datatype IRI in %q", s)
+					}
+					k += m + 1
+				} else {
+					for k < len(s) && s[k] != ' ' && s[k] != '\t' && s[k] != ';' && s[k] != ',' {
+						k++
+					}
+				}
+				j = k
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != ';' && s[j] != ',' {
+				j++
+			}
+			tok := s[i:j]
+			// A trailing "." terminates the statement unless it is part of a
+			// number or an internal dot of a local name (e.g. minute "45").
+			if strings.HasSuffix(tok, ".") && tok != "." {
+				toks = append(toks, tok[:len(tok)-1], ".")
+			} else {
+				toks = append(toks, tok)
+			}
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func (p *turtleParser) resolveTerm(tok string) (Term, error) {
+	switch {
+	case tok == "a":
+		return RDFType, nil
+	case strings.HasPrefix(tok, "<"):
+		return NewIRI(tok[1 : len(tok)-1]), nil
+	case strings.HasPrefix(tok, "_:"):
+		return NewBlank(tok[2:]), nil
+	case strings.HasPrefix(tok, `"`):
+		return parseLiteralToken(tok, p.prefixes)
+	default:
+		colon := strings.IndexByte(tok, ':')
+		if colon < 0 {
+			return Term{}, fmt.Errorf("unrecognized term %q", tok)
+		}
+		ns, ok := p.prefixes[tok[:colon]]
+		if !ok {
+			return Term{}, fmt.Errorf("unknown prefix in %q", tok)
+		}
+		return NewIRI(ns + tok[colon+1:]), nil
+	}
+}
+
+func parseLiteralToken(tok string, prefixes map[string]string) (Term, error) {
+	// Find the closing quote, honoring escapes.
+	j := 1
+	for j < len(tok) {
+		if tok[j] == '\\' {
+			j += 2
+			continue
+		}
+		if tok[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(tok) {
+		return Term{}, fmt.Errorf("unterminated literal %q", tok)
+	}
+	lex := unescapeLiteral(tok[1:j])
+	rest := tok[j+1:]
+	switch {
+	case rest == "":
+		return NewLiteral(lex), nil
+	case strings.HasPrefix(rest, "@"):
+		return NewLangLiteral(lex, rest[1:]), nil
+	case strings.HasPrefix(rest, "^^<"):
+		return NewTypedLiteral(lex, rest[3:len(rest)-1]), nil
+	case strings.HasPrefix(rest, "^^"):
+		q := rest[2:]
+		colon := strings.IndexByte(q, ':')
+		if colon < 0 {
+			return Term{}, fmt.Errorf("bad datatype in %q", tok)
+		}
+		ns, ok := prefixes[q[:colon]]
+		if !ok {
+			return Term{}, fmt.Errorf("unknown datatype prefix in %q", tok)
+		}
+		return NewTypedLiteral(lex, ns+q[colon+1:]), nil
+	default:
+		return Term{}, fmt.Errorf("trailing garbage after literal %q", tok)
+	}
+}
+
+func unescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

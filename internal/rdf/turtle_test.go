@@ -1,0 +1,174 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTurtleWriteReadRoundTrip(t *testing.T) {
+	g := NewGraph()
+	goal := soccerIRI("goal_1")
+	g.AddSPO(goal, RDFType, soccerIRI("Goal"))
+	g.AddSPO(goal, soccerIRI("inMinute"), NewInt(10))
+	g.AddSPO(goal, soccerIRI("scorerPlayer"), NewLiteral("Samuel Eto'o"))
+	g.AddSPO(goal, soccerIRI("narration"), NewLangLiteral("Eto'o gol attı!", "tr"))
+	g.AddSPO(goal, soccerIRI("inMatch"), NewIRI("http://other.example/match/1"))
+	g.AddSPO(NewBlank("b1"), RDFType, soccerIRI("Assist"))
+
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, g); err != nil {
+		t.Fatalf("WriteTurtle: %v", err)
+	}
+	got, err := ReadTurtle(&buf)
+	if err != nil {
+		t.Fatalf("ReadTurtle: %v\noutput was:\n%s", err, buf.String())
+	}
+	if got.Len() != g.Len() {
+		t.Fatalf("round trip len = %d, want %d\noutput:\n%s", got.Len(), g.Len(), buf.String())
+	}
+	for _, tr := range g.All() {
+		if !got.Has(tr) {
+			t.Errorf("round trip lost triple %v", tr)
+		}
+	}
+}
+
+func TestTurtleWriteDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		for i := 0; i < 20; i++ {
+			g.AddSPO(soccerIRI(fmt.Sprintf("e%d", i)), RDFType, soccerIRI("Event"))
+			g.AddSPO(soccerIRI(fmt.Sprintf("e%d", i)), soccerIRI("inMinute"), NewInt(i))
+		}
+		return g
+	}
+	var a, b bytes.Buffer
+	if err := WriteTurtle(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTurtle(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteTurtle output not deterministic")
+	}
+}
+
+func TestTurtleReadHandWritten(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+# a comment
+ex:goal1 a pre:Goal ;
+    pre:inMinute "10"^^xsd:integer ;
+    pre:scorerPlayer "Eto'o", "Messi" .
+<http://example.org/foul1> rdf:type pre:Foul .
+_:b1 pre:narration "He \"scores\"!"@en .
+`
+	g, err := ReadTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadTurtle: %v", err)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("len = %d, want 6; triples: %v", g.Len(), g.All())
+	}
+	if !g.HasSPO(NewIRI("http://example.org/goal1"), RDFType, soccerIRI("Goal")) {
+		t.Error("missing 'a' triple with custom prefix")
+	}
+	if !g.HasSPO(NewIRI("http://example.org/goal1"), soccerIRI("inMinute"), NewTypedLiteral("10", XSDInteger)) {
+		t.Error("missing typed literal triple")
+	}
+	if !g.HasSPO(NewIRI("http://example.org/goal1"), soccerIRI("scorerPlayer"), NewLiteral("Messi")) {
+		t.Error("missing comma-separated second object")
+	}
+	if !g.HasSPO(NewBlank("b1"), soccerIRI("narration"), NewLangLiteral(`He "scores"!`, "en")) {
+		t.Error("missing escaped lang literal")
+	}
+}
+
+func TestTurtleReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown prefix", `nope:x rdf:type pre:Goal .`},
+		{"unterminated IRI", `<http://x rdf:type pre:Goal .`},
+		{"unterminated statement", `pre:x rdf:type pre:Goal`},
+		{"missing object", `pre:x rdf:type .`},
+		{"bare word", `pre:x rdf:type goal .`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadTurtle(strings.NewReader(c.src)); err == nil {
+				t.Errorf("ReadTurtle accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestEndsStatement(t *testing.T) {
+	cases := []struct {
+		line string
+		want bool
+	}{
+		{`pre:x rdf:type pre:Goal .`, true},
+		{`pre:x pre:narration "ends with . inside" ;`, false},
+		{`pre:x pre:narration "dot . inside" .`, true},
+		{`pre:x pre:v "unterminated .`, false},
+		{`pre:x pre:v "escaped \" quote" .`, true},
+	}
+	for _, c := range cases {
+		if got := endsStatement(c.line); got != c.want {
+			t.Errorf("endsStatement(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+// Property: any randomly built graph round-trips through Turtle losslessly.
+func TestTurtleRoundTripProperty(t *testing.T) {
+	narrations := []string{
+		"Eto'o scores!",
+		`a "quoted" narration`,
+		"tab\tand newline\n inside",
+		"minute 45. and beyond",
+		"ends with a period.",
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < int(n%40)+1; i++ {
+			tr := randomTriple(r)
+			g.Add(tr)
+		}
+		// Sprinkle in hostile literals.
+		for i, s := range narrations {
+			g.AddSPO(soccerIRI(fmt.Sprintf("n%d", i)), soccerIRI("narration"), NewLiteral(s))
+		}
+		var buf bytes.Buffer
+		if err := WriteTurtle(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadTurtle(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("parse error: %v\n%s", err, buf.String())
+			return false
+		}
+		if got.Len() != g.Len() {
+			t.Logf("len %d != %d\n%s", got.Len(), g.Len(), buf.String())
+			return false
+		}
+		for _, tr := range g.All() {
+			if !got.Has(tr) {
+				t.Logf("lost %v", tr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

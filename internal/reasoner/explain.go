@@ -1,0 +1,126 @@
+package reasoner
+
+import (
+	"fmt"
+
+	"repro/internal/owl"
+	"repro/internal/rdf"
+)
+
+// Explanation describes how one triple entered the materialized model.
+type Explanation struct {
+	// Triple is the derived statement.
+	Triple rdf.Triple
+	// Rule names the inference pattern: "asserted", "subClassOf",
+	// "subPropertyOf", "domain", "range" or "allValuesFrom".
+	Rule string
+	// Premises are the triples the step consumed.
+	Premises []rdf.Triple
+	// Axiom renders the schema axiom used, e.g. "HeaderGoal ⊑ Goal".
+	Axiom string
+}
+
+// String renders the explanation for humans.
+func (e Explanation) String() string {
+	s := fmt.Sprintf("%v  [%s", e.Triple, e.Rule)
+	if e.Axiom != "" {
+		s += ": " + e.Axiom
+	}
+	return s + "]"
+}
+
+// MaterializeExplained is Materialize with a derivation record: the second
+// return value explains every triple of the output that was not asserted
+// in the input. It exists for the "why is this in my results?" question a
+// knowledge-base operator asks when an inferred index surprises them.
+func (r *Reasoner) MaterializeExplained(m *owl.Model) (*owl.Model, map[rdf.Triple]Explanation) {
+	out := m.Clone()
+	g := out.Graph
+	expl := map[rdf.Triple]Explanation{}
+	record := func(t rdf.Triple, rule, axiom string, premises ...rdf.Triple) bool {
+		if !g.Add(t) {
+			return false
+		}
+		expl[t] = Explanation{Triple: t, Rule: rule, Axiom: axiom, Premises: premises}
+		return true
+	}
+	for {
+		added := false
+		for _, t := range g.Match(rdf.Wildcard, rdf.RDFType, rdf.Wildcard) {
+			for _, anc := range r.classAnc[t.O] {
+				axiom := fmt.Sprintf("%s ⊑ %s", t.O.LocalName(), anc.LocalName())
+				if record(rdf.Triple{S: t.S, P: rdf.RDFType, O: anc}, "subClassOf", axiom, t) {
+					added = true
+				}
+			}
+		}
+		for _, p := range r.ont.Properties() {
+			for _, t := range g.Match(rdf.Wildcard, p.IRI, rdf.Wildcard) {
+				for _, anc := range r.propAnc[p.IRI] {
+					axiom := fmt.Sprintf("%s ⊑ %s", p.IRI.LocalName(), anc.LocalName())
+					if record(rdf.Triple{S: t.S, P: anc, O: t.O}, "subPropertyOf", axiom, t) {
+						added = true
+					}
+				}
+				if !p.Domain.IsZero() {
+					axiom := fmt.Sprintf("domain(%s) = %s", p.IRI.LocalName(), p.Domain.LocalName())
+					if record(rdf.Triple{S: t.S, P: rdf.RDFType, O: p.Domain}, "domain", axiom, t) {
+						added = true
+					}
+				}
+				if p.Kind == owl.ObjectProperty && !p.Range.IsZero() && !t.O.IsLiteral() {
+					axiom := fmt.Sprintf("range(%s) = %s", p.IRI.LocalName(), p.Range.LocalName())
+					if record(rdf.Triple{S: t.O, P: rdf.RDFType, O: p.Range}, "range", axiom, t) {
+						added = true
+					}
+				}
+			}
+		}
+		for _, rest := range r.ont.Restrictions() {
+			if rest.Kind != owl.AllValuesFrom {
+				continue
+			}
+			for _, ti := range g.Match(rdf.Wildcard, rdf.RDFType, rest.OnClass) {
+				for _, tv := range g.Match(ti.S, rest.OnProperty, rdf.Wildcard) {
+					if tv.O.IsLiteral() {
+						continue
+					}
+					axiom := fmt.Sprintf("%s ⊑ ∀%s.%s",
+						rest.OnClass.LocalName(), rest.OnProperty.LocalName(), rest.Filler.LocalName())
+					if record(rdf.Triple{S: tv.O, P: rdf.RDFType, O: rest.Filler}, "allValuesFrom", axiom, ti, tv) {
+						added = true
+					}
+				}
+			}
+		}
+		if !added {
+			return out, expl
+		}
+	}
+}
+
+// ExplainChain walks an explanation back to asserted triples, returning the
+// full derivation as a list ordered from conclusion to axioms. Triples with
+// no explanation are asserted facts and terminate branches.
+func ExplainChain(expl map[rdf.Triple]Explanation, t rdf.Triple) []Explanation {
+	var out []Explanation
+	seen := map[rdf.Triple]bool{}
+	var walk func(rdf.Triple)
+	walk = func(cur rdf.Triple) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		e, ok := expl[cur]
+		if !ok {
+			out = append(out, Explanation{Triple: cur, Rule: "asserted"})
+			return
+		}
+		out = append(out, e)
+		for _, p := range e.Premises {
+			walk(p)
+		}
+	}
+	walk(t)
+	return out
+}

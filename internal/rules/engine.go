@@ -1,0 +1,282 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Engine evaluates a rule set over RDF graphs by forward chaining to a
+// fixpoint.
+//
+// Evaluation order within a rule body differs from Jena in one deliberate
+// way: triple patterns are joined first (in source order) and guard builtins
+// (noValue and the comparisons) are checked once the bindings are complete.
+// The paper's assist rule (Fig. 6) lists noValue first with an unbound
+// variable, where literal in-order evaluation would make the guard global
+// rather than per-binding; deferring guards yields the per-binding reading
+// the rule obviously intends.
+type Engine struct {
+	rules []*Rule
+	// fired memoizes rule firings by canonical binding so that rules with
+	// makeTemp create exactly one temp node per distinct match, matching
+	// Jena's forward engine.
+	fired map[string]bool
+	// derived records rule provenance for every asserted triple; the
+	// semantic indexer reads it to fill the FromRules field of Table 2.
+	derived map[rdf.Triple]string
+}
+
+// NewEngine returns an engine over the given rules. Each rule must validate.
+func NewEngine(rs []*Rule) *Engine {
+	for _, r := range rs {
+		if err := r.Validate(); err != nil {
+			panic("rules: " + err.Error())
+		}
+	}
+	return &Engine{rules: rs}
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() []*Rule { return e.rules }
+
+// Run saturates the graph under the rule set and returns the number of
+// triples added. Derivation provenance is reset per call and readable via
+// Derived afterwards.
+func (e *Engine) Run(g *rdf.Graph) int {
+	e.fired = make(map[string]bool)
+	e.derived = make(map[rdf.Triple]string)
+	total := 0
+	for {
+		added := 0
+		for _, r := range e.rules {
+			added += e.applyRule(g, r)
+		}
+		total += added
+		if added == 0 {
+			return total
+		}
+	}
+}
+
+// Derived returns rule-name provenance for the triples asserted by the last
+// Run call.
+func (e *Engine) Derived() map[rdf.Triple]string { return e.derived }
+
+type binding map[string]rdf.Term
+
+func (b binding) resolve(n Node) rdf.Term {
+	if n.IsVar() {
+		return b[n.Var] // zero Term (wildcard) when unbound
+	}
+	return n.Term
+}
+
+func (e *Engine) applyRule(g *rdf.Graph, r *Rule) int {
+	var patterns []*Pattern
+	var guards []*Builtin
+	var temps []string
+	for _, item := range r.Body {
+		switch {
+		case item.Pattern != nil:
+			patterns = append(patterns, item.Pattern)
+		case item.Builtin.Name == "makeTemp":
+			temps = append(temps, item.Builtin.Args[0].Var)
+		default:
+			guards = append(guards, item.Builtin)
+		}
+	}
+
+	// Enumerate every complete binding first, then assert: asserting while
+	// joining would let a rule observe its own conclusions mid-pass.
+	var matches []binding
+	e.join(g, patterns, binding{}, &matches)
+
+	added := 0
+	for _, b := range matches {
+		if !e.checkGuards(g, guards, b) {
+			continue
+		}
+		key := r.Name + "\x00" + canonicalBinding(b)
+		if e.fired[key] {
+			continue
+		}
+		e.fired[key] = true
+		if len(temps) > 0 && tempFiringExists(g, r, temps, b) {
+			// A previous run already minted a node for this match; re-firing
+			// would duplicate it. This keeps makeTemp rules idempotent across
+			// engine runs, not just within one.
+			continue
+		}
+		for _, v := range temps {
+			b[v] = g.NewBlankNode()
+		}
+		for _, h := range r.Head {
+			t := rdf.Triple{S: b.resolve(h.S), P: b.resolve(h.P), O: b.resolve(h.O)}
+			if g.Add(t) {
+				e.derived[t] = r.Name
+				added++
+			}
+		}
+	}
+	return added
+}
+
+func (e *Engine) join(g *rdf.Graph, pats []*Pattern, b binding, out *[]binding) {
+	if len(pats) == 0 {
+		cp := make(binding, len(b))
+		for k, v := range b {
+			cp[k] = v
+		}
+		*out = append(*out, cp)
+		return
+	}
+	p := pats[0]
+	s, pr, o := b.resolve(p.S), b.resolve(p.P), b.resolve(p.O)
+	for _, t := range g.Match(s, pr, o) {
+		undo := bindPattern(b, p, t)
+		if undo == nil {
+			continue // conflicting repeated variable
+		}
+		e.join(g, pats[1:], b, out)
+		for _, k := range undo {
+			delete(b, k)
+		}
+	}
+}
+
+// bindPattern extends b with the variable bindings implied by matching p
+// against t. It returns the list of newly bound variables, or nil when a
+// repeated variable conflicts (e.g. (?x p ?x) against s != o).
+func bindPattern(b binding, p *Pattern, t rdf.Triple) []string {
+	var bound []string
+	try := func(n Node, val rdf.Term) bool {
+		if !n.IsVar() {
+			return true
+		}
+		if cur, ok := b[n.Var]; ok {
+			return cur == val
+		}
+		b[n.Var] = val
+		bound = append(bound, n.Var)
+		return true
+	}
+	if try(p.S, t.S) && try(p.P, t.P) && try(p.O, t.O) {
+		return ensureNonNil(bound)
+	}
+	for _, k := range bound {
+		delete(b, k)
+	}
+	return nil
+}
+
+func ensureNonNil(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}
+
+// tempFiringExists reports whether some existing node could have been the
+// temp of an earlier firing with the same bindings: a node t such that every
+// head triple holds with the temp variable bound to t (head triples not
+// mentioning the temp must hold outright). Only the single-temp case is
+// recognized; rules with several temps fall back to the per-run memo.
+func tempFiringExists(g *rdf.Graph, r *Rule, temps []string, b binding) bool {
+	if len(temps) != 1 {
+		return false
+	}
+	v := temps[0]
+	mentions := func(p Pattern) bool {
+		return p.S.Var == v || p.P.Var == v || p.O.Var == v
+	}
+	// Candidates come from the first head pattern mentioning the temp.
+	var candidates []rdf.Term
+	var anchor *Pattern
+	for i := range r.Head {
+		if mentions(r.Head[i]) {
+			anchor = &r.Head[i]
+			break
+		}
+	}
+	if anchor == nil {
+		return false
+	}
+	s, p, o := b.resolve(anchor.S), b.resolve(anchor.P), b.resolve(anchor.O)
+	for _, t := range g.Match(s, p, o) {
+		switch {
+		case anchor.S.Var == v:
+			candidates = append(candidates, t.S)
+		case anchor.P.Var == v:
+			candidates = append(candidates, t.P)
+		default:
+			candidates = append(candidates, t.O)
+		}
+	}
+next:
+	for _, c := range candidates {
+		for _, h := range r.Head {
+			res := func(n Node) rdf.Term {
+				if n.Var == v {
+					return c
+				}
+				return b.resolve(n)
+			}
+			if !g.HasSPO(res(h.S), res(h.P), res(h.O)) {
+				continue next
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (e *Engine) checkGuards(g *rdf.Graph, guards []*Builtin, b binding) bool {
+	for _, gd := range guards {
+		switch gd.Name {
+		case "noValue":
+			s, p, o := b.resolve(gd.Args[0]), b.resolve(gd.Args[1]), b.resolve(gd.Args[2])
+			if len(g.Match(s, p, o)) > 0 {
+				return false
+			}
+		case "equal":
+			if b.resolve(gd.Args[0]) != b.resolve(gd.Args[1]) {
+				return false
+			}
+		case "notEqual":
+			if b.resolve(gd.Args[0]) == b.resolve(gd.Args[1]) {
+				return false
+			}
+		case "lessThan", "greaterThan":
+			a, okA := b.resolve(gd.Args[0]).Int()
+			c, okC := b.resolve(gd.Args[1]).Int()
+			if !okA || !okC {
+				return false
+			}
+			if gd.Name == "lessThan" && !(a < c) {
+				return false
+			}
+			if gd.Name == "greaterThan" && !(a > c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func canonicalBinding(b binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(b[k].String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

@@ -1,0 +1,284 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse reads a rule set in Jena text syntax. Rules may be wrapped in
+// brackets with an optional "name:" prefix, exactly as in the paper's
+// Fig. 6:
+//
+//	[assistRule:
+//	  noValue(?pass rdf:type pre:Assist)
+//	  (?pass rdf:type pre:Pass)
+//	  (?pass pre:passingPlayer ?passer)
+//	  ...
+//	  makeTemp(?tmp)
+//	  -> (?tmp rdf:type pre:Assist) ...
+//	]
+//
+// '#' and '//' start comments. Prefixed names resolve against rdf.Prefixes.
+func Parse(src string) ([]*Rule, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &ruleParser{toks: toks}
+	var out []*Rule
+	for !p.eof() {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MustParse is Parse panicking on error, for rule sets embedded in source.
+func MustParse(src string) []*Rule {
+	rs, err := Parse(src)
+	if err != nil {
+		panic("rules: " + err.Error())
+	}
+	return rs
+}
+
+type token struct {
+	kind string // "(", ")", "[", "]", "->", "ident", "var", "literal"
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ',':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')' || c == '[' || c == ']':
+			toks = append(toks, token{kind: string(c), line: line})
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{kind: "->", line: line})
+			i += 2
+		case c == '?':
+			j := i + 1
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("rules: line %d: bare '?'", line)
+			}
+			toks = append(toks, token{kind: "var", text: src[i+1 : j], line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("rules: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{kind: "literal", text: src[i+1 : j], line: line})
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || src[j] == ':') {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("rules: line %d: unexpected character %q", line, c)
+			}
+			toks = append(toks, token{kind: "ident", text: src[i:j], line: line})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.'
+}
+
+type ruleParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *ruleParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *ruleParser) peek() token {
+	if p.eof() {
+		return token{kind: "eof"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *ruleParser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *ruleParser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("rules: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *ruleParser) parseRule() (*Rule, error) {
+	bracketed := false
+	if p.peek().kind == "[" {
+		p.next()
+		bracketed = true
+	}
+	r := &Rule{}
+	// Optional "name:" — an ident ending with ':' right after '['.
+	if t := p.peek(); bracketed && t.kind == "ident" && strings.HasSuffix(t.text, ":") {
+		r.Name = strings.TrimSuffix(t.text, ":")
+		p.next()
+	}
+	// Body until "->".
+	for {
+		t := p.peek()
+		switch t.kind {
+		case "->":
+			p.next()
+			goto head
+		case "(":
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, BodyItem{Pattern: pat})
+		case "ident":
+			b, err := p.parseBuiltin()
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, BodyItem{Builtin: b})
+		default:
+			return nil, p.errf(t, "expected pattern, builtin or '->', got %q", t.kind)
+		}
+	}
+head:
+	for {
+		t := p.peek()
+		if t.kind == "(" {
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			r.Head = append(r.Head, *pat)
+			continue
+		}
+		break
+	}
+	if bracketed {
+		if t := p.next(); t.kind != "]" {
+			return nil, p.errf(t, "expected ']' after rule head, got %q", t.kind)
+		}
+	}
+	return r, nil
+}
+
+func (p *ruleParser) parsePattern() (*Pattern, error) {
+	if t := p.next(); t.kind != "(" {
+		return nil, p.errf(t, "expected '('")
+	}
+	s, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	pr, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	o, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != ")" {
+		return nil, p.errf(t, "expected ')' after triple pattern")
+	}
+	return &Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *ruleParser) parseBuiltin() (*Builtin, error) {
+	name := p.next()
+	b := &Builtin{Name: name.text}
+	if t := p.next(); t.kind != "(" {
+		return nil, p.errf(t, "expected '(' after builtin %s", b.Name)
+	}
+	for p.peek().kind != ")" {
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		b.Args = append(b.Args, n)
+	}
+	p.next() // ')'
+	return b, nil
+}
+
+func (p *ruleParser) parseNode() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case "var":
+		return Node{Var: t.text}, nil
+	case "literal":
+		return Node{Term: rdf.NewLiteral(t.text)}, nil
+	case "ident":
+		if isInteger(t.text) {
+			return Node{Term: rdf.NewTypedLiteral(t.text, rdf.XSDInteger)}, nil
+		}
+		if iri, ok := rdf.ExpandQName(t.text); ok {
+			return Node{Term: rdf.NewIRI(iri)}, nil
+		}
+		return Node{}, p.errf(t, "cannot resolve term %q", t.text)
+	default:
+		return Node{}, p.errf(t, "expected node, got %q", t.kind)
+	}
+}
+
+func isInteger(s string) bool {
+	if s == "" {
+		return false
+	}
+	start := 0
+	if s[0] == '-' {
+		if len(s) == 1 {
+			return false
+		}
+		start = 1
+	}
+	for i := start; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,414 @@
+package semindex
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/crawler"
+	"repro/internal/ie"
+	"repro/internal/index"
+	"repro/internal/inference"
+	"repro/internal/owl"
+	"repro/internal/populate"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/rules"
+	"repro/internal/soccer"
+)
+
+// Level selects how much semantic processing goes into an index, matching
+// the evaluation ladder of Section 4.
+type Level string
+
+// The five index levels.
+const (
+	Trad     Level = "TRAD"
+	BasicExt Level = "BASIC_EXT"
+	FullExt  Level = "FULL_EXT"
+	FullInf  Level = "FULL_INF"
+	PhrExp   Level = "PHR_EXP"
+)
+
+// Levels lists all levels in evaluation order.
+var Levels = []Level{Trad, BasicExt, FullExt, FullInf, PhrExp}
+
+// SemanticIndex is a built index of one level.
+type SemanticIndex struct {
+	Level Level
+	Index *index.Index
+}
+
+// Builder constructs semantic indices from crawled pages. The zero value
+// is not usable; construct with NewBuilder.
+type Builder struct {
+	Ontology *owl.Ontology
+	Reasoner *reasoner.Reasoner
+	Rules    []*rules.Rule
+	// Analyzer overrides the index analyzer (nil = StandardAnalyzer), used
+	// by the stemming ablation.
+	Analyzer index.Analyzer
+	// DisableNarrationField drops the full-text field, for the recall-floor
+	// ablation.
+	DisableNarrationField bool
+	// EventTranslations maps ontology class local names to a second-language
+	// value appended next to the original in the event field — the paper's
+	// Section 7 multilinguality recipe ("as easy as adding the translated
+	// value next to its original value for each field").
+	EventTranslations map[string]string
+	// Parallelism bounds the worker pool preparing per-match documents
+	// (extraction, population and inference are independent per game —
+	// the same property that makes the paper's per-match models scale).
+	// 0 means GOMAXPROCS capped at 8; 1 disables concurrency.
+	Parallelism int
+}
+
+// NewBuilder wires the default soccer pipeline.
+func NewBuilder() *Builder {
+	ont := soccer.BuildOntology()
+	return &Builder{
+		Ontology: ont,
+		Reasoner: reasoner.New(ont),
+		Rules:    soccer.Rules(),
+	}
+}
+
+// Build constructs the index at the given level from crawled match pages.
+// Per-match document preparation (extraction, population, inference) runs
+// on a worker pool; documents are committed to the index in page order so
+// docIDs — and therefore search tie-breaks — stay deterministic.
+func (b *Builder) Build(level Level, pages []*crawler.MatchPage) *SemanticIndex {
+	ix := index.New(b.Analyzer)
+	si := &SemanticIndex{Level: level, Index: ix}
+
+	workers := b.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers <= 1 || len(pages) < 2 {
+		for _, page := range pages {
+			for _, d := range b.pageDocuments(level, page) {
+				ix.Add(d)
+			}
+		}
+		return si
+	}
+
+	docsByPage := make([][]*index.Document, len(pages))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, page := range pages {
+		wg.Add(1)
+		go func(i int, page *crawler.MatchPage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			docsByPage[i] = b.pageDocuments(level, page)
+		}(i, page)
+	}
+	wg.Wait()
+	for _, docs := range docsByPage {
+		for _, d := range docs {
+			ix.Add(d)
+		}
+	}
+	return si
+}
+
+// pageDocuments prepares one match's documents without touching the index.
+func (b *Builder) pageDocuments(level Level, page *crawler.MatchPage) []*index.Document {
+	if level == Trad {
+		return b.tradDocs(page)
+	}
+	return b.semanticDocs(level, page)
+}
+
+// AddPage indexes one additional match into an existing index — the
+// incremental-update path behind the paper's Section 7 flexibility claim:
+// the semantic index absorbs new data without touching the ontology layer
+// or rebuilding from scratch.
+func (b *Builder) AddPage(si *SemanticIndex, page *crawler.MatchPage) {
+	for _, d := range b.pageDocuments(si.Level, page) {
+		si.Index.Add(d)
+	}
+}
+
+// tradDocs prepares each narration as a bare full-text document — the
+// traditional vector-space baseline.
+func (b *Builder) tradDocs(page *crawler.MatchPage) []*index.Document {
+	out := make([]*index.Document, 0, len(page.Narrations))
+	for i, n := range page.Narrations {
+		d := &index.Document{}
+		d.Add(FieldNarration, n.Text)
+		d.Add(MetaMatchID, page.ID)
+		d.Add(MetaNarration, fmt.Sprintf("%d", i))
+		d.Add(MetaMinute, fmt.Sprintf("%d", n.Minute))
+		out = append(out, d)
+	}
+	return out
+}
+
+func (b *Builder) semanticDocs(level Level, page *crawler.MatchPage) []*index.Document {
+	var out []*index.Document
+	events := ie.Extractor{}.ExtractMatch(page)
+	if level == BasicExt {
+		// The initial OWL files of pipeline step 3 know the narrations but
+		// not the extracted events: degrade every extraction to Unknown,
+		// keeping only the text.
+		for i := range events {
+			events[i] = ie.Event{
+				Kind:         soccer.KindUnknown,
+				Minute:       events[i].Minute,
+				NarrationIdx: events[i].NarrationIdx,
+				Narration:    events[i].Narration,
+			}
+		}
+	}
+	pop := &populate.Populator{Ontology: b.Ontology}
+	pm := pop.Populate(page, events)
+
+	model := pm.Model
+	var provenance map[rdf.Triple]string
+	if level == FullInf || level == PhrExp {
+		res := inference.Run(b.Reasoner, b.Rules, model)
+		model = res.Model
+		provenance = res.RuleProvenance
+	}
+
+	for _, rec := range pm.Events {
+		out = append(out, b.eventDocument(level, page, model, provenance, rec))
+	}
+	if level == FullInf || level == PhrExp {
+		// Rule-minted individuals (the Fig. 6 assists) are not in
+		// pm.Events; index them too.
+		known := map[rdf.Term]bool{}
+		for _, rec := range pm.Events {
+			known[rec.Individual] = true
+		}
+		for _, ind := range model.Graph.Subjects(rdf.RDFType, b.Ontology.IRI("Event")) {
+			if known[ind] {
+				continue
+			}
+			rec := populate.EventRecord{Individual: ind, Kind: ruleKind(b, model, ind), NarrationIdx: -1}
+			if min, ok := model.Get(ind, "inMinute").Int(); ok {
+				rec.Minute = min
+			}
+			out = append(out, b.eventDocument(level, page, model, provenance, rec))
+		}
+	}
+	return out
+}
+
+// ruleKind picks the most specific type of a rule-minted individual.
+func ruleKind(b *Builder, m *owl.Model, ind rdf.Term) soccer.EventKind {
+	direct := b.Reasoner.DirectTypes(m, ind)
+	if len(direct) > 0 {
+		return soccer.EventKind(direct[0].LocalName())
+	}
+	return soccer.KindUnknown
+}
+
+// eventDocument flattens one event individual into an index document
+// following the structure of Tables 1 and 2.
+func (b *Builder) eventDocument(level Level, page *crawler.MatchPage, m *owl.Model,
+	provenance map[rdf.Triple]string, rec populate.EventRecord) *index.Document {
+
+	d := &index.Document{}
+	ind := rec.Individual
+
+	// Event types: asserted for EXT levels, full closure for INF levels.
+	var typeNames []string
+	for _, t := range m.Types(ind) {
+		name := t.LocalName()
+		if !strings.HasPrefix(t.Value, rdf.NSSoccer) {
+			continue
+		}
+		typeNames = append(typeNames, CamelSplit(name))
+		if tr := b.EventTranslations[name]; tr != "" {
+			typeNames = append(typeNames, tr)
+		}
+	}
+	d.Add(FieldEvent, strings.Join(typeNames, " "))
+
+	d.Add(FieldMatch, page.ID)
+	d.Add(FieldTeam1, page.Home)
+	d.Add(FieldTeam2, page.Away)
+	d.Add(FieldDate, page.Date)
+	d.Add(FieldMinute, fmt.Sprintf("%d", rec.Minute))
+
+	subjects := b.roleValues(m, ind, "subjectPlayer")
+	objects := b.roleValues(m, ind, "objectPlayer")
+	subjTeams := b.roleValues(m, ind, "subjectTeam")
+	objTeams := b.roleValues(m, ind, "objectTeam")
+	d.Add(FieldSubjPlayer, strings.Join(displayNames(m, subjects), " "))
+	d.Add(FieldObjPlayer, strings.Join(displayNames(m, objects), " "))
+	d.Add(FieldSubjTeam, strings.Join(displayNames(m, subjTeams), " "))
+	d.Add(FieldObjTeam, strings.Join(displayNames(m, objTeams), " "))
+
+	if !b.DisableNarrationField {
+		d.Add(FieldNarration, m.Get(ind, "narration").Value)
+	}
+
+	if level == FullInf || level == PhrExp {
+		d.Add(FieldSubjProp, b.playerPropText(m, subjects))
+		d.Add(FieldObjProp, b.playerPropText(m, objects))
+		d.Add(FieldFromRules, b.fromRulesText(m, provenance, ind))
+	}
+	if level == PhrExp {
+		var subjPhr, objPhr []string
+		for _, n := range displayNames(m, subjects) {
+			subjPhr = append(subjPhr, PhrasalTokens("by", n), PhrasalTokens("of", n))
+		}
+		for _, n := range displayNames(m, objects) {
+			objPhr = append(objPhr, PhrasalTokens("to", n))
+		}
+		d.Add(FieldSubjPhrase, strings.Join(subjPhr, " "))
+		d.Add(FieldObjPhrase, strings.Join(objPhr, " "))
+	}
+
+	// Stored-only evaluation metadata.
+	d.Add(MetaMatchID, page.ID)
+	d.Add(MetaNarration, fmt.Sprintf("%d", rec.NarrationIdx))
+	d.Add(MetaKind, string(rec.Kind))
+	d.Add(MetaMinute, fmt.Sprintf("%d", rec.Minute))
+	d.Add(MetaSubject, strings.Join(displayNames(m, subjects), "|"))
+	d.Add(MetaObject, strings.Join(displayNames(m, objects), "|"))
+	d.Add(MetaSubjTeam, strings.Join(displayNames(m, subjTeams), "|"))
+	d.Add(MetaObjTeam, strings.Join(displayNames(m, objTeams), "|"))
+	return d
+}
+
+// roleValues collects the values of a generic property and all its
+// sub-properties on the individual. Reading through the property hierarchy
+// is TBox knowledge (the index schema), not ABox inference, which is why
+// the pre-inference FULL_EXT index still fills subjectPlayer from
+// scorerPlayer assertions — exactly the paper's Table 1.
+func (b *Builder) roleValues(m *owl.Model, ind rdf.Term, generic string) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	genericIRI := b.Ontology.IRI(generic)
+	for _, p := range b.Ontology.Properties() {
+		if p.IRI != genericIRI && !hasAncestor(b.Reasoner.PropertyAncestors(p.IRI), genericIRI) {
+			continue
+		}
+		for _, v := range m.Graph.Objects(ind, p.IRI) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	rdf.SortTerms(out)
+	return out
+}
+
+func hasAncestor(ancestors []rdf.Term, t rdf.Term) bool {
+	for _, a := range ancestors {
+		if a == t {
+			return true
+		}
+	}
+	return false
+}
+
+// displayNames maps individuals to their hasName values (falling back to
+// the IRI local name with underscores opened up).
+func displayNames(m *owl.Model, inds []rdf.Term) []string {
+	out := make([]string, 0, len(inds))
+	for _, ind := range inds {
+		if n := m.Get(ind, "hasName"); !n.IsZero() {
+			out = append(out, n.Value)
+			continue
+		}
+		out = append(out, strings.ReplaceAll(ind.LocalName(), "_", " "))
+	}
+	return out
+}
+
+// playerPropText renders the inferred types of the given players, the
+// subjectPlayerProp/objectPlayerProp content of Table 2 ("Left back
+// defence player ...").
+func (b *Builder) playerPropText(m *owl.Model, players []rdf.Term) string {
+	var parts []string
+	seen := map[string]bool{}
+	for _, p := range players {
+		for _, t := range m.Types(p) {
+			if !strings.HasPrefix(t.Value, rdf.NSSoccer) {
+				continue
+			}
+			s := CamelSplit(t.LocalName())
+			if !seen[s] {
+				seen[s] = true
+				parts = append(parts, s)
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// fromRulesText renders rule-derived knowledge about the event: properties
+// asserted on it by rules (with the value's display name) and inverse
+// actor properties pointing at it, camel-split so "actorOfNegativeMove"
+// surfaces the query tokens "negative move".
+func (b *Builder) fromRulesText(m *owl.Model, provenance map[rdf.Triple]string, ind rdf.Term) string {
+	if provenance == nil {
+		return ""
+	}
+	var parts []string
+	seen := map[string]bool{}
+	addPart := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			parts = append(parts, s)
+		}
+	}
+	roleAncestors := []rdf.Term{
+		b.Ontology.IRI("subjectPlayer"), b.Ontology.IRI("objectPlayer"),
+		b.Ontology.IRI("subjectTeam"), b.Ontology.IRI("objectTeam"),
+	}
+	for _, t := range m.Graph.Match(ind, rdf.Wildcard, rdf.Wildcard) {
+		if _, ok := provenance[t]; !ok {
+			continue
+		}
+		// Values of role properties (concedingTeam, scoredToGoalkeeper, ...)
+		// already reach the index through the four role fields; repeating
+		// them here would double-count team and player mentions. Likewise
+		// skip plumbing (inMatch, inMinute) and unnamed individuals such as
+		// the goal an assist points at, whose local name would leak "goal".
+		if t.O.IsIRI() && m.Get(t.O, "hasName").IsZero() {
+			continue
+		}
+		skip := t.P == b.Ontology.IRI("inMatch") || t.P == b.Ontology.IRI("inMinute")
+		for _, anc := range roleAncestors {
+			if t.P == anc || hasAncestor(b.Reasoner.PropertyAncestors(t.P), anc) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		addPart(CamelSplit(t.P.LocalName()))
+		if t.O.IsIRI() {
+			addPart(m.Get(t.O, "hasName").Value)
+		}
+	}
+	for _, t := range m.Graph.Match(rdf.Wildcard, rdf.Wildcard, ind) {
+		if _, ok := provenance[t]; !ok {
+			// Property-closure lifts of rule triples (actorOfRedCard ->
+			// actorOfNegativeMove) come from the reasoner, not the rule
+			// engine; include them when the base actor triple is rule-made.
+			if !strings.HasPrefix(t.P.Value, rdf.NSSoccer+"actorOf") {
+				continue
+			}
+		}
+		if strings.HasPrefix(t.P.Value, rdf.NSSoccer+"actorOf") {
+			addPart(CamelSplit(strings.TrimPrefix(t.P.LocalName(), "actorOf")))
+		}
+	}
+	return strings.Join(parts, " ")
+}

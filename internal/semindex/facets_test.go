@@ -1,0 +1,85 @@
+package semindex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacetsByKind(t *testing.T) {
+	pages := testPages(t, 2, 42)
+	si := NewBuilder().Build(FullInf, pages)
+	hits := si.Search("punishment", 0)
+	facets := Facets(hits, MetaKind)
+	if len(facets) == 0 {
+		t.Fatal("no facets")
+	}
+	total := 0
+	for _, f := range facets {
+		total += f.Count
+		if !strings.Contains(f.Value, "Card") {
+			t.Errorf("punishment facet %q", f.Value)
+		}
+	}
+	if total != len(hits) {
+		t.Errorf("facet counts %d != hits %d", total, len(hits))
+	}
+	// Sorted by descending count.
+	for i := 1; i < len(facets); i++ {
+		if facets[i].Count > facets[i-1].Count {
+			t.Error("facets unsorted")
+		}
+	}
+}
+
+func TestFacetsByTeam(t *testing.T) {
+	pages := testPages(t, 2, 42)
+	si := NewBuilder().Build(FullInf, pages)
+	hits := si.Search("foul", 0)
+	facets := Facets(hits, MetaSubjTeam)
+	if len(facets) < 2 {
+		t.Errorf("team facets = %v", facets)
+	}
+}
+
+func TestRelatedEvents(t *testing.T) {
+	pages := testPages(t, 2, 42)
+	si := NewBuilder().Build(FullInf, pages)
+
+	// Pick a yellow card document; its related events should be dominated
+	// by other negative/card events, not corners.
+	source := -1
+	for id := 0; id < si.Index.NumDocs(); id++ {
+		if si.Index.Doc(id).Get(MetaKind) == "YellowCard" {
+			source = id
+			break
+		}
+	}
+	if source < 0 {
+		t.Skip("no yellow card in corpus")
+	}
+	related := si.Related(source, 5)
+	if len(related) == 0 {
+		t.Fatal("no related events")
+	}
+	for _, h := range related {
+		if h.DocID == source {
+			t.Error("source document in its own related list")
+		}
+	}
+	// The top related doc should share the card/punishment vocabulary.
+	topKind := related[0].Meta(MetaKind)
+	if !strings.Contains(topKind, "Card") && !strings.Contains(topKind, "Foul") {
+		t.Errorf("top related kind = %q", topKind)
+	}
+}
+
+func TestRelatedBounds(t *testing.T) {
+	pages := testPages(t, 1, 42)
+	si := NewBuilder().Build(FullInf, pages)
+	if got := si.Related(-1, 5); got != nil {
+		t.Error("negative docID returned results")
+	}
+	if got := si.Related(1<<30, 5); got != nil {
+		t.Error("out-of-range docID returned results")
+	}
+}

@@ -1,0 +1,53 @@
+package semindex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Save writes the semantic index (level header + inverted index) so the
+// offline pipeline can build once and serve from a file — the deployment
+// shape the paper's scalability argument implies.
+func (s *SemanticIndex) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "SEMIDX %s\n", s.Level); err != nil {
+		return err
+	}
+	if err := s.Index.Encode(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save. The analyzer must match the one
+// used at build time (nil = StandardAnalyzer, the pipeline default).
+func Load(r io.Reader, analyzer index.Analyzer) (*SemanticIndex, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("semindex: reading header: %w", err)
+	}
+	parts := strings.Fields(strings.TrimSpace(header))
+	if len(parts) != 2 || parts[0] != "SEMIDX" {
+		return nil, fmt.Errorf("semindex: bad header %q", header)
+	}
+	level := Level(parts[1])
+	valid := false
+	for _, l := range Levels {
+		if l == level {
+			valid = true
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("semindex: unknown level %q", level)
+	}
+	ix, err := index.Decode(br, analyzer)
+	if err != nil {
+		return nil, err
+	}
+	return &SemanticIndex{Level: level, Index: ix}, nil
+}

@@ -1,0 +1,121 @@
+package semindex
+
+import (
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Hit is one ranked search result with its stored document.
+type Hit struct {
+	DocID int
+	Score float64
+	Doc   *index.Document
+}
+
+// Search runs a keyword query against the index with the level's ranking:
+// TRAD searches only the narration text; the semantic levels search all
+// ontological fields under the custom boosts of Section 3.6.2; PHR_EXP
+// additionally recognizes the phrasal expressions of Section 6 ("by X",
+// "of X", "to X") and routes them to the subject/object phrase fields.
+// limit <= 0 returns every match.
+func (s *SemanticIndex) Search(query string, limit int) []Hit {
+	q := s.buildQuery(query)
+	raw := s.Index.Search(q, limit)
+	hits := make([]Hit, len(raw))
+	for i, h := range raw {
+		hits[i] = Hit{DocID: h.DocID, Score: h.Score, Doc: s.Index.Doc(h.DocID)}
+	}
+	return hits
+}
+
+func (s *SemanticIndex) buildQuery(query string) index.Query {
+	boosts := QueryBoosts
+	if s.Level == Trad {
+		boosts = TradBoosts
+	}
+	// Advanced Lucene-style syntax (quoted phrases, +/- operators, field:
+	// prefixes, fuzzy~ terms) routes through the full query parser; plain
+	// keyword queries take the level's standard path.
+	if hasAdvancedSyntax(query) {
+		if q, err := index.ParseQuery(query, boosts); err == nil {
+			return q
+		}
+	}
+	switch s.Level {
+	case Trad:
+		return index.MultiFieldQuery(query, TradBoosts)
+	case PhrExp:
+		return s.phrasalQuery(query)
+	default:
+		return index.MultiFieldQuery(query, QueryBoosts)
+	}
+}
+
+// hasAdvancedSyntax reports whether the query uses parser-level operators.
+func hasAdvancedSyntax(query string) bool {
+	return strings.ContainsAny(query, `"~:`) ||
+		strings.HasPrefix(query, "+") || strings.HasPrefix(query, "-") ||
+		strings.Contains(query, " +") || strings.Contains(query, " -")
+}
+
+// phrasalQuery splits the query into phrasal pairs and plain tokens.
+// "foul by daniel to florent" becomes the plain token "foul" plus the
+// fused phrase terms bydaniel (subject field) and toflorent (object
+// field). Plain tokens go through the ordinary multi-field path.
+func (s *SemanticIndex) phrasalQuery(query string) index.Query {
+	tokens := index.Tokenize(strings.ToLower(query))
+	var plain []string
+	var clauses []index.Query
+	for i := 0; i < len(tokens); i++ {
+		tok := tokens[i]
+		if i+1 < len(tokens) {
+			switch tok {
+			case "by", "of":
+				clauses = append(clauses, index.TermQuery{
+					Field: FieldSubjPhrase,
+					Term:  tok + tokens[i+1],
+					Boost: 6.0,
+				})
+				i++
+				continue
+			case "to":
+				clauses = append(clauses, index.TermQuery{
+					Field: FieldObjPhrase,
+					Term:  tok + tokens[i+1],
+					Boost: 6.0,
+				})
+				i++
+				continue
+			}
+		}
+		plain = append(plain, tok)
+	}
+	if len(plain) > 0 {
+		clauses = append(clauses, index.MultiFieldQuery(strings.Join(plain, " "), QueryBoosts))
+	}
+	if len(clauses) == 1 {
+		return clauses[0]
+	}
+	return index.BooleanQuery{Should: clauses, DisableCoord: true}
+}
+
+// SearchWithBoosts runs a keyword query under caller-supplied field
+// weights instead of the level's defaults — the hook the boost-ablation
+// experiment uses to show what the Section 3.6.2 ranking buys.
+func (s *SemanticIndex) SearchWithBoosts(query string, limit int, boosts []index.FieldBoost) []Hit {
+	raw := s.Index.Search(index.MultiFieldQuery(query, boosts), limit)
+	hits := make([]Hit, len(raw))
+	for i, h := range raw {
+		hits[i] = Hit{DocID: h.DocID, Score: h.Score, Doc: s.Index.Doc(h.DocID)}
+	}
+	return hits
+}
+
+// Meta reads a stored metadata field of a hit document.
+func (h Hit) Meta(field string) string {
+	if h.Doc == nil {
+		return ""
+	}
+	return h.Doc.Get(field)
+}

@@ -1,0 +1,80 @@
+package semindex
+
+import (
+	"strings"
+
+	"repro/internal/index"
+)
+
+// Suggest proposes a corrected query when some token matches nothing in
+// any searched field but has a close neighbour (edit distance 1) in the
+// index vocabulary — the "did you mean" affordance keyword interfaces need
+// for misspelled player names. It returns "" when the query needs no
+// correction or none can be found.
+func (s *SemanticIndex) Suggest(query string) string {
+	boosts := QueryBoosts
+	if s.Level == Trad {
+		boosts = TradBoosts
+	}
+	tokens := index.Tokenize(strings.ToLower(query))
+	corrected := make([]string, len(tokens))
+	changed := false
+	for i, tok := range tokens {
+		corrected[i] = tok
+		if s.tokenMatches(tok, boosts) {
+			continue
+		}
+		if alt := s.nearestTerm(tok, boosts); alt != "" {
+			corrected[i] = alt
+			changed = true
+		}
+	}
+	if !changed {
+		return ""
+	}
+	return strings.Join(corrected, " ")
+}
+
+// tokenMatches reports whether the analyzed token has postings in any
+// searched field.
+func (s *SemanticIndex) tokenMatches(tok string, boosts []index.FieldBoost) bool {
+	analyzed := s.Index.Analyzer().Analyze(tok)
+	if len(analyzed) == 0 {
+		return true // pure stopword: nothing to correct
+	}
+	for _, fb := range boosts {
+		if s.Index.DocFreq(fb.Field, analyzed[0]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestTerm finds the highest-df vocabulary term within edit distance 1
+// of the token, searching the subject/object player fields first (names
+// are where typos happen) and then the remaining fields.
+func (s *SemanticIndex) nearestTerm(tok string, boosts []index.FieldBoost) string {
+	analyzed := s.Index.Analyzer().Analyze(tok)
+	if len(analyzed) == 0 {
+		return ""
+	}
+	target := analyzed[0]
+	best := ""
+	bestDF := 0
+	for _, fb := range boosts {
+		for _, term := range s.Index.Terms(fb.Field) {
+			if term == target {
+				continue
+			}
+			if !index.WithinEditDistance1(term, target) {
+				continue
+			}
+			df := s.Index.DocFreq(fb.Field, term)
+			if df > bestDF {
+				bestDF = df
+				best = term
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+package soccer
+
+// Kind groupings used by the evaluation judgments and the query-expansion
+// baseline. They mirror the ontology's class hierarchy; TestKindsMatchOntology
+// keeps them in sync with it.
+
+// GoalKinds are the event kinds that score a goal.
+var GoalKinds = []EventKind{KindGoal, KindHeaderGoal, KindPenaltyGoal, KindFreeKickGoal, KindOwnGoal}
+
+// PunishmentKinds are the card events (Q-4).
+var PunishmentKinds = []EventKind{KindYellowCard, KindSecondYellow, KindRedCard}
+
+// ShootKinds are the shot events (Q-10).
+var ShootKinds = []EventKind{KindShoot, KindShotOnTarget, KindShotOffTarget, KindHeaderShot}
+
+// SaveKinds are the goalkeeper saves (Q-9).
+var SaveKinds = []EventKind{KindSave, KindPenaltySave}
+
+// YellowCardKinds are the yellow-card events (Q-5); a second yellow is
+// still a yellow card shown.
+var YellowCardKinds = []EventKind{KindYellowCard, KindSecondYellow}
+
+// NegativeKinds are the NegativeEvent subtree (Q-7).
+var NegativeKinds = []EventKind{
+	KindOwnGoal, KindYellowCard, KindSecondYellow, KindRedCard,
+	KindFoul, KindHandBall, KindOffside, KindMissedGoal, KindMissedPenalty, KindInjury,
+}
+
+// DefencePositions are the squad position codes of the DefencePlayer
+// subtree (Q-10).
+var DefencePositions = []string{"LB", "RB", "CB", "SW"}
+
+// KindIn reports membership.
+func KindIn(k EventKind, set []EventKind) bool {
+	for _, x := range set {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGoal reports whether the kind scores a goal.
+func IsGoal(k EventKind) bool { return KindIn(k, GoalKinds) }
+
+// CreditedTeam returns the team a goal counts for: the scorer's team,
+// except own goals which credit the opponent.
+func CreditedTeam(m *Match, t *TruthEvent) *Team {
+	if t.Kind == KindOwnGoal {
+		return m.OpponentOf(t.SubjectTeam)
+	}
+	return t.SubjectTeam
+}
+
+// ConcedingTeam returns the team a goal was scored against.
+func ConcedingTeam(m *Match, t *TruthEvent) *Team {
+	return m.OpponentOf(CreditedTeam(m, t))
+}
+
+// IsDefencePosition reports whether the position code is in the
+// DefencePlayer subtree.
+func IsDefencePosition(pos string) bool {
+	for _, p := range DefencePositions {
+		if p == pos {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package soccer
+
+// Fixed squads for the simulated corpus. The rosters deliberately contain
+// the players the paper's evaluation queries name — Messi at Barcelona
+// (Q-3), Casillas in goal for Real Madrid (Q-6), Alex (Q-5), Henry (Q-7),
+// Ronaldo (Q-8), and Daniel and Florent for the phrasal experiment of
+// Table 6 — so the Table 3 query set is meaningful against the synthetic
+// corpus. Everything else is invented.
+
+// position layout of every lineup: a 4-4-2-ish 11 with one of each flavor
+// so classification inference has the full position taxonomy to work with.
+var lineupPositions = [11]string{"GK", "LB", "RB", "CB", "SW", "DM", "CM", "AM", "RW", "CF", "SS"}
+
+type squadSpec struct {
+	name    string
+	coach   string
+	stadium string
+	city    string
+	players [11]string // full names, position order as lineupPositions
+}
+
+var squadSpecs = []squadSpec{
+	{
+		name: "Barcelona", coach: "Pep Guardiola", stadium: "Camp Nou", city: "Barcelona",
+		players: [11]string{
+			"Victor Valdes", "Eric Abidal", "Daniel Alves", "Gerard Pique", "Carles Puyol",
+			"Sergio Busquets", "Xavi Hernandez", "Andres Iniesta", "Lionel Messi",
+			"Samuel Eto'o", "Thierry Henry",
+		},
+	},
+	{
+		name: "Chelsea", coach: "Guus Hiddink", stadium: "Stamford Bridge", city: "London",
+		players: [11]string{
+			"Petr Cech", "Ashley Cole", "Jose Bosingwa", "John Terry", "Alex",
+			"Michael Essien", "Michael Ballack", "Frank Lampard", "Florent Malouda",
+			"Didier Drogba", "Nicolas Anelka",
+		},
+	},
+	{
+		name: "Manchester United", coach: "Alex Ferguson", stadium: "Old Trafford", city: "Manchester",
+		players: [11]string{
+			"Edwin van der Sar", "Patrice Evra", "John O'Shea", "Nemanja Vidic", "Rio Ferdinand",
+			"Michael Carrick", "Paul Scholes", "Anderson", "Ryan Giggs",
+			"Wayne Rooney", "Cristiano Ronaldo",
+		},
+	},
+	{
+		name: "Real Madrid", coach: "Juande Ramos", stadium: "Santiago Bernabeu", city: "Madrid",
+		players: [11]string{
+			"Iker Casillas", "Gabriel Heinze", "Sergio Ramos", "Fabio Cannavaro", "Pepe",
+			"Fernando Gago", "Lassana Diarra", "Wesley Sneijder", "Arjen Robben",
+			"Raul Gonzalez", "Gonzalo Higuain",
+		},
+	},
+	{
+		name: "Liverpool", coach: "Rafael Benitez", stadium: "Anfield", city: "Liverpool",
+		players: [11]string{
+			"Pepe Reina", "Fabio Aurelio", "Alvaro Arbeloa", "Jamie Carragher", "Martin Skrtel",
+			"Javier Mascherano", "Xabi Alonso", "Steven Gerrard", "Dirk Kuyt",
+			"Fernando Torres", "Ryan Babel",
+		},
+	},
+	{
+		name: "Arsenal", coach: "Arsene Wenger", stadium: "Emirates Stadium", city: "London",
+		players: [11]string{
+			"Manuel Almunia", "Gael Clichy", "Bacary Sagna", "Kolo Toure", "William Gallas",
+			"Alex Song", "Cesc Fabregas", "Samir Nasri", "Theo Walcott",
+			"Emmanuel Adebayor", "Robin van Persie",
+		},
+	},
+	{
+		name: "Bayern Munich", coach: "Jurgen Klinsmann", stadium: "Allianz Arena", city: "Munich",
+		players: [11]string{
+			"Michael Rensing", "Philipp Lahm", "Christian Lell", "Lucio", "Daniel Van Buyten",
+			"Mark van Bommel", "Bastian Schweinsteiger", "Franck Ribery", "Hamit Altintop",
+			"Miroslav Klose", "Luca Toni",
+		},
+	},
+	{
+		name: "Inter Milan", coach: "Jose Mourinho", stadium: "San Siro", city: "Milan",
+		players: [11]string{
+			"Julio Cesar", "Cristian Chivu", "Maicon", "Walter Samuel", "Ivan Cordoba",
+			"Esteban Cambiasso", "Javier Zanetti", "Dejan Stankovic", "Mancini",
+			"Zlatan Ibrahimovic", "Adriano",
+		},
+	},
+}
+
+var refereeNames = []string{
+	"Tom Henning Ovrebo", "Massimo Busacca", "Howard Webb", "Roberto Rosetti",
+	"Frank De Bleeckere", "Peter Frojdfeldt", "Lubos Michel", "Kyros Vassaras",
+}
+
+// shortName derives the narration surname from a full name: the last
+// space-separated component, except for players conventionally known by a
+// single or non-final name.
+func shortName(full string) string {
+	switch full {
+	case "Alex", "Anderson", "Pepe", "Lucio", "Maicon", "Mancini", "Adriano":
+		return full
+	case "Xavi Hernandez":
+		return "Xavi"
+	case "Raul Gonzalez":
+		return "Raul"
+	case "Daniel Alves":
+		return "Daniel"
+	case "Florent Malouda":
+		return "Florent"
+	case "Cristiano Ronaldo":
+		return "Ronaldo"
+	case "Edwin van der Sar":
+		return "Van der Sar"
+	case "Daniel Van Buyten":
+		return "Van Buyten"
+	case "Mark van Bommel":
+		return "Van Bommel"
+	case "Robin van Persie":
+		return "Van Persie"
+	}
+	last := full
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i] == ' ' {
+			last = full[i+1:]
+			break
+		}
+	}
+	return last
+}
+
+// BuildTeams instantiates the fixed squads.
+func BuildTeams() []*Team {
+	teams := make([]*Team, len(squadSpecs))
+	for i, spec := range squadSpecs {
+		t := &Team{Name: spec.name, Coach: spec.coach, Stadium: spec.stadium, City: spec.city}
+		for j, full := range spec.players {
+			t.Players = append(t.Players, &Player{
+				Name:     full,
+				Short:    shortName(full),
+				Position: lineupPositions[j],
+				Shirt:    j + 1,
+			})
+		}
+		teams[i] = t
+	}
+	return teams
+}

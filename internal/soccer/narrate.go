@@ -1,0 +1,170 @@
+package soccer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file renders ground-truth events into UEFA-style narration text.
+// The phrasing mirrors the paper's observations about the source corpus:
+// goal narrations say "X scores!" and never contain the word "goal" (the
+// reason TRAD collapses on query Q-1), fouls are narrated as "gives away a
+// free-kick following a challenge on Y", offsides as "is flagged for
+// offside", and so on. internal/ie carries the matching hand-crafted
+// templates; TestExtractionRecall pins the two in sync.
+
+// narrationContext carries what templates need.
+type narrationContext struct {
+	subj, obj   *Player
+	subjT, objT *Team
+	homeGoals   int
+	awayGoals   int
+	rng         *rand.Rand
+}
+
+func (c *narrationContext) pick(variants ...string) string {
+	return variants[c.rng.Intn(len(variants))]
+}
+
+func (c *narrationContext) s() string  { return c.subj.Short }
+func (c *narrationContext) o() string  { return c.obj.Short }
+func (c *narrationContext) st() string { return c.subjT.Name }
+
+// score renders the "(1 - 0)" running-score prefix of goal narrations.
+func (c *narrationContext) score() string {
+	return fmt.Sprintf("(%d - %d)", c.homeGoals, c.awayGoals)
+}
+
+// narrate renders one event. Every template here has a counterpart pattern
+// in internal/ie's template table.
+func narrate(kind EventKind, c *narrationContext) string {
+	switch kind {
+	case KindGoal:
+		return c.score() + " " + c.pick(
+			fmt.Sprintf("%s (%s) scores! The crowd erupts.", c.s(), c.st()),
+			fmt.Sprintf("%s (%s) slots it home from close range.", c.s(), c.st()),
+			fmt.Sprintf("%s (%s) finds the net with a composed finish.", c.s(), c.st()),
+		)
+	case KindHeaderGoal:
+		return c.score() + " " + fmt.Sprintf("%s (%s) heads it in! A towering header.", c.s(), c.st())
+	case KindPenaltyGoal:
+		return c.score() + " " + fmt.Sprintf("%s (%s) converts the penalty, sending the keeper the wrong way.", c.s(), c.st())
+	case KindFreeKickGoal:
+		return c.score() + " " + fmt.Sprintf("%s (%s) curls the free-kick into the top corner. What a strike.", c.s(), c.st())
+	case KindOwnGoal:
+		return c.score() + " " + fmt.Sprintf("Disaster for %s! %s turns the ball into his own net.", c.st(), c.s())
+	case KindLongPass:
+		return fmt.Sprintf("%s (%s) delivers a long pass to %s.", c.s(), c.st(), c.o())
+	case KindShortPass:
+		return fmt.Sprintf("%s (%s) plays a short pass to %s.", c.s(), c.st(), c.o())
+	case KindCrossPass:
+		return fmt.Sprintf("%s (%s) crosses to %s.", c.s(), c.st(), c.o())
+	case KindThroughPass:
+		return fmt.Sprintf("%s (%s) threads a through ball to %s.", c.s(), c.st(), c.o())
+	case KindShoot:
+		return fmt.Sprintf("%s (%s) shoots from distance.", c.s(), c.st())
+	case KindShotOnTarget:
+		return fmt.Sprintf("%s (%s) fires a shot on target.", c.s(), c.st())
+	case KindShotOffTarget:
+		return fmt.Sprintf("%s (%s) drags a shot off target.", c.s(), c.st())
+	case KindHeaderShot:
+		return fmt.Sprintf("%s (%s) heads the effort at goal.", c.s(), c.st())
+	case KindSave:
+		return c.pick(
+			fmt.Sprintf("%s (%s) saves from %s.", c.s(), c.st(), c.o()),
+			fmt.Sprintf("Great save by %s (%s), denying %s.", c.s(), c.st(), c.o()),
+		)
+	case KindPenaltySave:
+		return fmt.Sprintf("%s (%s) saves the penalty from %s! Incredible.", c.s(), c.st(), c.o())
+	case KindTackle:
+		return fmt.Sprintf("%s (%s) wins the ball with a strong tackle on %s.", c.s(), c.st(), c.o())
+	case KindInterception:
+		return fmt.Sprintf("%s (%s) intercepts a loose ball.", c.s(), c.st())
+	case KindClearance:
+		return fmt.Sprintf("%s (%s) clears the danger.", c.s(), c.st())
+	case KindDribble:
+		return fmt.Sprintf("%s (%s) dribbles past %s.", c.s(), c.st(), c.o())
+	case KindFoul:
+		return c.pick(
+			fmt.Sprintf("%s gives away a free-kick following a challenge on %s.", c.s(), c.o()),
+			fmt.Sprintf("%s (%s) fouls %s.", c.s(), c.st(), c.o()),
+			fmt.Sprintf("%s brings down %s. Free-kick.", c.s(), c.o()),
+		)
+	case KindHandBall:
+		return fmt.Sprintf("%s (%s) is penalised for handball.", c.s(), c.st())
+	case KindYellowCard:
+		if c.obj != nil {
+			return fmt.Sprintf("%s (%s) is booked for a late challenge on %s.", c.s(), c.st(), c.o())
+		}
+		return c.pick(
+			fmt.Sprintf("%s (%s) sees yellow.", c.s(), c.st()),
+			fmt.Sprintf("%s (%s) is cautioned after a cynical challenge.", c.s(), c.st()),
+		)
+	case KindSecondYellow:
+		return fmt.Sprintf("%s (%s) is shown a second yellow and is sent off!", c.s(), c.st())
+	case KindRedCard:
+		return fmt.Sprintf("%s (%s) is sent off! Straight red.", c.s(), c.st())
+	case KindOffside:
+		return fmt.Sprintf("%s (%s) is flagged for offside.", c.s(), c.st())
+	case KindMissedGoal:
+		return c.pick(
+			fmt.Sprintf("%s (%s) misses a goal from close range.", c.s(), c.st()),
+			fmt.Sprintf("%s (%s) fires wide of the post.", c.s(), c.st()),
+			fmt.Sprintf("%s (%s) blazes over the bar.", c.s(), c.st()),
+		)
+	case KindMissedPenalty:
+		return fmt.Sprintf("%s (%s) misses the penalty.", c.s(), c.st())
+	case KindInjury:
+		// The injured player is the event's object (injuredPlayer is a
+		// sub-property of objectPlayer); the challenger is the subject.
+		return fmt.Sprintf("%s (%s) stays down after a challenge from %s. The physio is on.", c.o(), c.objT.Name, c.s())
+	case KindSubstitution:
+		return fmt.Sprintf("%s substitution: %s replaces %s.", c.st(), c.o(), c.s())
+	case KindCorner:
+		return c.pick(
+			fmt.Sprintf("%s (%s) delivers the corner.", c.s(), c.st()),
+			fmt.Sprintf("Corner to %s. %s takes it.", c.st(), c.s()),
+		)
+	case KindFreeKick:
+		return fmt.Sprintf("%s (%s) takes the free-kick.", c.s(), c.st())
+	case KindPenaltyKick:
+		return fmt.Sprintf("Penalty to %s! %s steps up.", c.st(), c.s())
+	case KindThrowIn:
+		return fmt.Sprintf("%s (%s) takes a long throw.", c.s(), c.st())
+	case KindGoalKick:
+		return fmt.Sprintf("Goal kick for %s. %s will restart play.", c.st(), c.s())
+	case KindKickOff:
+		return fmt.Sprintf("The referee blows and %s kick off.", c.st())
+	case KindHalfTime:
+		return "The referee blows for half-time."
+	case KindFullTime:
+		return "The final whistle goes."
+	default:
+		return ""
+	}
+}
+
+// colorNarration produces an eventless commentary line; the extractor
+// classifies these as UnknownEvent, matching the paper's ~280 narrations
+// with no extracted event.
+func colorNarration(rng *rand.Rand, m *Match) string {
+	anyPlayer := func() *Player {
+		t := m.Teams()[rng.Intn(2)]
+		return t.Players[rng.Intn(len(t.Players))]
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s is in the thick of it again, receiving the ball near the far post.", anyPlayer().Short)
+	case 1:
+		return fmt.Sprintf("Worrying times for %s, pacing his technical area.", m.Teams()[rng.Intn(2)].Coach)
+	case 2:
+		return fmt.Sprintf("The atmosphere at %s is electric tonight.", m.Home.Stadium)
+	case 3:
+		return fmt.Sprintf("%s is looking dangerous every time he picks up the ball.", anyPlayer().Short)
+	case 4:
+		return fmt.Sprintf("A spell of patient possession for %s around the halfway line.", m.Teams()[rng.Intn(2)].Name)
+	default:
+		return fmt.Sprintf("%s and %s exchange words in midfield; the referee calms things down.",
+			m.Home.Players[rng.Intn(11)].Short, m.Away.Players[rng.Intn(11)].Short)
+	}
+}

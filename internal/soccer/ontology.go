@@ -1,0 +1,346 @@
+// Package soccer defines the application domain of the paper: the central
+// soccer ontology of Section 3.2 (Fig. 2) and a deterministic match
+// simulator that stands in for the UEFA/SporX crawl of Section 3.1.
+//
+// The simulator is the documented substitution for the paper's web corpus:
+// it emits minute-by-minute narrations with the same linguistic shape as
+// UEFA's ("Eto'o (Barcelona) scores!" never contains the word "goal"),
+// and it keeps the ground-truth event log, which provides the relevance
+// judgments the authors produced manually.
+package soccer
+
+import (
+	"repro/internal/owl"
+	"repro/internal/rdf"
+)
+
+// BuildOntology constructs the central soccer ontology: 79 concepts and 95
+// properties, the sizes reported in Section 3.2. The hierarchy mirrors
+// Fig. 2: a Person/Team/Match/Stadium backbone, a player-position taxonomy
+// used by query Q-10 ("shoot defence players"), and an event taxonomy with
+// the Positive/Negative/Neutral split exploited by queries Q-4 and Q-7.
+func BuildOntology() *owl.Ontology {
+	o := owl.New(rdf.NSSoccer)
+
+	// --- Agents -----------------------------------------------------------
+	o.AddClass("Person")
+	o.AddClass("Player", "Person")
+	o.AddClass("GoalkeeperPlayer", "Player")
+	o.AddClass("DefencePlayer", "Player")
+	o.AddClass("LeftBack", "DefencePlayer")
+	o.AddClass("RightBack", "DefencePlayer")
+	o.AddClass("CenterBack", "DefencePlayer")
+	o.AddClass("Sweeper", "DefencePlayer")
+	o.AddClass("MidfieldPlayer", "Player")
+	o.AddClass("DefensiveMidfielder", "MidfieldPlayer")
+	o.AddClass("CentralMidfielder", "MidfieldPlayer")
+	o.AddClass("AttackingMidfielder", "MidfieldPlayer")
+	o.AddClass("LeftWinger", "MidfieldPlayer")
+	o.AddClass("RightWinger", "MidfieldPlayer")
+	o.AddClass("ForwardPlayer", "Player")
+	o.AddClass("CenterForward", "ForwardPlayer")
+	o.AddClass("SecondStriker", "ForwardPlayer")
+	o.AddClass("Referee", "Person")
+	o.AddClass("AssistantReferee", "Referee")
+	o.AddClass("FourthOfficial", "Referee")
+	o.AddClass("Coach", "Person")
+
+	// --- Organizations, venues, competitions ------------------------------
+	o.AddClass("Team")
+	o.AddClass("NationalTeam", "Team")
+	o.AddClass("ClubTeam", "Team")
+	o.AddClass("Match")
+	o.AddClass("LeagueMatch", "Match")
+	o.AddClass("CupMatch", "Match")
+	o.AddClass("FriendlyMatch", "Match")
+	o.AddClass("Stadium")
+	o.AddClass("Tournament")
+	o.AddClass("League", "Tournament")
+	o.AddClass("Cup", "Tournament")
+	o.AddClass("Season")
+
+	// --- Events ------------------------------------------------------------
+	o.AddClass("Event")
+	o.AddClass("PositiveEvent", "Event")
+	o.AddClass("NegativeEvent", "Event")
+	o.AddClass("NeutralEvent", "Event")
+	o.AddClass("UnknownEvent", "Event")
+
+	o.AddClass("Goal", "PositiveEvent")
+	o.AddClass("HeaderGoal", "Goal")
+	o.AddClass("PenaltyGoal", "Goal")
+	o.AddClass("FreeKickGoal", "Goal")
+	// An own goal is a goal (it counts on the scoreboard), so it sits under
+	// Goal rather than NegativeEvent — scorerPlayer's domain would otherwise
+	// type every own goal as a (Positive) Goal and contradict the
+	// Positive/Negative disjointness. Its negativity for the scorer is
+	// carried by actorOfOwnGoal ⊑ actorOfNegativeMove instead.
+	o.AddClass("OwnGoal", "Goal")
+	o.AddClass("Assist", "PositiveEvent")
+	o.AddClass("Pass", "PositiveEvent")
+	o.AddClass("LongPass", "Pass")
+	o.AddClass("ShortPass", "Pass")
+	o.AddClass("CrossPass", "Pass")
+	o.AddClass("ThroughPass", "Pass")
+	o.AddClass("Shoot", "PositiveEvent")
+	o.AddClass("ShotOnTarget", "Shoot")
+	o.AddClass("ShotOffTarget", "Shoot")
+	o.AddClass("HeaderShot", "Shoot")
+	o.AddClass("Save", "PositiveEvent")
+	o.AddClass("PenaltySave", "Save")
+	o.AddClass("Tackle", "PositiveEvent")
+	o.AddClass("Interception", "PositiveEvent")
+	o.AddClass("Clearance", "PositiveEvent")
+	o.AddClass("Dribble", "PositiveEvent")
+
+	o.AddClass("Punishment", "NegativeEvent")
+	o.AddClass("YellowCard", "Punishment")
+	o.AddClass("RedCard", "Punishment")
+	o.AddClass("SecondYellowCard", "RedCard")
+	o.AddClass("Foul", "NegativeEvent")
+	o.AddClass("HandBall", "Foul")
+	o.AddClass("DangerousPlay", "Foul")
+	o.AddClass("Offside", "NegativeEvent")
+	o.AddClass("Miss", "NegativeEvent")
+	o.AddClass("MissedPenalty", "Miss")
+	o.AddClass("Injury", "NegativeEvent")
+
+	o.AddClass("Substitution", "NeutralEvent")
+	o.AddClass("Corner", "NeutralEvent")
+	o.AddClass("FreeKick", "NeutralEvent")
+	o.AddClass("PenaltyKick", "NeutralEvent")
+	o.AddClass("ThrowIn", "NeutralEvent")
+	o.AddClass("GoalKick", "NeutralEvent")
+	o.AddClass("KickOff", "NeutralEvent")
+	o.AddClass("HalfTimeWhistle", "NeutralEvent")
+	o.AddClass("FullTimeWhistle", "NeutralEvent")
+
+	o.AddDisjoint("PositiveEvent", "NegativeEvent")
+	o.AddDisjoint("PositiveEvent", "NeutralEvent")
+	o.AddDisjoint("NegativeEvent", "NeutralEvent")
+	o.AddDisjoint("GoalkeeperPlayer", "ForwardPlayer")
+	o.AddDisjoint("Team", "Person")
+	o.AddDisjoint("Match", "Event")
+
+	// --- Generic event properties (Section 3.4) ----------------------------
+	// Every event-specific player/team property is a sub-property of one of
+	// these four, which is how the population module fills the right slot
+	// from the extractor's generic subject/object output.
+	obj := func(name string, parents ...string) { o.AddObjectProperty(name, parents...) }
+	obj("subjectPlayer")
+	o.SetDomain("subjectPlayer", "Event")
+	o.SetRange("subjectPlayer", "Player")
+	obj("objectPlayer")
+	o.SetDomain("objectPlayer", "Event")
+	o.SetRange("objectPlayer", "Player")
+	obj("subjectTeam")
+	o.SetDomain("subjectTeam", "Event")
+	o.SetRange("subjectTeam", "Team")
+	obj("objectTeam")
+	o.SetDomain("objectTeam", "Event")
+	o.SetRange("objectTeam", "Team")
+	obj("inMatch")
+	o.SetDomain("inMatch", "Event")
+	o.SetRange("inMatch", "Match")
+	o.SetFunctional("inMatch")
+
+	// Sub-properties of subjectPlayer, one per event type that has an actor.
+	for prop, domain := range map[string]string{
+		"scorerPlayer":       "Goal",
+		"passingPlayer":      "Pass",
+		"shootingPlayer":     "Shoot",
+		"savingPlayer":       "Save",
+		"foulingPlayer":      "Foul",
+		"punishedPlayer":     "Punishment",
+		"offsidePlayer":      "Offside",
+		"missingPlayer":      "Miss",
+		"tacklingPlayer":     "Tackle",
+		"interceptingPlayer": "Interception",
+		"clearingPlayer":     "Clearance",
+		"dribblingPlayer":    "Dribble",
+		"substitutedPlayer":  "Substitution",
+		"cornerTaker":        "Corner",
+		"freeKickTaker":      "FreeKick",
+		"penaltyTaker":       "PenaltyKick",
+		"throwInTaker":       "ThrowIn",
+	} {
+		obj(prop, "subjectPlayer")
+		o.SetDomain(prop, domain)
+		o.SetRange(prop, "Player")
+	}
+
+	// Sub-properties of objectPlayer.
+	for prop, domain := range map[string]string{
+		"passReceiver":       "Pass",
+		"fouledPlayer":       "Foul",
+		"injuredPlayer":      "Injury",
+		"substitutePlayer":   "Substitution",
+		"tackledPlayer":      "Tackle",
+		"savedFromPlayer":    "Save",
+		"scoredToGoalkeeper": "Goal",
+		"dribbledPastPlayer": "Dribble",
+		"assistedPlayer":     "Assist",
+	} {
+		obj(prop, "objectPlayer")
+		o.SetDomain(prop, domain)
+		o.SetRange(prop, "Player")
+	}
+	// The range restriction below is the paper's example of inferring an
+	// individual's type from a restricted property value: whatever a goal is
+	// scored to must be a goalkeeper.
+	o.SetRange("scoredToGoalkeeper", "GoalkeeperPlayer")
+
+	// Team-level sub-properties.
+	obj("scoringTeam", "subjectTeam")
+	o.SetDomain("scoringTeam", "Goal")
+	obj("concedingTeam", "objectTeam")
+	o.SetDomain("concedingTeam", "Goal")
+	obj("foulingTeam", "subjectTeam")
+	o.SetDomain("foulingTeam", "Foul")
+	obj("fouledTeam", "objectTeam")
+	o.SetDomain("fouledTeam", "Foul")
+
+	// Match and team structure.
+	for prop, dr := range map[string][2]string{
+		"homeTeam":        {"Match", "Team"},
+		"awayTeam":        {"Match", "Team"},
+		"winnerTeam":      {"Match", "Team"},
+		"loserTeam":       {"Match", "Team"},
+		"playedAtStadium": {"Match", "Stadium"},
+		"hasReferee":      {"Match", "Referee"},
+		"inTournament":    {"Match", "Tournament"},
+		"inSeason":        {"Match", "Season"},
+		"playsFor":        {"Player", "Team"},
+		"hasCoach":        {"Team", "Coach"},
+		"hasGoalkeeper":   {"Team", "GoalkeeperPlayer"},
+		"hasPlayer":       {"Team", "Player"},
+		"hasCaptain":      {"Team", "Player"},
+		"homeStadium":     {"Team", "Stadium"},
+	} {
+		obj(prop)
+		o.SetDomain(prop, dr[0])
+		o.SetRange(prop, dr[1])
+	}
+
+	// Actor property hierarchy (Player -> Event), exploited by Q-7 "henry
+	// negative moves": the reasoner lifts actorOfOffside et al. to
+	// actorOfNegativeMove via rdfs:subPropertyOf closure.
+	obj("actorOfMove")
+	o.SetDomain("actorOfMove", "Player")
+	o.SetRange("actorOfMove", "Event")
+	obj("actorOfPositiveMove", "actorOfMove")
+	obj("actorOfNegativeMove", "actorOfMove")
+	for prop, parent := range map[string]string{
+		"actorOfGoal":       "actorOfPositiveMove",
+		"actorOfAssist":     "actorOfPositiveMove",
+		"actorOfSave":       "actorOfPositiveMove",
+		"actorOfPass":       "actorOfPositiveMove",
+		"actorOfShoot":      "actorOfPositiveMove",
+		"actorOfTackle":     "actorOfPositiveMove",
+		"actorOfDribble":    "actorOfPositiveMove",
+		"actorOfFoul":       "actorOfNegativeMove",
+		"actorOfOffside":    "actorOfNegativeMove",
+		"actorOfMissedGoal": "actorOfNegativeMove",
+		"actorOfYellowCard": "actorOfNegativeMove",
+		"actorOfRedCard":    "actorOfNegativeMove",
+		"actorOfOwnGoal":    "actorOfNegativeMove",
+	} {
+		obj(prop, parent)
+	}
+
+	// Cross-event link minted by the assist rule (Fig. 6).
+	obj("assistOfGoal")
+	o.SetDomain("assistOfGoal", "Assist")
+	o.SetRange("assistOfGoal", "Goal")
+
+	// --- Data properties ----------------------------------------------------
+	intRange := rdf.NewIRI(rdf.XSDInteger)
+	strRange := rdf.NewIRI(rdf.XSDString)
+	dat := func(name, domain string, rng rdf.Term) {
+		o.AddDataProperty(name)
+		o.SetDomain(name, domain)
+		o.SetRangeIRI(name, rng)
+	}
+	dat("inMinute", "Event", intRange)
+	dat("inExtraMinute", "Event", intRange)
+	dat("narration", "Event", strRange)
+	// hasName is shared by persons and teams, so it carries no domain: a
+	// domain of Person would make every named team an inferred Person and
+	// trip the Team/Person disjointness axiom.
+	o.AddDataProperty("hasName")
+	o.SetRangeIRI("hasName", strRange)
+	dat("hasFirstName", "Person", strRange)
+	dat("hasLastName", "Person", strRange)
+	dat("hasDate", "Match", rdf.NewIRI(rdf.XSDDate))
+	dat("hasKickoffTime", "Match", strRange)
+	dat("homeScore", "Match", intRange)
+	dat("awayScore", "Match", intRange)
+	dat("halfTimeHomeScore", "Match", intRange)
+	dat("halfTimeAwayScore", "Match", intRange)
+	dat("attendance", "Match", intRange)
+	dat("matchDay", "Match", intRange)
+	dat("shirtNumber", "Player", intRange)
+	dat("hasAge", "Person", intRange)
+	dat("hasNationality", "Person", strRange)
+	dat("hasHeight", "Player", intRange)
+	dat("hasCapacity", "Stadium", intRange)
+	dat("hasCity", "Stadium", strRange)
+	dat("hasCountry", "Stadium", strRange)
+	dat("foundedYear", "Team", intRange)
+	dat("hasSeasonYear", "Season", intRange)
+	dat("cardReason", "Punishment", strRange)
+	dat("goalDistance", "Shoot", intRange)
+	dat("injuryDuration", "Injury", intRange)
+	dat("passLength", "Pass", intRange)
+	dat("isFirstHalf", "Event", rdf.NewIRI(rdf.XSDBoolean))
+	dat("extractedBy", "Event", strRange)
+	o.SetFunctional("inMinute")
+	o.SetFunctional("hasName")
+
+	// --- Restrictions (Section 3.5 examples) --------------------------------
+	// "only the goalkeepers are allowed in the position of goalkeeping":
+	o.ValueConstraint("Team", "hasGoalkeeper", "GoalkeeperPlayer")
+	// "only one goalkeeper is allowed in the game":
+	o.MaxCardinalityConstraint("Team", "hasGoalkeeper", 1)
+	// Every goal has exactly one scorer slot filled at most once.
+	o.MaxCardinalityConstraint("Goal", "scorerPlayer", 1)
+	// Saves are made by goalkeepers.
+	o.ValueConstraint("Save", "savingPlayer", "GoalkeeperPlayer")
+
+	return o
+}
+
+// PositionClass maps a squad position name to its ontology class local name.
+// The simulator assigns positions; ontology population asserts the specific
+// class so classification can later lift it (LeftBack -> DefencePlayer ->
+// Player), which is what Q-10 depends on.
+func PositionClass(position string) string {
+	switch position {
+	case "GK":
+		return "GoalkeeperPlayer"
+	case "LB":
+		return "LeftBack"
+	case "RB":
+		return "RightBack"
+	case "CB":
+		return "CenterBack"
+	case "SW":
+		return "Sweeper"
+	case "DM":
+		return "DefensiveMidfielder"
+	case "CM":
+		return "CentralMidfielder"
+	case "AM":
+		return "AttackingMidfielder"
+	case "LW":
+		return "LeftWinger"
+	case "RW":
+		return "RightWinger"
+	case "CF":
+		return "CenterForward"
+	case "SS":
+		return "SecondStriker"
+	default:
+		return "Player"
+	}
+}

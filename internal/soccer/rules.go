@@ -1,0 +1,120 @@
+package soccer
+
+import "repro/internal/rules"
+
+// RuleText is the domain rule set of Section 3.5 in Jena syntax. The assist
+// rule is the paper's Fig. 6 verbatim; scoredToGoalkeeperRule is the rule
+// behind query Q-6 ("goal scored to casillas"): it infers which goalkeeper
+// a goal was scored to even though no narration says so explicitly. The
+// actorOf* rules feed the property hierarchy exploited by Q-7 ("henry
+// negative moves"), and the team rules fill the subjectTeam/objectTeam
+// fields of Table 2.
+const RuleText = `
+[assistRule:
+  noValue(?pass rdf:type pre:Assist)
+  (?pass rdf:type pre:Pass)
+  (?pass pre:passingPlayer ?passer)
+  (?pass pre:passReceiver ?receiver)
+  (?pass pre:inMatch ?match)
+  (?pass pre:inMinute ?minute)
+  (?goal pre:inMatch ?match)
+  (?goal pre:inMinute ?minute)
+  (?goal pre:scorerPlayer ?receiver)
+  makeTemp(?tmp)
+  -> (?tmp rdf:type pre:Assist)
+     (?tmp pre:inMatch ?match)
+     (?tmp pre:inMinute ?minute)
+     (?tmp pre:passingPlayer ?passer)
+     (?tmp pre:passReceiver ?receiver)
+     (?tmp pre:assistedPlayer ?receiver)
+     (?tmp pre:assistOfGoal ?goal)
+]
+
+[scoredToGoalkeeperRule:
+  (?goal rdf:type pre:Goal)
+  (?goal pre:concedingTeam ?team)
+  (?team pre:hasGoalkeeper ?gk)
+  noValue(?goal pre:scoredToGoalkeeper ?gk)
+  -> (?goal pre:scoredToGoalkeeper ?gk)
+]
+
+# Conceding team from the match structure: the team that did not score.
+[concedingHomeRule:
+  (?goal rdf:type pre:Goal)
+  (?goal pre:scoringTeam ?st)
+  (?goal pre:inMatch ?m)
+  (?m pre:homeTeam ?st)
+  (?m pre:awayTeam ?ot)
+  noValue(?goal pre:concedingTeam ?ot)
+  -> (?goal pre:concedingTeam ?ot)
+]
+[concedingAwayRule:
+  (?goal rdf:type pre:Goal)
+  (?goal pre:scoringTeam ?st)
+  (?goal pre:inMatch ?m)
+  (?m pre:awayTeam ?st)
+  (?m pre:homeTeam ?ot)
+  noValue(?goal pre:concedingTeam ?ot)
+  -> (?goal pre:concedingTeam ?ot)
+]
+
+# Subject/object team from the acting player's club.
+[subjectTeamRule:
+  (?e pre:subjectPlayer ?p)
+  (?p pre:playsFor ?t)
+  noValue(?e pre:subjectTeam ?t)
+  -> (?e pre:subjectTeam ?t)
+]
+[objectTeamRule:
+  (?e pre:objectPlayer ?p)
+  (?p pre:playsFor ?t)
+  noValue(?e pre:objectTeam ?t)
+  -> (?e pre:objectTeam ?t)
+]
+[scoringTeamRule:
+  (?g rdf:type pre:Goal)
+  (?g pre:scorerPlayer ?p)
+  (?p pre:playsFor ?t)
+  noValue(?g pre:scoringTeam ?t)
+  -> (?g pre:scoringTeam ?t)
+]
+
+# Actor properties: from each event type's subject to the inverse
+# player-side property, later lifted along the property hierarchy
+# (actorOfRedCard -> actorOfNegativeMove -> actorOfMove) by the reasoner.
+[actorGoal:    (?e rdf:type pre:Goal)       (?e pre:scorerPlayer ?p)    -> (?p pre:actorOfGoal ?e)]
+[actorAssist:  (?e rdf:type pre:Assist)     (?e pre:passingPlayer ?p)   -> (?p pre:actorOfAssist ?e)]
+[actorSave:    (?e rdf:type pre:Save)       (?e pre:savingPlayer ?p)    -> (?p pre:actorOfSave ?e)]
+[actorPass:    (?e rdf:type pre:Pass)       (?e pre:passingPlayer ?p)   -> (?p pre:actorOfPass ?e)]
+[actorShoot:   (?e rdf:type pre:Shoot)      (?e pre:shootingPlayer ?p)  -> (?p pre:actorOfShoot ?e)]
+[actorTackle:  (?e rdf:type pre:Tackle)     (?e pre:tacklingPlayer ?p)  -> (?p pre:actorOfTackle ?e)]
+[actorDribble: (?e rdf:type pre:Dribble)    (?e pre:dribblingPlayer ?p) -> (?p pre:actorOfDribble ?e)]
+[actorFoul:    (?e rdf:type pre:Foul)       (?e pre:foulingPlayer ?p)   -> (?p pre:actorOfFoul ?e)]
+[actorOffside: (?e rdf:type pre:Offside)    (?e pre:offsidePlayer ?p)   -> (?p pre:actorOfOffside ?e)]
+[actorMiss:    (?e rdf:type pre:Miss)       (?e pre:missingPlayer ?p)   -> (?p pre:actorOfMissedGoal ?e)]
+[actorYellow:  (?e rdf:type pre:YellowCard) (?e pre:punishedPlayer ?p)  -> (?p pre:actorOfYellowCard ?e)]
+[actorRed:     (?e rdf:type pre:RedCard)    (?e pre:punishedPlayer ?p)  -> (?p pre:actorOfRedCard ?e)]
+[actorOwnGoal: (?e rdf:type pre:OwnGoal)    (?e pre:scorerPlayer ?p)    -> (?p pre:actorOfOwnGoal ?e)]
+
+# Match outcome from the final score.
+[homeWinRule:
+  (?m pre:homeScore ?hs)
+  (?m pre:awayScore ?as)
+  (?m pre:homeTeam ?ht)
+  (?m pre:awayTeam ?at)
+  greaterThan(?hs ?as)
+  -> (?m pre:winnerTeam ?ht) (?m pre:loserTeam ?at)
+]
+[awayWinRule:
+  (?m pre:homeScore ?hs)
+  (?m pre:awayScore ?as)
+  (?m pre:homeTeam ?ht)
+  (?m pre:awayTeam ?at)
+  lessThan(?hs ?as)
+  -> (?m pre:winnerTeam ?at) (?m pre:loserTeam ?ht)
+]
+`
+
+// Rules parses the domain rule set. It panics only on a programming error
+// in RuleText, which the test suite pins down.
+func Rules() []*rules.Rule { return rules.MustParse(RuleText) }

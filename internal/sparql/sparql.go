@@ -1,0 +1,494 @@
+// Package sparql implements the SPARQL subset the paper positions as the
+// formal-query upper bound (Sections 2 and 8): basic graph patterns over a
+// triple store with FILTER comparisons, DISTINCT, and LIMIT.
+//
+// The paper argues keyword search over the semantic index "can get close
+// to the performance of SPARQL, which is the best that can be achieved
+// with semantic querying"; this package supplies that comparator, and the
+// benchmarks contrast its per-query graph traversal cost with the inverted
+// index's constant-time lookups.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Query is a parsed SELECT query.
+type Query struct {
+	// Vars are the projected variable names (without '?'); nil means '*'.
+	Vars []string
+	// Distinct deduplicates solutions.
+	Distinct bool
+	// Limit caps the solution count; 0 means unlimited.
+	Limit int
+	// Patterns are the BGP triple patterns.
+	Patterns []Pattern
+	// Filters constrain bound values.
+	Filters []Filter
+}
+
+// Pattern is one triple pattern; empty Var means the Term is concrete.
+type Pattern struct {
+	S, P, O Node
+}
+
+// Node is a variable or a concrete term.
+type Node struct {
+	Var  string
+	Term rdf.Term
+}
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// Filter is a comparison constraint on a variable.
+type Filter struct {
+	Var string
+	// Op is one of "=", "!=", "<", ">", "<=", ">=".
+	Op string
+	// Value is the comparison operand.
+	Value rdf.Term
+}
+
+// Solution is one result row: variable name to bound term.
+type Solution map[string]rdf.Term
+
+// Parse reads the subset grammar:
+//
+//	SELECT [DISTINCT] ?a ?b | *
+//	WHERE { pattern . pattern . FILTER(?v > 10) . }
+//	[LIMIT n]
+//
+// Prefixed names resolve against rdf.Prefixes; <IRIs>, "literals",
+// integers and the keyword 'a' (rdf:type) are accepted in patterns.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseQuery()
+}
+
+// MustParse panics on parse errors, for queries embedded in source.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic("sparql: " + err.Error())
+	}
+	return q
+}
+
+// Exec evaluates the query against the graph. Solutions are returned in a
+// deterministic order (sorted by their projected bindings).
+func (q *Query) Exec(g *rdf.Graph) []Solution {
+	var out []Solution
+	q.join(g, 0, Solution{}, &out)
+	if q.Distinct {
+		out = dedupe(out, q.Vars)
+	}
+	sort.Slice(out, func(i, j int) bool { return solutionKey(out[i], q.Vars) < solutionKey(out[j], q.Vars) })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+func (q *Query) join(g *rdf.Graph, i int, b Solution, out *[]Solution) {
+	if i == len(q.Patterns) {
+		if !q.passFilters(b) {
+			return
+		}
+		*out = append(*out, q.project(b))
+		return
+	}
+	pat := q.Patterns[i]
+	resolve := func(n Node) rdf.Term {
+		if n.IsVar() {
+			return b[n.Var]
+		}
+		return n.Term
+	}
+	for _, t := range g.Match(resolve(pat.S), resolve(pat.P), resolve(pat.O)) {
+		var bound []string
+		ok := true
+		try := func(n Node, v rdf.Term) {
+			if !ok || !n.IsVar() {
+				return
+			}
+			if cur, has := b[n.Var]; has {
+				if cur != v {
+					ok = false
+				}
+				return
+			}
+			b[n.Var] = v
+			bound = append(bound, n.Var)
+		}
+		try(pat.S, t.S)
+		try(pat.P, t.P)
+		try(pat.O, t.O)
+		if ok {
+			q.join(g, i+1, b, out)
+		}
+		for _, v := range bound {
+			delete(b, v)
+		}
+	}
+}
+
+func (q *Query) passFilters(b Solution) bool {
+	for _, f := range q.Filters {
+		v, ok := b[f.Var]
+		if !ok {
+			return false
+		}
+		if !compareTerms(v, f.Op, f.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func compareTerms(v rdf.Term, op string, w rdf.Term) bool {
+	// Numeric comparison when both parse as integers, else lexical.
+	vi, vok := v.Int()
+	wi, wok := w.Int()
+	var cmp int
+	if vok && wok {
+		switch {
+		case vi < wi:
+			cmp = -1
+		case vi > wi:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(v.Value, w.Value)
+	}
+	switch op {
+	case "=":
+		return v == w || (vok && wok && cmp == 0)
+	case "!=":
+		return !(v == w || (vok && wok && cmp == 0))
+	case "<":
+		return cmp < 0
+	case ">":
+		return cmp > 0
+	case "<=":
+		return cmp <= 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+func (q *Query) project(b Solution) Solution {
+	if q.Vars == nil {
+		cp := make(Solution, len(b))
+		for k, v := range b {
+			cp[k] = v
+		}
+		return cp
+	}
+	cp := make(Solution, len(q.Vars))
+	for _, v := range q.Vars {
+		if t, ok := b[v]; ok {
+			cp[v] = t
+		}
+	}
+	return cp
+}
+
+func dedupe(sols []Solution, vars []string) []Solution {
+	seen := map[string]bool{}
+	out := sols[:0]
+	for _, s := range sols {
+		k := solutionKey(s, vars)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func solutionKey(s Solution, vars []string) string {
+	if vars == nil {
+		vars = make([]string, 0, len(s))
+		for v := range s {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+	}
+	var b strings.Builder
+	for _, v := range vars {
+		b.WriteString(v)
+		b.WriteByte('=')
+		b.WriteString(s[v].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// ---- lexer and parser -----------------------------------------------------
+
+type token struct {
+	kind string // "ident", "var", "iri", "literal", "int", punctuation
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == ',' || c == '*':
+			toks = append(toks, token{kind: string(c)})
+			i++
+		case c == '?':
+			j := i + 1
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("sparql: bare '?' at offset %d", i)
+			}
+			toks = append(toks, token{kind: "var", text: src[i+1 : j]})
+			i = j
+		case c == '<':
+			// '<' is both the IRI opener and the less-than operator. It is
+			// an IRI only when a '>' follows with no intervening whitespace;
+			// "<=", "< 10" and a dangling '<' are comparison operators.
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: "op", text: "<="})
+				i += 2
+				break
+			}
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 || strings.ContainsAny(src[i:i+j], " \t\n\r") {
+				toks = append(toks, token{kind: "op", text: "<"})
+				i++
+				break
+			}
+			toks = append(toks, token{kind: "iri", text: src[i+1 : i+j]})
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sparql: unterminated string")
+			}
+			toks = append(toks, token{kind: "literal", text: src[i+1 : j]})
+			i = j + 1
+		case c == '=' || c == '!' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: "op", text: op})
+			i++
+		default:
+			j := i
+			for j < len(src) && (isWordByte(src[j]) || src[j] == ':' || src[j] == '-') {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("sparql: unexpected character %q", c)
+			}
+			toks = append(toks, token{kind: "ident", text: src[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return token{kind: "eof"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.kind != "ident" || !strings.EqualFold(t.text, word) {
+		return fmt.Errorf("sparql: expected %q, got %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectIdent("SELECT"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == "ident" && strings.EqualFold(t.text, "DISTINCT") {
+		p.next()
+		q.Distinct = true
+	}
+	if p.peek().kind == "*" {
+		p.next()
+	} else {
+		for p.peek().kind == "var" {
+			q.Vars = append(q.Vars, p.next().text)
+		}
+		if q.Vars == nil {
+			return nil, fmt.Errorf("sparql: SELECT needs variables or *")
+		}
+	}
+	if err := p.expectIdent("WHERE"); err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != "{" {
+		return nil, fmt.Errorf("sparql: expected '{'")
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == "}":
+			p.next()
+			goto done
+		case t.kind == ".":
+			p.next()
+		case t.kind == "ident" && strings.EqualFold(t.text, "FILTER"):
+			p.next()
+			f, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+		case t.kind == "eof":
+			return nil, fmt.Errorf("sparql: unterminated WHERE block")
+		default:
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			q.Patterns = append(q.Patterns, pat)
+		}
+	}
+done:
+	if t := p.peek(); t.kind == "ident" && strings.EqualFold(t.text, "LIMIT") {
+		p.next()
+		n := p.next()
+		lim := 0
+		if _, err := fmt.Sscanf(n.text, "%d", &lim); err != nil || lim < 0 {
+			return nil, fmt.Errorf("sparql: bad LIMIT %q", n.text)
+		}
+		q.Limit = lim
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: empty basic graph pattern")
+	}
+	return q, nil
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	s, err := p.parseNode()
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.parseNode()
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.parseNode()
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *parser) parseNode() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case "var":
+		return Node{Var: t.text}, nil
+	case "iri":
+		return Node{Term: rdf.NewIRI(t.text)}, nil
+	case "literal":
+		return Node{Term: rdf.NewLiteral(t.text)}, nil
+	case "ident":
+		if t.text == "a" {
+			return Node{Term: rdf.RDFType}, nil
+		}
+		if isInteger(t.text) {
+			return Node{Term: rdf.NewTypedLiteral(t.text, rdf.XSDInteger)}, nil
+		}
+		if iri, ok := rdf.ExpandQName(t.text); ok {
+			return Node{Term: rdf.NewIRI(iri)}, nil
+		}
+		return Node{}, fmt.Errorf("sparql: cannot resolve %q", t.text)
+	default:
+		return Node{}, fmt.Errorf("sparql: expected node, got %q %q", t.kind, t.text)
+	}
+}
+
+func (p *parser) parseFilter() (Filter, error) {
+	if t := p.next(); t.kind != "(" {
+		return Filter{}, fmt.Errorf("sparql: FILTER needs '('")
+	}
+	v := p.next()
+	if v.kind != "var" {
+		return Filter{}, fmt.Errorf("sparql: FILTER needs a variable")
+	}
+	op := p.next()
+	if op.kind != "op" {
+		return Filter{}, fmt.Errorf("sparql: FILTER needs a comparison, got %q", op.text)
+	}
+	val, err := p.parseNode()
+	if err != nil {
+		return Filter{}, err
+	}
+	if val.IsVar() {
+		return Filter{}, fmt.Errorf("sparql: FILTER against a variable is unsupported")
+	}
+	if t := p.next(); t.kind != ")" {
+		return Filter{}, fmt.Errorf("sparql: FILTER missing ')'")
+	}
+	return Filter{Var: v.text, Op: op.text, Value: val.Term}, nil
+}
+
+func isInteger(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

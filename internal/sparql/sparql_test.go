@@ -1,0 +1,214 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/soccer"
+)
+
+func testGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	pre := func(s string) rdf.Term { return rdf.NewIRI(rdf.NSSoccer + s) }
+	add := func(s rdf.Term, p string, o rdf.Term) { g.AddSPO(s, pre(p), o) }
+	g1, g2, f1 := pre("goal1"), pre("goal2"), pre("foul1")
+	g.AddSPO(g1, rdf.RDFType, pre("Goal"))
+	g.AddSPO(g2, rdf.RDFType, pre("Goal"))
+	g.AddSPO(f1, rdf.RDFType, pre("Foul"))
+	add(g1, "scorerPlayer", pre("Messi"))
+	add(g2, "scorerPlayer", pre("Etoo"))
+	add(f1, "foulingPlayer", pre("Alex"))
+	add(g1, "inMinute", rdf.NewInt(10))
+	add(g2, "inMinute", rdf.NewInt(70))
+	add(pre("Messi"), "playsFor", pre("Barcelona"))
+	add(pre("Etoo"), "playsFor", pre("Barcelona"))
+	return g
+}
+
+func TestSelectBGP(t *testing.T) {
+	q := MustParse(`SELECT ?g ?p WHERE { ?g a pre:Goal . ?g pre:scorerPlayer ?p . }`)
+	sols := q.Exec(testGraph())
+	if len(sols) != 2 {
+		t.Fatalf("%d solutions", len(sols))
+	}
+	if sols[0]["p"].LocalName() != "Etoo" && sols[1]["p"].LocalName() != "Etoo" {
+		t.Errorf("missing Etoo: %v", sols)
+	}
+}
+
+func TestSelectJoinAcrossEntities(t *testing.T) {
+	q := MustParse(`SELECT ?g WHERE {
+		?g a pre:Goal .
+		?g pre:scorerPlayer ?p .
+		?p pre:playsFor pre:Barcelona .
+	}`)
+	if sols := q.Exec(testGraph()); len(sols) != 2 {
+		t.Errorf("%d solutions", len(sols))
+	}
+}
+
+func TestFilterNumeric(t *testing.T) {
+	q := MustParse(`SELECT ?g WHERE { ?g pre:inMinute ?m . FILTER(?m > 45) }`)
+	sols := q.Exec(testGraph())
+	if len(sols) != 1 || sols[0]["g"].LocalName() != "goal2" {
+		t.Errorf("solutions = %v", sols)
+	}
+	q = MustParse(`SELECT ?g WHERE { ?g pre:inMinute ?m . FILTER(?m <= 10) }`)
+	if sols := q.Exec(testGraph()); len(sols) != 1 {
+		t.Errorf("<= filter: %v", sols)
+	}
+}
+
+func TestFilterEquality(t *testing.T) {
+	q := MustParse(`SELECT ?g WHERE { ?g a pre:Goal . ?g pre:scorerPlayer ?p . FILTER(?p != pre:Messi) }`)
+	sols := q.Exec(testGraph())
+	if len(sols) != 1 || sols[0]["g"].LocalName() != "goal2" {
+		t.Errorf("!= filter: %v", sols)
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT ?team WHERE { ?p pre:playsFor ?team . }`)
+	if sols := q.Exec(testGraph()); len(sols) != 1 {
+		t.Errorf("DISTINCT: %v", sols)
+	}
+	q = MustParse(`SELECT ?p WHERE { ?p pre:playsFor ?team . } LIMIT 1`)
+	if sols := q.Exec(testGraph()); len(sols) != 1 {
+		t.Errorf("LIMIT: %v", sols)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?g a pre:Goal . ?g pre:inMinute ?m . }`)
+	sols := q.Exec(testGraph())
+	if len(sols) != 2 {
+		t.Fatalf("%d solutions", len(sols))
+	}
+	if _, ok := sols[0]["m"]; !ok {
+		t.Error("star projection dropped ?m")
+	}
+}
+
+func TestRepeatedVariableJoin(t *testing.T) {
+	g := testGraph()
+	g.AddSPO(rdf.NewIRI(rdf.NSSoccer+"weird"), rdf.NewIRI(rdf.NSSoccer+"marks"), rdf.NewIRI(rdf.NSSoccer+"weird"))
+	q := MustParse(`SELECT ?x WHERE { ?x pre:marks ?x . }`)
+	sols := q.Exec(g)
+	if len(sols) != 1 || sols[0]["x"].LocalName() != "weird" {
+		t.Errorf("self join: %v", sols)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	q := MustParse(`SELECT ?p WHERE { ?p pre:playsFor pre:Barcelona . }`)
+	a := q.Exec(testGraph())
+	b := q.Exec(testGraph())
+	for i := range a {
+		if a[i]["p"] != b[i]["p"] {
+			t.Fatal("solution order unstable")
+		}
+	}
+	if a[0]["p"].LocalName() != "Etoo" {
+		t.Errorf("order = %v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`WHERE { ?a ?b ?c }`,
+		`SELECT WHERE { ?a ?b ?c . }`,
+		`SELECT ?x WHERE { }`,
+		`SELECT ?x WHERE { ?x a pre:Goal .`,
+		`SELECT ?x WHERE { ?x a nope:Goal . }`,
+		`SELECT ?x WHERE { ?x a pre:Goal . } LIMIT many`,
+		`SELECT ?x WHERE { ?x a pre:Goal . FILTER(?x ~ 3) }`,
+		`SELECT ?x WHERE { ?x a pre:Goal . FILTER(?x > ?y) }`,
+		`SELECT ?x WHERE { ?x a "unterminated }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+// TestSPARQLAsUpperBound runs the paper's Q-4 as a formal query over a real
+// inferred match model: SPARQL retrieves exactly the punishment individuals,
+// the precision/recall ceiling the keyword system approaches.
+func TestSPARQLAsUpperBound(t *testing.T) {
+	ont := soccer.BuildOntology()
+	r := reasoner.New(ont)
+	m := owl.NewModel(ont)
+	card := m.NewIndividual("YellowCard")
+	m.Set(card, "punishedPlayer", m.NamedIndividual("Alex", "Sweeper"))
+	red := m.NewIndividual("RedCard")
+	m.Set(red, "punishedPlayer", m.NamedIndividual("Drogba", "CenterForward"))
+	m.NewIndividual("Foul") // not a punishment
+	res := inference.Run(r, soccer.Rules(), m)
+
+	q := MustParse(`SELECT DISTINCT ?e WHERE { ?e a pre:Punishment . }`)
+	sols := q.Exec(res.Model.Graph)
+	if len(sols) != 2 {
+		t.Fatalf("SPARQL found %d punishments, want 2: %v", len(sols), sols)
+	}
+}
+
+func TestFilterLexicalComparison(t *testing.T) {
+	g := rdf.NewGraph()
+	pre := func(s string) rdf.Term { return rdf.NewIRI(rdf.NSSoccer + s) }
+	g.AddSPO(pre("m1"), pre("hasDate"), rdf.NewLiteral("2009-03-04"))
+	g.AddSPO(pre("m2"), pre("hasDate"), rdf.NewLiteral("2009-05-20"))
+	q := MustParse(`SELECT ?m WHERE { ?m pre:hasDate ?d . FILTER(?d > "2009-04-01") }`)
+	sols := q.Exec(g)
+	if len(sols) != 1 || sols[0]["m"].LocalName() != "m2" {
+		t.Errorf("lexical date filter: %v", sols)
+	}
+	q = MustParse(`SELECT ?m WHERE { ?m pre:hasDate ?d . FILTER(?d = "2009-03-04") }`)
+	if sols := q.Exec(g); len(sols) != 1 {
+		t.Errorf("equality on literal: %v", sols)
+	}
+	q = MustParse(`SELECT ?m WHERE { ?m pre:hasDate ?d . FILTER(?d >= "2009-03-04") }`)
+	if sols := q.Exec(g); len(sols) != 2 {
+		t.Errorf(">= filter: %v", sols)
+	}
+}
+
+func TestFilterUnboundVariableFails(t *testing.T) {
+	g := testGraph()
+	q := MustParse(`SELECT ?g WHERE { ?g a pre:Goal . FILTER(?missing > 1) }`)
+	if sols := q.Exec(g); len(sols) != 0 {
+		t.Errorf("unbound filter variable passed: %v", sols)
+	}
+}
+
+func TestCommentsInQuery(t *testing.T) {
+	q := MustParse(`
+# find the goals
+SELECT ?g WHERE {
+  ?g a pre:Goal . # typed pattern
+}`)
+	if sols := q.Exec(testGraph()); len(sols) != 2 {
+		t.Errorf("comments broke parsing: %v", sols)
+	}
+}
+
+func TestLiteralObjectPattern(t *testing.T) {
+	g := rdf.NewGraph()
+	pre := func(s string) rdf.Term { return rdf.NewIRI(rdf.NSSoccer + s) }
+	g.AddSPO(pre("p1"), pre("hasName"), rdf.NewLiteral("Lionel Messi"))
+	q := MustParse(`SELECT ?p WHERE { ?p pre:hasName "Lionel Messi" . }`)
+	if sols := q.Exec(g); len(sols) != 1 {
+		t.Errorf("literal object: %v", sols)
+	}
+}
+
+func TestFullIRIPattern(t *testing.T) {
+	q := MustParse(`SELECT ?g WHERE { ?g <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ceng.metu.edu.tr/soccer#Goal> . }`)
+	if sols := q.Exec(testGraph()); len(sols) != 2 {
+		t.Errorf("full IRIs: %v", sols)
+	}
+}
