@@ -28,6 +28,7 @@ import (
 	"repro/internal/populate"
 	"repro/internal/rdf"
 	"repro/internal/semindex"
+	"repro/internal/shard"
 	"repro/internal/soccer"
 	"repro/internal/sparql"
 )
@@ -51,6 +52,26 @@ type benchEnv struct {
 	pages   []*crawler.MatchPage
 	judge   *eval.Judge
 	indices map[semindex.Level]*semindex.SemanticIndex
+
+	// shardedMu guards sharded, the lazily-built FULL_INF engines by
+	// shard count (engine builds are too expensive to repeat per bench).
+	shardedMu sync.Mutex
+	sharded   map[int]*shard.Engine
+}
+
+// shardedEngine returns the cached FULL_INF engine with n shards.
+func (e *benchEnv) shardedEngine(n int) *shard.Engine {
+	e.shardedMu.Lock()
+	defer e.shardedMu.Unlock()
+	if e.sharded == nil {
+		e.sharded = map[int]*shard.Engine{}
+	}
+	if eng, ok := e.sharded[n]; ok {
+		return eng
+	}
+	eng := shard.Build(semindex.NewBuilder(), semindex.FullInf, e.pages, shard.Options{Shards: n})
+	e.sharded[n] = eng
+	return eng
 }
 
 func env(matches int) *benchEnv {
@@ -395,4 +416,79 @@ func BenchmarkAblationBM25(b *testing.B) {
 	}
 	b.StopTimer()
 	reportMAP(b, e.judge, si, queries)
+}
+
+// BenchmarkShardedBuild contrasts the monolithic FULL_INF build with the
+// sharded engine's three-phase parallel build at growing shard counts.
+// On a multi-core runner the sharded build pulls ahead from ~4 shards:
+// page preparation parallelizes identically in both, but the monolith
+// commits every document on one goroutine while shards commit (analyze
+// and post) concurrently.
+func BenchmarkShardedBuild(b *testing.B) {
+	e := env(10)
+	b.Run("monolith", func(b *testing.B) {
+		builder := semindex.NewBuilder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			builder.Build(semindex.FullInf, e.pages)
+		}
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			builder := semindex.NewBuilder()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shard.Build(builder, semindex.FullInf, e.pages, shard.Options{Shards: n})
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSearch sweeps query latency across corpus sizes for the
+// monolith and the scatter-gather engine. Rankings are identical by
+// construction (see internal/shard); this measures the fan-out/merge tax
+// at small corpora and its amortization as posting lists grow.
+func BenchmarkShardedSearch(b *testing.B) {
+	for _, matches := range []int{10, 50} {
+		e := env(matches)
+		mono := e.indices[semindex.FullInf]
+		b.Run(fmt.Sprintf("monolith/matches=%d", matches), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mono.Search("messi barcelona goal", 10)
+			}
+		})
+		for _, n := range []int{4} {
+			eng := e.shardedEngine(n)
+			b.Run(fmt.Sprintf("shards=%d/matches=%d", n, matches), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng.Search("messi barcelona goal", 10)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedIngest measures incremental ingest: one new match into
+// an engine (owning shard + stats refresh only) versus the monolithic
+// AddPage appended to a full index.
+func BenchmarkShardedIngest(b *testing.B) {
+	e := env(10)
+	page := e.pages[len(e.pages)-1]
+	b.Run("monolith", func(b *testing.B) {
+		builder := semindex.NewBuilder()
+		si := builder.Build(semindex.FullInf, e.pages[:len(e.pages)-1])
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			builder.AddPage(si, page)
+		}
+	})
+	b.Run("shards=4", func(b *testing.B) {
+		eng := shard.Build(semindex.NewBuilder(), semindex.FullInf, e.pages[:len(e.pages)-1], shard.Options{Shards: 4})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.AddPage(page)
+		}
+	})
 }

@@ -1,9 +1,12 @@
 // Command socindex builds the semantic indices of Section 3.6 over a
 // corpus and reports their shape.
 //
-//	socindex                      build all five levels, print stats
-//	socindex -level FULL_INF      build one level
-//	socindex -level FULL_INF -save idx.bin
+//	socindex                                 build all five levels, print stats
+//	socindex -level FULL_INF                 build one level
+//	socindex -level FULL_INF -save idx.bin   persist the built index
+//	socindex -level FULL_INF -shards 4       parallel sharded build
+//	socindex -level FULL_INF -shards 4 -save idx.bin
+//	                                         persist idx.bin.shard000 ... 003
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/semindex"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -22,6 +26,7 @@ func main() {
 	cf.Register(fs)
 	level := fs.String("level", "", "build only this level (TRAD, BASIC_EXT, FULL_EXT, FULL_INF, PHR_EXP)")
 	save := fs.String("save", "", "save the (single) built index to this file")
+	shards := fs.Int("shards", 0, "build an N-way sharded engine instead of a monolithic index")
 	fs.Parse(os.Args[1:])
 
 	pages, _, err := cf.LoadPages()
@@ -35,6 +40,27 @@ func main() {
 	b := semindex.NewBuilder()
 	for _, l := range levels {
 		start := time.Now()
+		if *shards > 0 {
+			eng := shard.Build(b, l, pages, shard.Options{Shards: *shards})
+			st := eng.Stats()
+			fmt.Printf("%-10s %s, built in %v\n", l, st, time.Since(start).Round(time.Millisecond))
+			if *save != "" && len(levels) == 1 {
+				if err := eng.Save(*save); err != nil {
+					cli.Fatal(err)
+				}
+				var total int64
+				for i := 0; i < eng.NumShards(); i++ {
+					fi, err := os.Stat(shard.ShardPath(*save, i))
+					if err != nil {
+						cli.Fatal(err)
+					}
+					total += fi.Size()
+				}
+				fmt.Printf("saved %d shard files to %s.shard* (%d bytes)\n",
+					eng.NumShards(), *save, total)
+			}
+			continue
+		}
 		si := b.Build(l, pages)
 		st := si.Index.Stats()
 		fmt.Printf("%-10s %6d docs, %2d fields, %7d terms, %8d postings, built in %v\n",

@@ -1,7 +1,7 @@
 // Command socserve exposes the semantic index as a web search service —
 // the deployment shape behind the paper's claim that semantic indexing
 // "scales our system up to web search engines". It builds (or loads) a
-// FULL_INF index and serves:
+// FULL_INF index — monolithic or sharded — and serves:
 //
 //	GET /search?q=messi+barcelona+goal&n=10   JSON results with snippets
 //	GET /                                      a minimal HTML search page
@@ -9,23 +9,47 @@
 //
 //	socserve -addr :8090
 //	socserve -addr :8090 -index idx.bin
+//	socserve -addr :8090 -shards 4             sharded engine, per-request scatter-gather
+//	socserve -addr :8090 -shards 4 -index idx.bin
+//	                                           load idx.bin.shard000 ... 003
+//
+// The listener is a fully-configured http.Server (header/read/write
+// timeouts) and shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight searches before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/index"
 	"repro/internal/semindex"
+	"repro/internal/shard"
 )
+
+// maxResults caps the n query parameter: user input never reaches the
+// search layer unclamped.
+const maxResults = 100
+
+// searcher is the serving surface both index shapes provide: the
+// monolithic *semindex.SemanticIndex and the scatter-gather *shard.Engine.
+type searcher interface {
+	Search(query string, limit int) []semindex.Hit
+	Related(docID int, limit int) []semindex.Hit
+	Suggest(query string) string
+}
 
 type searchResult struct {
 	Rank    int     `json:"rank"`
@@ -55,35 +79,106 @@ func main() {
 	cf.Register(fs)
 	addr := fs.String("addr", ":8090", "listen address")
 	indexFile := fs.String("index", "", "load a saved index instead of building")
+	shards := fs.Int("shards", 0, "serve from an N-way sharded engine (with -index: load <index>.shard* files)")
 	fs.Parse(os.Args[1:])
 
-	var si *semindex.SemanticIndex
-	if *indexFile != "" {
-		f, err := os.Open(*indexFile)
+	var s searcher
+	switch {
+	case *shards > 0 && *indexFile != "":
+		eng, err := shard.Load(*indexFile, nil)
 		if err != nil {
 			cli.Fatal(err)
 		}
-		si, err = semindex.Load(f, nil)
-		f.Close()
-		if err != nil {
-			cli.Fatal(err)
-		}
-	} else {
+		fmt.Printf("serving %s engine (%d docs across %d shards) on %s\n",
+			eng.Level(), eng.NumDocs(), eng.NumShards(), *addr)
+		s = eng
+	case *shards > 0:
 		pages, _, err := cf.LoadPages()
 		if err != nil {
 			cli.Fatal(err)
 		}
-		si = semindex.NewBuilder().Build(semindex.FullInf, pages)
+		eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: *shards})
+		fmt.Printf("serving %s engine (%d docs across %d shards) on %s\n",
+			eng.Level(), eng.NumDocs(), eng.NumShards(), *addr)
+		s = eng
+	case *indexFile != "":
+		f, err := os.Open(*indexFile)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		si, err := semindex.Load(f, nil)
+		f.Close()
+		if err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("serving %s index (%d docs) on %s\n", si.Level, si.Index.NumDocs(), *addr)
+		s = si
+	default:
+		pages, _, err := cf.LoadPages()
+		if err != nil {
+			cli.Fatal(err)
+		}
+		si := semindex.NewBuilder().Build(semindex.FullInf, pages)
+		fmt.Printf("serving %s index (%d docs) on %s\n", si.Level, si.Index.NumDocs(), *addr)
+		s = si
 	}
-	fmt.Printf("serving %s index (%d docs) on %s\n", si.Level, si.Index.NumDocs(), *addr)
 
-	if err := http.ListenAndServe(*addr, NewHandler(si)); err != nil {
+	if err := serve(*addr, NewHandler(s)); err != nil {
 		cli.Fatal(err)
 	}
 }
 
-// NewHandler builds the service mux over an index.
-func NewHandler(si *semindex.SemanticIndex) http.Handler {
+// serve runs a configured http.Server until SIGINT/SIGTERM, then drains
+// in-flight requests through a bounded graceful shutdown.
+func serve(addr string, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// parseN clamps the n query parameter to 1..maxResults, defaulting to 10.
+// Malformed, negative, zero or oversized values are rejected.
+func parseN(r *http.Request) (int, error) {
+	s := r.URL.Query().Get("n")
+	if s == "" {
+		return 10, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 || v > maxResults {
+		return 0, fmt.Errorf(`parameter "n" must be 1..%d`, maxResults)
+	}
+	return v, nil
+}
+
+// NewHandler builds the service mux over any searcher (a monolithic index
+// or a sharded engine).
+func NewHandler(s searcher) http.Handler {
 	hl := index.Highlighter{Pre: "<b>", Post: "</b>"}
 	mux := http.NewServeMux()
 
@@ -97,17 +192,13 @@ func NewHandler(si *semindex.SemanticIndex) http.Handler {
 			http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
 			return
 		}
-		n := 10
-		if s := r.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 1 || v > 100 {
-				http.Error(w, `parameter "n" must be 1..100`, http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, err := parseN(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
 		}
 		start := time.Now()
-		hits := si.Search(q, n)
+		hits := s.Search(q, n)
 		resp := searchResponse{
 			Query: q,
 			Took:  time.Since(start).Round(time.Microsecond).String(),
@@ -129,8 +220,8 @@ func NewHandler(si *semindex.SemanticIndex) http.Handler {
 			resp.Results = append(resp.Results, res)
 		}
 		// Facet the full result set by event kind for drill-down.
-		resp.Facets = semindex.Facets(si.Search(q, 0), semindex.MetaKind)
-		resp.DidYouMean = si.Suggest(q)
+		resp.Facets = semindex.Facets(s.Search(q, 0), semindex.MetaKind)
+		resp.DidYouMean = s.Suggest(q)
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -143,7 +234,7 @@ func NewHandler(si *semindex.SemanticIndex) http.Handler {
 			http.Error(w, `parameter "doc" must be a document id`, http.StatusBadRequest)
 			return
 		}
-		hits := si.Related(id, 10)
+		hits := s.Related(id, 10)
 		out := make([]searchResult, 0, len(hits))
 		for i, h := range hits {
 			out = append(out, searchResult{
@@ -173,7 +264,7 @@ func NewHandler(si *semindex.SemanticIndex) http.Handler {
 <form action="/"><input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>
 `, html.EscapeString(q))
 		if q != "" {
-			hits := si.Search(q, 10)
+			hits := s.Search(q, 10)
 			fmt.Fprintf(w, "<p>%d results</p><ol>\n", len(hits))
 			// Highlight on the raw text with sentinel markers, escape, then
 			// swap the markers for tags — highlighting escaped text would

@@ -2,12 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/semindex"
+	"repro/internal/shard"
 	"repro/internal/soccer"
 )
 
@@ -152,5 +158,110 @@ func TestDidYouMean(t *testing.T) {
 	}
 	if !strings.Contains(sr.DidYouMean, "messi") {
 		t.Errorf("didYouMean = %q", sr.DidYouMean)
+	}
+}
+
+// testHandlerSharded serves the same corpus as testHandler from a 3-shard
+// scatter-gather engine.
+func testHandlerSharded(t testing.TB) *httptest.Server {
+	t.Helper()
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 60, PaperCoverage: true})
+	eng := shard.Build(nil, semindex.FullInf, crawler.PagesFromCorpus(c), shard.Options{Shards: 3})
+	srv := httptest.NewServer(NewHandler(eng))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestShardedHandlerMatchesMonolith: the same query against the sharded
+// and monolithic handlers must produce identical result lists — the
+// serving layer inherits the engine's ranking-equivalence guarantee.
+func TestShardedHandlerMatchesMonolith(t *testing.T) {
+	mono := testHandler(t)
+	sharded := testHandlerSharded(t)
+	for _, q := range []string{"punishment", "messi+barcelona+goal", "yellow+card"} {
+		var responses [2]searchResponse
+		for i, srv := range []*httptest.Server{mono, sharded} {
+			resp, err := srv.Client().Get(srv.URL + "/search?q=" + q + "&n=10")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s: status %d", q, resp.StatusCode)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&responses[i])
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if responses[1].Total == 0 {
+			t.Fatalf("%s: sharded handler returned nothing", q)
+		}
+		if len(responses[0].Results) != len(responses[1].Results) {
+			t.Fatalf("%s: %d vs %d results", q, len(responses[0].Results), len(responses[1].Results))
+		}
+		for r := range responses[0].Results {
+			if responses[0].Results[r] != responses[1].Results[r] {
+				t.Errorf("%s rank %d: monolith %+v, sharded %+v",
+					q, r+1, responses[0].Results[r], responses[1].Results[r])
+			}
+		}
+	}
+}
+
+// TestShardedHandlerValidation: the n clamp guards the sharded path too.
+func TestShardedHandlerValidation(t *testing.T) {
+	srv := testHandlerSharded(t)
+	for _, path := range []string{"/search", "/search?q=goal&n=-3", "/search?q=goal&n=101", "/search?q=goal&n=abc"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestGracefulServe exercises the configured server path: serve on a
+// random port, hit /healthz, then shut down via SIGTERM-equivalent cancel.
+func TestGracefulServe(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 1, Seed: 42, NarrationsPerMatch: 30})
+	si := semindex.NewBuilder().Build(semindex.Trad, crawler.PagesFromCorpus(c))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	done := make(chan error, 1)
+	go func() { done <- serve(addr, NewHandler(si)) }()
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/reasoner"
 	"repro/internal/rules"
 	"repro/internal/semindex"
+	"repro/internal/shard"
 	"repro/internal/soccer"
 )
 
@@ -37,10 +38,18 @@ type System struct {
 
 	pages   []*crawler.MatchPage
 	indices map[semindex.Level]*semindex.SemanticIndex
+	// sharded caches partitioned engines by (level, shard count).
+	sharded map[shardKey]*shard.Engine
 	// populated caches per-match populated models by page ID.
 	populated map[string]*populate.PopulatedMatch
 	// inferred caches per-match inference results by page ID.
 	inferred map[string]inference.Result
+}
+
+// shardKey identifies one cached sharded engine.
+type shardKey struct {
+	level semindex.Level
+	n     int
 }
 
 // New assembles a system over the soccer ontology and rule set.
@@ -51,6 +60,7 @@ func New() *System {
 		Reasoner:  reasoner.New(ont),
 		Rules:     soccer.Rules(),
 		indices:   map[semindex.Level]*semindex.SemanticIndex{},
+		sharded:   map[shardKey]*shard.Engine{},
 		populated: map[string]*populate.PopulatedMatch{},
 		inferred:  map[string]inference.Result{},
 	}
@@ -73,13 +83,17 @@ func (s *System) LoadPages(pages []*crawler.MatchPage) {
 }
 
 // AddPage appends one newly crawled match and incrementally extends every
-// already-built index with its documents, so a live deployment can ingest
-// last night's game without a rebuild.
+// already-built index — monolithic and sharded — with its documents, so a
+// live deployment can ingest last night's game without a rebuild. Sharded
+// engines refresh only the owning shard plus their global statistics.
 func (s *System) AddPage(page *crawler.MatchPage) {
 	s.pages = append(s.pages, page)
 	b := &semindex.Builder{Ontology: s.Ontology, Reasoner: s.Reasoner, Rules: s.Rules}
 	for _, ix := range s.indices {
 		b.AddPage(ix, page)
+	}
+	for _, e := range s.sharded {
+		e.AddPage(page)
 	}
 }
 
@@ -130,6 +144,24 @@ func (s *System) BuildIndex(level semindex.Level) *semindex.SemanticIndex {
 	return ix
 }
 
+// BuildShardedIndex constructs (and caches) an nShards-way partitioned
+// engine at the given level over all loaded pages — the scale-out serving
+// shape. Its scatter-gather ranking is identical to the monolithic index's
+// (see internal/shard); AddPage keeps cached engines current.
+func (s *System) BuildShardedIndex(level semindex.Level, nShards int) *shard.Engine {
+	if nShards < 1 {
+		nShards = 1
+	}
+	key := shardKey{level: level, n: nShards}
+	if e, ok := s.sharded[key]; ok {
+		return e
+	}
+	b := &semindex.Builder{Ontology: s.Ontology, Reasoner: s.Reasoner, Rules: s.Rules}
+	e := shard.Build(b, level, s.pages, shard.Options{Shards: nShards})
+	s.sharded[key] = e
+	return e
+}
+
 // Search queries the FULL_INF index (building it on first use), the
 // system's production configuration.
 func (s *System) Search(query string, limit int) []semindex.Hit {
@@ -160,6 +192,6 @@ func (s *System) Summary() string {
 	for _, pm := range s.populated {
 		events += len(pm.Events)
 	}
-	return fmt.Sprintf("%d pages loaded, %d populated matches (%d event records), %d indices built",
-		len(s.pages), len(s.populated), events, len(s.indices))
+	return fmt.Sprintf("%d pages loaded, %d populated matches (%d event records), %d indices built, %d sharded engines",
+		len(s.pages), len(s.populated), events, len(s.indices), len(s.sharded))
 }

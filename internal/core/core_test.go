@@ -220,3 +220,32 @@ func TestAddPageIncrementalIndexing(t *testing.T) {
 		t.Errorf("pages = %d", len(s.Pages()))
 	}
 }
+
+// TestBuildShardedIndex: the system-level sharded path must rank exactly
+// like the monolithic index, stay cached, and absorb incremental pages.
+func TestBuildShardedIndex(t *testing.T) {
+	s := testSystem(t, 3)
+	eng := s.BuildShardedIndex(semindex.FullInf, 2)
+	if eng != s.BuildShardedIndex(semindex.FullInf, 2) {
+		t.Error("sharded engine not cached")
+	}
+	mono := s.BuildIndex(semindex.FullInf)
+	got := eng.Search("messi barcelona goal", 10)
+	want := mono.Search("messi barcelona goal", 10)
+	if len(got) != len(want) {
+		t.Fatalf("%d hits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].DocID != want[i].DocID || got[i].Score != want[i].Score {
+			t.Errorf("rank %d: (%d, %v) want (%d, %v)",
+				i+1, got[i].DocID, got[i].Score, want[i].DocID, want[i].Score)
+		}
+	}
+
+	// AddPage must extend both serving shapes identically.
+	extra := soccer.Generate(soccer.Config{Matches: 4, Seed: 99, NarrationsPerMatch: 40})
+	s.AddPage(crawler.PagesFromCorpus(extra)[3])
+	if eng.NumDocs() != mono.Index.NumDocs() {
+		t.Errorf("after AddPage: engine %d docs, monolith %d", eng.NumDocs(), mono.Index.NumDocs())
+	}
+}

@@ -1,0 +1,73 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearch backs the "safe for concurrent searching" claim in
+// index.go under -race: after an offline build, many goroutines hammer
+// every query shape — term, phrase, boolean, fuzzy, parsed, more-like-this
+// — against the same index and must observe identical results.
+func TestConcurrentSearch(t *testing.T) {
+	ix := New(nil)
+	for i := 0; i < 200; i++ {
+		d := &Document{}
+		d.Add("event", fmt.Sprintf("Goal Shoot event %d", i))
+		d.Add("narration", fmt.Sprintf("player%d scores a wonderful goal in minute %d", i%17, i))
+		ix.Add(d)
+	}
+	fields := []FieldBoost{{Field: "event", Boost: 2}, {Field: "narration", Boost: 1}}
+	queries := []Query{
+		TermQuery{Field: "narration", Term: "goal"},
+		PhraseQuery{Field: "narration", Terms: []string{"wonderful", "goal"}},
+		MultiFieldQuery("goal player3", fields),
+		FuzzyQuery{Field: "narration", Term: "goql"},
+		BooleanQuery{Must: []Query{TermQuery{Field: "event", Term: "goal"}},
+			MustNot: []Query{TermQuery{Field: "narration", Term: "player5"}}},
+	}
+	want := make([][]Hit, len(queries))
+	for i, q := range queries {
+		want[i] = ix.Search(q, 10)
+		if len(want[i]) == 0 {
+			t.Fatalf("query %d matches nothing; bad fixture", i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []string
+	fail := func(msg string) {
+		mu.Lock()
+		errs = append(errs, msg)
+		mu.Unlock()
+	}
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				qi := (g + i) % len(queries)
+				got := ix.Search(queries[qi], 10)
+				if len(got) != len(want[qi]) {
+					fail(fmt.Sprintf("goroutine %d query %d: %d hits, want %d",
+						g, qi, len(got), len(want[qi])))
+					return
+				}
+				for r := range got {
+					if got[r] != want[qi][r] {
+						fail(fmt.Sprintf("goroutine %d query %d rank %d: %+v != %+v",
+							g, qi, r, got[r], want[qi][r]))
+						return
+					}
+				}
+				ix.MoreLikeThis(i%ix.NumDocs(), fields, 4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		t.Error(e)
+	}
+}

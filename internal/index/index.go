@@ -46,6 +46,10 @@ type Index struct {
 	sim      Similarity
 	fields   map[string]*fieldIndex
 	docs     []*Document
+	// global, when set, replaces the local df / doc-count / avg-length
+	// statistics in every ranking formula (see stats.go) so a shard of a
+	// partitioned corpus ranks exactly like the whole.
+	global *CorpusStats
 }
 
 // New returns an empty index using the analyzer for every field and the
@@ -181,10 +185,10 @@ func (ix *Index) Postings(field, term string) []Posting {
 func (ix *Index) DocFreq(field, term string) int { return len(ix.Postings(field, term)) }
 
 // IDF computes the classic Lucene inverse document frequency:
-// 1 + ln(N / (df + 1)).
+// 1 + ln(N / (df + 1)), over corpus-wide statistics when installed.
 func (ix *Index) IDF(field, term string) float64 {
-	df := ix.DocFreq(field, term)
-	return 1 + math.Log(float64(len(ix.docs))/float64(df+1))
+	df := ix.scoringDocFreq(field, term)
+	return 1 + math.Log(float64(ix.scoringNumDocs())/float64(df+1))
 }
 
 // fieldNorm is Lucene's length normalization: 1/sqrt(tokens in field).

@@ -9,6 +9,20 @@ import "sort"
 //
 // It returns nil when the document has no usable terms.
 func (ix *Index) MoreLikeThis(docID int, fields []FieldBoost, maxTerms int) Query {
+	q := ix.LikeThisQuery(docID, fields, maxTerms)
+	if q == nil {
+		return nil
+	}
+	bq := q.(BooleanQuery)
+	bq.MustNot = []Query{docIDQuery{docID}}
+	return bq
+}
+
+// LikeThisQuery is MoreLikeThis without the source-document exclusion.
+// Callers that fan the query out across index partitions (where another
+// partition may reuse the same local docID) filter the source from the
+// merged results themselves.
+func (ix *Index) LikeThisQuery(docID int, fields []FieldBoost, maxTerms int) Query {
 	d := ix.Doc(docID)
 	if d == nil {
 		return nil
@@ -32,14 +46,14 @@ func (ix *Index) MoreLikeThis(docID int, fields []FieldBoost, maxTerms int) Quer
 				continue
 			}
 			seen[term] = true
-			df := ix.DocFreq(fb.Field, term)
+			df := ix.scoringDocFreq(fb.Field, term)
 			if df <= 0 {
 				continue
 			}
 			// Skip terms in more than a third of documents (but never below
 			// a floor of 5, so tiny indices keep their vocabulary): such
 			// terms carry no signal and would drag in everything.
-			ceiling := ix.NumDocs() / 3
+			ceiling := ix.scoringNumDocs() / 3
 			if ceiling < 5 {
 				ceiling = 5
 			}
@@ -67,7 +81,7 @@ func (ix *Index) MoreLikeThis(docID int, fields []FieldBoost, maxTerms int) Quer
 			should = append(should, TermQuery{Field: fb.Field, Term: c.term, Boost: fb.Boost})
 		}
 	}
-	return BooleanQuery{Should: should, DisableCoord: true, MustNot: []Query{docIDQuery{docID}}}
+	return BooleanQuery{Should: should, DisableCoord: true}
 }
 
 // docIDQuery matches exactly one document, used to exclude the source doc

@@ -163,7 +163,8 @@ func (q FuzzyQuery) scores(ix *Index) map[int]float64 {
 		return nil
 	}
 	out := make(map[int]float64)
-	avg := fi.avgLen()
+	avg := ix.scoringAvgLen(q.Field)
+	numDocs := ix.scoringNumDocs()
 	for term, pl := range fi.postings {
 		var weight float64
 		switch {
@@ -174,9 +175,9 @@ func (q FuzzyQuery) scores(ix *Index) map[int]float64 {
 		default:
 			continue
 		}
-		df := len(pl)
+		df := ix.scoringDocFreq(q.Field, term)
 		for _, p := range pl {
-			s := ix.sim.TermScore(p.Freq(), df, len(ix.docs), fi.docLen[p.DocID], avg) * p.Boost * boost * weight
+			s := ix.sim.TermScore(p.Freq(), df, numDocs, fi.docLen[p.DocID], avg) * p.Boost * boost * weight
 			if s > out[p.DocID] {
 				out[p.DocID] = s
 			}

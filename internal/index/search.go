@@ -71,11 +71,12 @@ func (q TermQuery) scores(ix *Index) map[int]float64 {
 		return nil
 	}
 	pl := fi.postings[term]
-	df := len(pl)
-	avg := fi.avgLen()
-	out := make(map[int]float64, df)
+	df := ix.scoringDocFreq(q.Field, term)
+	numDocs := ix.scoringNumDocs()
+	avg := ix.scoringAvgLen(q.Field)
+	out := make(map[int]float64, len(pl))
 	for _, p := range pl {
-		base := ix.sim.TermScore(p.Freq(), df, len(ix.docs), fi.docLen[p.DocID], avg)
+		base := ix.sim.TermScore(p.Freq(), df, numDocs, fi.docLen[p.DocID], avg)
 		out[p.DocID] = base * p.Boost * boost
 	}
 	return out

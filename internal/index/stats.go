@@ -1,0 +1,138 @@
+package index
+
+// Corpus-wide statistics for globally-consistent ranking across index
+// partitions. A single index scores terms against its own document
+// frequencies and lengths; a sharded deployment must not — each shard sees
+// only its slice of the corpus, and per-shard IDF would make the same
+// document score differently depending on which shard it landed in,
+// breaking the merged ranking. The sharded engine therefore exchanges
+// statistics after build: every shard exports LocalStats, the engine merges
+// them with Merge, and SetCorpusStats installs the merged view so that
+// every Similarity computation (TF-IDF, BM25, fuzzy, phrase IDF sums,
+// more-like-this term selection) uses corpus-wide df, doc counts and
+// average field lengths. With identical inputs the per-shard scores are
+// bit-identical to the single-index scores, so a scatter-gather merge
+// reproduces the monolithic ranking exactly.
+
+// FieldStats aggregates one field's collection statistics.
+type FieldStats struct {
+	// Docs is the number of documents carrying the field.
+	Docs int
+	// SumLen is the total token count of the field across those documents.
+	SumLen int
+	// DocFreq maps each term to the number of documents containing it.
+	DocFreq map[string]int
+}
+
+// AvgLen is the mean field length across documents carrying the field.
+func (fs *FieldStats) AvgLen() float64 {
+	if fs == nil || fs.Docs == 0 {
+		return 0
+	}
+	return float64(fs.SumLen) / float64(fs.Docs)
+}
+
+// CorpusStats carries collection-wide statistics, either exported from a
+// single index (LocalStats) or merged across partitions (Merge).
+type CorpusStats struct {
+	// Docs is the total document count.
+	Docs int
+	// Fields maps field name to its aggregated statistics.
+	Fields map[string]*FieldStats
+}
+
+// NewCorpusStats returns empty statistics ready for merging.
+func NewCorpusStats() *CorpusStats {
+	return &CorpusStats{Fields: map[string]*FieldStats{}}
+}
+
+// DocFreq returns the corpus-wide document frequency of a term in a field.
+func (cs *CorpusStats) DocFreq(field, term string) int {
+	fs := cs.Fields[field]
+	if fs == nil {
+		return 0
+	}
+	return fs.DocFreq[term]
+}
+
+// AvgLen returns the corpus-wide average length of a field.
+func (cs *CorpusStats) AvgLen(field string) float64 {
+	return cs.Fields[field].AvgLen()
+}
+
+// Merge folds another partition's statistics into cs. Partitions must be
+// disjoint document sets for the result to be meaningful.
+func (cs *CorpusStats) Merge(o *CorpusStats) {
+	if o == nil {
+		return
+	}
+	cs.Docs += o.Docs
+	for name, ofs := range o.Fields {
+		fs := cs.Fields[name]
+		if fs == nil {
+			fs = &FieldStats{DocFreq: map[string]int{}}
+			cs.Fields[name] = fs
+		}
+		fs.Docs += ofs.Docs
+		fs.SumLen += ofs.SumLen
+		for t, df := range ofs.DocFreq {
+			fs.DocFreq[t] += df
+		}
+	}
+}
+
+// LocalStats exports the index's own statistics — one partition's
+// contribution to the corpus-wide exchange.
+func (ix *Index) LocalStats() *CorpusStats {
+	cs := &CorpusStats{Docs: len(ix.docs), Fields: make(map[string]*FieldStats, len(ix.fields))}
+	for name, fi := range ix.fields {
+		fs := &FieldStats{
+			Docs:    len(fi.docLen),
+			SumLen:  fi.sumLen,
+			DocFreq: make(map[string]int, len(fi.postings)),
+		}
+		for t, pl := range fi.postings {
+			fs.DocFreq[t] = len(pl)
+		}
+		cs.Fields[name] = fs
+	}
+	return cs
+}
+
+// SetCorpusStats installs corpus-wide statistics: all subsequent scoring
+// uses them instead of the index's local counts. Passing nil reverts to
+// local statistics. Like SetSimilarity it must not race with searches;
+// the sharded engine serializes it behind its ingest lock.
+func (ix *Index) SetCorpusStats(cs *CorpusStats) { ix.global = cs }
+
+// CorpusStats returns the installed corpus-wide statistics (nil when the
+// index scores against its local counts).
+func (ix *Index) CorpusStats() *CorpusStats { return ix.global }
+
+// scoringNumDocs is the document count every ranking formula sees.
+func (ix *Index) scoringNumDocs() int {
+	if ix.global != nil {
+		return ix.global.Docs
+	}
+	return len(ix.docs)
+}
+
+// scoringDocFreq is the document frequency every ranking formula sees.
+func (ix *Index) scoringDocFreq(field, term string) int {
+	if ix.global != nil {
+		return ix.global.DocFreq(field, term)
+	}
+	return len(ix.Postings(field, term))
+}
+
+// scoringAvgLen is the average field length every ranking formula sees.
+func (ix *Index) scoringAvgLen(field string) float64 {
+	if ix.global != nil {
+		return ix.global.AvgLen(field)
+	}
+	fi := ix.fields[field]
+	if fi == nil {
+		return 0
+	}
+	return fi.avgLen()
+}

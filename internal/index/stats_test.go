@@ -1,0 +1,129 @@
+package index
+
+import (
+	"math"
+	"testing"
+)
+
+func statsFixture() (*Index, *Index, *Index) {
+	full := New(nil)
+	a := New(nil)
+	b := New(nil)
+	docs := []string{
+		"goal by messi",
+		"yellow card for ramos",
+		"messi misses a goal",
+		"corner kick",
+	}
+	for i, text := range docs {
+		d := &Document{}
+		d.Add("narration", text)
+		full.Add(d)
+		half := &Document{}
+		half.Add("narration", text)
+		if i%2 == 0 {
+			a.Add(half)
+		} else {
+			b.Add(half)
+		}
+	}
+	return full, a, b
+}
+
+// TestLocalStatsExport checks the exported statistics against hand counts.
+func TestLocalStatsExport(t *testing.T) {
+	full, _, _ := statsFixture()
+	cs := full.LocalStats()
+	if cs.Docs != 4 {
+		t.Errorf("docs = %d", cs.Docs)
+	}
+	fs := cs.Fields["narration"]
+	if fs == nil {
+		t.Fatal("no narration stats")
+	}
+	if fs.Docs != 4 {
+		t.Errorf("field docs = %d", fs.Docs)
+	}
+	// "messi" appears in two documents; stemming leaves it intact.
+	if df := cs.DocFreq("narration", "messi"); df != 2 {
+		t.Errorf("df(messi) = %d", df)
+	}
+	if cs.DocFreq("narration", "absent") != 0 || cs.DocFreq("nofield", "messi") != 0 {
+		t.Error("df of unknown term/field not zero")
+	}
+}
+
+// TestMergeReproducesWhole: merging two disjoint partitions' statistics
+// must reproduce the whole collection's, and installing the merged view
+// must make a partition score exactly like the whole.
+func TestMergeReproducesWhole(t *testing.T) {
+	full, a, b := statsFixture()
+	want := full.LocalStats()
+	merged := NewCorpusStats()
+	merged.Merge(a.LocalStats())
+	merged.Merge(b.LocalStats())
+	if merged.Docs != want.Docs {
+		t.Fatalf("merged docs %d, want %d", merged.Docs, want.Docs)
+	}
+	for field, wfs := range want.Fields {
+		mfs := merged.Fields[field]
+		if mfs == nil || mfs.Docs != wfs.Docs || mfs.SumLen != wfs.SumLen {
+			t.Fatalf("field %q stats diverge", field)
+		}
+		for term, df := range wfs.DocFreq {
+			if mfs.DocFreq[term] != df {
+				t.Errorf("df(%s) = %d, want %d", term, mfs.DocFreq[term], df)
+			}
+		}
+	}
+
+	// Without the override partition A computes IDF from its own 2 docs...
+	localIDF := a.IDF("narration", "messi")
+	a.SetCorpusStats(merged)
+	if got, want := a.IDF("narration", "messi"), full.IDF("narration", "messi"); got != want {
+		t.Errorf("global IDF = %v, want %v", got, want)
+	}
+	if a.IDF("narration", "messi") == localIDF {
+		t.Error("override did not change the IDF")
+	}
+	// ...and scores on the partition match the whole index's for the same
+	// document under both similarities.
+	for _, sim := range []Similarity{ClassicTFIDF{}, BM25{}} {
+		a.SetSimilarity(sim)
+		full.SetSimilarity(sim)
+		ga := a.Search(TermQuery{Field: "narration", Term: "goal"}, 0)
+		gf := full.Search(TermQuery{Field: "narration", Term: "goal"}, 0)
+		if len(ga) == 0 {
+			t.Fatal("partition matched nothing")
+		}
+		// Partition A holds full docs 0 and 2 as its docs 0 and 1.
+		for _, h := range ga {
+			var fullScore float64
+			for _, fh := range gf {
+				if fh.DocID == h.DocID*2 {
+					fullScore = fh.Score
+				}
+			}
+			if h.Score != fullScore {
+				t.Errorf("%T: partition score %v, full score %v", sim, h.Score, fullScore)
+			}
+		}
+	}
+	// Reverting restores local scoring.
+	a.SetCorpusStats(nil)
+	if got := a.IDF("narration", "messi"); got != localIDF {
+		t.Errorf("revert: IDF %v, want %v", got, localIDF)
+	}
+}
+
+// TestAvgLenEdgeCases: empty stats answer zero, not NaN.
+func TestAvgLenEdgeCases(t *testing.T) {
+	cs := NewCorpusStats()
+	if v := cs.AvgLen("nope"); v != 0 || math.IsNaN(v) {
+		t.Errorf("AvgLen on empty = %v", v)
+	}
+	var fs *FieldStats
+	if v := fs.AvgLen(); v != 0 {
+		t.Errorf("nil FieldStats AvgLen = %v", v)
+	}
+}

@@ -119,6 +119,14 @@ func (b *Builder) Build(level Level, pages []*crawler.MatchPage) *SemanticIndex 
 	return si
 }
 
+// PageDocuments prepares one match's documents without committing them to
+// any index — the hook the sharded engine (internal/shard) uses to own
+// commit order, document identity and shard placement itself. Safe to call
+// concurrently for different pages.
+func (b *Builder) PageDocuments(level Level, page *crawler.MatchPage) []*index.Document {
+	return b.pageDocuments(level, page)
+}
+
 // pageDocuments prepares one match's documents without touching the index.
 func (b *Builder) pageDocuments(level Level, page *crawler.MatchPage) []*index.Document {
 	if level == Trad {

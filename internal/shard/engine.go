@@ -1,0 +1,287 @@
+// Package shard is the horizontally-partitioned index engine behind the
+// paper's claim that semantic indexing "scales our system up to web search
+// engines" (Sections 3.6, 7). Match pages are partitioned across N shards
+// by a stable hash of the page ID; each shard holds an ordinary
+// semindex.SemanticIndex over its slice of the corpus and is built
+// concurrently. Queries fan out to every shard and the per-shard top-k
+// lists are merged into a global top-k.
+//
+// The engine guarantees the merged ranking is *identical* — documents and
+// scores — to the ranking a single monolithic index over the same corpus
+// would produce. Two mechanisms carry that guarantee:
+//
+//   - Globally-consistent scoring: after build, shards exchange collection
+//     statistics (index.CorpusStats). Every shard then scores against
+//     corpus-wide document frequencies, document counts and average field
+//     lengths instead of its local slice, so identical documents earn
+//     bit-identical scores regardless of shard placement.
+//
+//   - Global document identity: every document carries its global docID
+//     (the docID the monolith would have assigned) in the stored MetaGID
+//     field. Ties are broken on the global ID, and because local IDs within
+//     a shard are assigned in global order, per-shard top-k truncation
+//     never discards a document the global merge would have kept.
+//
+// New matches are ingested incrementally: only the owning shard and the
+// global statistics are refreshed; the other shards are untouched.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/crawler"
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+// MetaGID is the stored-only document field carrying the global docID
+// (the '_' prefix keeps it out of the term space, see index.Index.Add).
+// It rides through the index codec, so persisted shards keep their global
+// identity across save/load.
+const MetaGID = "_gid"
+
+// docRef locates one global document inside the engine.
+type docRef struct {
+	shard int
+	local int
+}
+
+// Options configures a sharded build.
+type Options struct {
+	// Shards is the partition count N (values < 1 mean 1).
+	Shards int
+	// Parallelism bounds the page-preparation worker pool; 0 means
+	// GOMAXPROCS. Shard commits always run with one worker per shard.
+	Parallelism int
+}
+
+// Engine is an N-way sharded semantic index. Searches are safe for
+// concurrent use and may overlap; ingestion (AddPage) is serialized
+// against searches internally.
+type Engine struct {
+	level   semindex.Level
+	builder *semindex.Builder
+	shards  []*semindex.SemanticIndex
+
+	// mu guards the mutable state below: incremental ingest swaps it while
+	// concurrent searches hold the read side.
+	mu sync.RWMutex
+	// byGID maps global docID -> location; gids is the inverse, per shard.
+	byGID []docRef
+	gids  [][]int
+	// perShard caches each shard's local statistics so an ingest only
+	// recomputes the owning shard's contribution before re-merging.
+	perShard []*index.CorpusStats
+	global   *index.CorpusStats
+}
+
+// shardFor places a page on a shard by stable hash, so the same page ID
+// always lands on the same shard regardless of arrival order.
+func shardFor(pageID string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(pageID))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Build constructs the engine over the pages with a parallel three-phase
+// build: prepare every page's documents on a worker pool (extraction,
+// population, inference — the expensive, embarrassingly-parallel part),
+// assign global docIDs in page order (the order the monolith would use),
+// then commit each shard's documents concurrently. A nil builder gets the
+// default soccer pipeline.
+func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage, opts Options) *Engine {
+	if b == nil {
+		b = semindex.NewBuilder()
+	}
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	e := &Engine{
+		level:   level,
+		builder: b,
+		shards:  make([]*semindex.SemanticIndex, n),
+		gids:    make([][]int, n),
+	}
+	for s := 0; s < n; s++ {
+		e.shards[s] = &semindex.SemanticIndex{Level: level, Index: index.New(b.Analyzer)}
+	}
+
+	// Phase 1: prepare per-page documents in parallel.
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	docsByPage := make([][]*index.Document, len(pages))
+	if workers <= 1 || len(pages) < 2 {
+		for i, page := range pages {
+			docsByPage[i] = b.PageDocuments(level, page)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, page := range pages {
+			wg.Add(1)
+			go func(i int, page *crawler.MatchPage) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				docsByPage[i] = b.PageDocuments(level, page)
+			}(i, page)
+		}
+		wg.Wait()
+	}
+
+	// Phase 2: assign global docIDs in page order. Local commit order per
+	// shard follows global order, so the shard/local mapping is known here.
+	pagesByShard := make([][]int, n)
+	for i, page := range pages {
+		s := shardFor(page.ID, n)
+		pagesByShard[s] = append(pagesByShard[s], i)
+		for _, d := range docsByPage[i] {
+			gid := len(e.byGID)
+			d.Add(MetaGID, strconv.Itoa(gid))
+			e.byGID = append(e.byGID, docRef{shard: s, local: len(e.gids[s])})
+			e.gids[s] = append(e.gids[s], gid)
+		}
+	}
+
+	// Phase 3: commit every shard concurrently.
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, pi := range pagesByShard[s] {
+				for _, d := range docsByPage[pi] {
+					e.shards[s].Index.Add(d)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	e.exchangeStats()
+	return e
+}
+
+// exchangeStats recomputes every shard's local statistics in parallel,
+// merges them into the corpus-wide view and installs it on every shard —
+// the post-build exchange that makes per-shard ranking globally
+// consistent. Callers must hold the write lock (or be single-threaded,
+// as during Build).
+func (e *Engine) exchangeStats() {
+	e.perShard = make([]*index.CorpusStats, len(e.shards))
+	var wg sync.WaitGroup
+	for s := range e.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.perShard[s] = e.shards[s].Index.LocalStats()
+		}(s)
+	}
+	wg.Wait()
+	e.mergeAndInstall()
+}
+
+// mergeAndInstall merges the cached per-shard statistics and installs the
+// global view on every shard. Write lock required.
+func (e *Engine) mergeAndInstall() {
+	g := index.NewCorpusStats()
+	for _, cs := range e.perShard {
+		g.Merge(cs)
+	}
+	e.global = g
+	for _, sh := range e.shards {
+		sh.Index.SetCorpusStats(g)
+	}
+}
+
+// AddPage ingests one new match incrementally: only the owning shard is
+// extended and re-profiled; every other shard's inverted index is
+// untouched. The global statistics are re-merged so rankings stay
+// consistent with a from-scratch build over the enlarged corpus.
+func (e *Engine) AddPage(page *crawler.MatchPage) {
+	docs := e.builder.PageDocuments(e.level, page)
+	s := shardFor(page.ID, len(e.shards))
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, d := range docs {
+		gid := len(e.byGID)
+		d.Add(MetaGID, strconv.Itoa(gid))
+		e.byGID = append(e.byGID, docRef{shard: s, local: len(e.gids[s])})
+		e.gids[s] = append(e.gids[s], gid)
+		e.shards[s].Index.Add(d)
+	}
+	e.perShard[s] = e.shards[s].Index.LocalStats()
+	e.mergeAndInstall()
+}
+
+// Level returns the semantic level all shards are built at.
+func (e *Engine) Level() semindex.Level { return e.level }
+
+// NumShards returns the partition count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// NumDocs returns the global document count.
+func (e *Engine) NumDocs() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.byGID)
+}
+
+// Doc returns the stored document for a global docID.
+func (e *Engine) Doc(gid int) *index.Document {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if gid < 0 || gid >= len(e.byGID) {
+		return nil
+	}
+	ref := e.byGID[gid]
+	return e.shards[ref.shard].Index.Doc(ref.local)
+}
+
+// Shard exposes one shard's semantic index (for stats and tests); the
+// returned index must not be mutated.
+func (e *Engine) Shard(i int) *semindex.SemanticIndex { return e.shards[i] }
+
+// Stats summarizes the engine: the exchanged corpus-wide view plus each
+// shard's size.
+type Stats struct {
+	// Shards is the partition count.
+	Shards int
+	// Docs is the global document count.
+	Docs int
+	// Global is the merged corpus-wide statistics every shard scores with.
+	Global *index.CorpusStats
+	// PerShard holds each shard's index size summary.
+	PerShard []index.Stats
+}
+
+// Stats reports the engine's shape after the statistics exchange.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{Shards: len(e.shards), Docs: len(e.byGID), Global: e.global}
+	for _, sh := range e.shards {
+		st.PerShard = append(st.PerShard, sh.Index.Stats())
+	}
+	return st
+}
+
+// String renders a one-line summary for CLIs.
+func (st Stats) String() string {
+	out := fmt.Sprintf("%d shards, %d docs (", st.Shards, st.Docs)
+	for i, ps := range st.PerShard {
+		if i > 0 {
+			out += "+"
+		}
+		out += strconv.Itoa(ps.Docs)
+	}
+	return out + ")"
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+// ShardPath names the file one shard persists to: "<base>.shard000",
+// "<base>.shard001", ... next to the monolithic "<base>".
+func ShardPath(base string, i int) string {
+	return fmt.Sprintf("%s.shard%03d", base, i)
+}
+
+// Save persists every shard through the existing semindex codec, one file
+// per shard. Global document identity rides inside each file as the
+// stored MetaGID field, and the statistics exchange is re-run at load
+// time, so no side manifest is needed.
+func (e *Engine) Save(base string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, sh := range e.shards {
+		f, err := os.Create(ShardPath(base, i))
+		if err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		if err := sh.Save(f); err != nil {
+			f.Close()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load reconstructs an engine from files written by Save, reading
+// "<base>.shard000" onward until the sequence ends. The analyzer must
+// match the build-time one (nil = StandardAnalyzer). The global docID
+// mapping is rebuilt from the stored MetaGID fields and the statistics
+// exchange is repeated, so a loaded engine ranks identically to the
+// in-memory engine that was saved — and to the monolithic index.
+func Load(base string, analyzer index.Analyzer) (*Engine, error) {
+	var shards []*semindex.SemanticIndex
+	for i := 0; ; i++ {
+		f, err := os.Open(ShardPath(base, i))
+		if os.IsNotExist(err) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		si, err := semindex.Load(f, analyzer)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		shards = append(shards, si)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: no shard files at %s", ShardPath(base, 0))
+	}
+	return fromShards(shards)
+}
+
+// fromShards assembles an engine around already-loaded shard indices.
+func fromShards(shards []*semindex.SemanticIndex) (*Engine, error) {
+	e := &Engine{
+		level:   shards[0].Level,
+		builder: semindex.NewBuilder(),
+		shards:  shards,
+		gids:    make([][]int, len(shards)),
+	}
+	total := 0
+	for _, sh := range shards {
+		if sh.Level != e.level {
+			return nil, fmt.Errorf("shard: mixed levels %s and %s", e.level, sh.Level)
+		}
+		total += sh.Index.NumDocs()
+	}
+	e.byGID = make([]docRef, total)
+	seen := make([]bool, total)
+	for s, sh := range shards {
+		n := sh.Index.NumDocs()
+		e.gids[s] = make([]int, n)
+		for local := 0; local < n; local++ {
+			gid, err := strconv.Atoi(sh.Index.Doc(local).Get(MetaGID))
+			if err != nil || gid < 0 || gid >= total {
+				return nil, fmt.Errorf("shard %d doc %d: bad global id %q",
+					s, local, sh.Index.Doc(local).Get(MetaGID))
+			}
+			if seen[gid] {
+				return nil, fmt.Errorf("shard %d doc %d: duplicate global id %d", s, local, gid)
+			}
+			seen[gid] = true
+			e.gids[s][local] = gid
+			e.byGID[gid] = docRef{shard: s, local: local}
+		}
+	}
+	e.exchangeStats()
+	return e, nil
+}

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/semindex"
+)
+
+// TestSaveLoadRoundTrip persists a sharded engine through the per-shard
+// codec files and asserts the loaded engine searches identically to the
+// in-memory one (and therefore to the monolith).
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pages, _ := fixture(t)
+	e := Build(nil, semindex.FullInf, pages, Options{Shards: 3})
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(ShardPath(base, i)); err != nil {
+			t.Fatalf("missing shard file %d: %v", i, err)
+		}
+	}
+	back, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level() != semindex.FullInf || back.NumShards() != 3 || back.NumDocs() != e.NumDocs() {
+		t.Fatalf("loaded engine shape: level %s, %d shards, %d docs",
+			back.Level(), back.NumShards(), back.NumDocs())
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID, back.Search(q.Keywords, 10), e.Search(q.Keywords, 10))
+	}
+	if got, want := back.Suggest("mesi goal"), e.Suggest("mesi goal"); got != want {
+		t.Errorf("loaded Suggest = %q, want %q", got, want)
+	}
+	// A loaded engine keeps ingesting incrementally.
+	extra := pages[0]
+	extraCopy := *extra
+	extraCopy.ID = extra.ID + "-replay"
+	docsBefore := back.NumDocs()
+	back.AddPage(&extraCopy)
+	if back.NumDocs() <= docsBefore {
+		t.Error("loaded engine did not ingest")
+	}
+}
+
+// TestLoadErrors covers the failure modes: nothing at the path and a
+// truncated shard file.
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "nope"), nil); err == nil {
+		t.Error("Load on missing files succeeded")
+	}
+	if err := os.WriteFile(ShardPath(filepath.Join(dir, "trunc"), 0), []byte("SEMIDX FULL_INF\nGARB"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "trunc"), nil); err == nil {
+		t.Error("Load on corrupt shard succeeded")
+	}
+}

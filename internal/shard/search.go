@@ -1,0 +1,196 @@
+package shard
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+// Search fans the keyword query out to every shard concurrently, collects
+// per-shard top-k lists and merges them into the global top-k. Hit DocIDs
+// are global. Because every shard scores with the exchanged corpus-wide
+// statistics and local order equals global order within a shard, the
+// result — documents and scores — is identical to searching a monolithic
+// index over the same corpus. limit <= 0 returns every match.
+func (e *Engine) Search(query string, limit int) []semindex.Hit {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	per := e.scatter(func(s *semindex.SemanticIndex) []semindex.Hit {
+		return s.Search(query, limit)
+	})
+	return e.merge(per, limit)
+}
+
+// SearchQuery scatters an already-built query across the shards — the
+// hook for programmatic callers that bypass the keyword front-end.
+func (e *Engine) SearchQuery(q index.Query, limit int) []semindex.Hit {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.merge(e.searchQueryLocked(q, limit), limit)
+}
+
+func (e *Engine) searchQueryLocked(q index.Query, limit int) [][]semindex.Hit {
+	return e.scatter(func(s *semindex.SemanticIndex) []semindex.Hit {
+		raw := s.Index.Search(q, limit)
+		hits := make([]semindex.Hit, len(raw))
+		for i, h := range raw {
+			hits[i] = semindex.Hit{DocID: h.DocID, Score: h.Score, Doc: s.Index.Doc(h.DocID)}
+		}
+		return hits
+	})
+}
+
+// scatter runs fn against every shard on its own goroutine. Read lock
+// must be held by the caller.
+func (e *Engine) scatter(fn func(*semindex.SemanticIndex) []semindex.Hit) [][]semindex.Hit {
+	per := make([][]semindex.Hit, len(e.shards))
+	if len(e.shards) == 1 {
+		per[0] = fn(e.shards[0])
+		return per
+	}
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *semindex.SemanticIndex) {
+			defer wg.Done()
+			per[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	return per
+}
+
+// merge rewrites per-shard local docIDs to global ones and produces the
+// global ranking: score descending, global docID ascending on ties —
+// exactly the monolith's sort. Read lock must be held.
+func (e *Engine) merge(per [][]semindex.Hit, limit int) []semindex.Hit {
+	total := 0
+	for _, hits := range per {
+		total += len(hits)
+	}
+	out := make([]semindex.Hit, 0, total)
+	for s, hits := range per {
+		for _, h := range hits {
+			out = append(out, semindex.Hit{DocID: e.gids[s][h.DocID], Score: h.Score, Doc: h.Doc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Related returns documents similar to the given global docID, mirroring
+// semindex.Related: the more-like-this query is built on the owning shard
+// (term selection already uses the corpus-wide statistics), scattered to
+// every shard, and the source document is filtered from the merge.
+func (e *Engine) Related(gid int, limit int) []semindex.Hit {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if gid < 0 || gid >= len(e.byGID) {
+		return nil
+	}
+	ref := e.byGID[gid]
+	q := e.shards[ref.shard].Index.LikeThisQuery(ref.local, semindex.QueryBoosts, 8)
+	if q == nil {
+		return nil
+	}
+	// Over-fetch by one per shard so dropping the source cannot starve
+	// the global top-k.
+	fetch := limit
+	if fetch > 0 {
+		fetch++
+	}
+	merged := e.merge(e.searchQueryLocked(q, fetch), 0)
+	out := merged[:0]
+	for _, h := range merged {
+		if h.DocID != gid {
+			out = append(out, h)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Suggest proposes a corrected query exactly like semindex.Suggest, but
+// against the corpus-wide vocabulary: a token that exists only on another
+// shard is not flagged as a typo, and the replacement is the globally
+// most frequent near-miss, independent of shard layout.
+func (e *Engine) Suggest(query string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	boosts := semindex.QueryBoosts
+	if e.level == semindex.Trad {
+		boosts = semindex.TradBoosts
+	}
+	analyzer := e.shards[0].Index.Analyzer()
+	tokens := index.Tokenize(strings.ToLower(query))
+	corrected := make([]string, len(tokens))
+	changed := false
+	for i, tok := range tokens {
+		corrected[i] = tok
+		analyzed := analyzer.Analyze(tok)
+		if len(analyzed) == 0 {
+			continue // pure stopword: nothing to correct
+		}
+		target := analyzed[0]
+		matches := false
+		for _, fb := range boosts {
+			if e.global.DocFreq(fb.Field, target) > 0 {
+				matches = true
+				break
+			}
+		}
+		if matches {
+			continue
+		}
+		if alt := e.nearestTerm(target, boosts); alt != "" {
+			corrected[i] = alt
+			changed = true
+		}
+	}
+	if !changed {
+		return ""
+	}
+	return strings.Join(corrected, " ")
+}
+
+// nearestTerm finds the highest-global-df vocabulary term within edit
+// distance 1 of the target, scanning fields in boost order and terms in
+// lexicographic order for the same tie-breaks as the single-index path.
+func (e *Engine) nearestTerm(target string, boosts []index.FieldBoost) string {
+	best := ""
+	bestDF := 0
+	for _, fb := range boosts {
+		fs := e.global.Fields[fb.Field]
+		if fs == nil {
+			continue
+		}
+		terms := make([]string, 0, len(fs.DocFreq))
+		for t := range fs.DocFreq {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, term := range terms {
+			if term == target || !index.WithinEditDistance1(term, target) {
+				continue
+			}
+			if df := fs.DocFreq[term]; df > bestDF {
+				bestDF = df
+				best = term
+			}
+		}
+	}
+	return best
+}
