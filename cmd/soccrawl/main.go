@@ -1,9 +1,15 @@
 // Command soccrawl exercises the acquisition stage (Section 3.1 step 1) for
 // real: it serves a simulated corpus as a small match-report site over
-// HTTP, or crawls such a site and saves the fetched pages.
+// HTTP — optionally behind a deterministic fault-injection layer — or
+// crawls such a site with the hardened resilient client and saves the
+// fetched pages.
 //
-//	soccrawl -serve :8080                  serve the default corpus
+//	soccrawl -serve :8080                       serve the default corpus
+//	soccrawl -serve :8080 -faults seed=1,drop=0.2,error=0.1,latency=50ms
+//	                                            serve it hostile: dropped
+//	                                            connections, 500s, latency
 //	soccrawl -crawl http://localhost:8080 -out pages/
+//	soccrawl -crawl http://localhost:8080 -retries 5 -rate 50 -strict
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/crawler"
+	"repro/internal/resilience"
 	"repro/internal/soccer"
 )
 
@@ -25,29 +32,48 @@ func main() {
 	var cf cli.CorpusFlags
 	cf.Register(fs)
 	serve := fs.String("serve", "", "serve the simulated corpus on this address")
+	faults := fs.String("faults", "", `inject faults while serving: "seed=1,drop=0.2,error=0.1,truncate=0.05,latency=50ms"`)
 	crawl := fs.String("crawl", "", "crawl a served site at this base URL")
 	out := fs.String("out", "pages", "directory to save crawled pages into")
 	timeout := fs.Duration("timeout", 30*time.Second, "crawl timeout")
+	retries := fs.Int("retries", 3, "retry budget per URL (0 = no retries)")
+	rate := fs.Float64("rate", 0, "max requests/second per host (0 = unlimited)")
+	strict := fs.Bool("strict", false, "abort the crawl on the first unrecoverable page")
 	fs.Parse(os.Args[1:])
 
 	switch {
 	case *serve != "":
 		corpus := soccer.Generate(cf.Config())
+		handler := crawler.NewServer(corpus)
+		fc, err := crawler.ParseFaultConfig(*faults)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if fc.Enabled() {
+			handler = crawler.WithFaults(handler, fc)
+			fmt.Printf("injecting faults: %s\n", fc)
+		}
 		fmt.Printf("serving %s on %s (index at /matches)\n", corpus.Stats(), *serve)
-		if err := http.ListenAndServe(*serve, crawler.NewServer(corpus)); err != nil {
+		if err := http.ListenAndServe(*serve, handler); err != nil {
 			cli.Fatal(err)
 		}
 	case *crawl != "":
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		pages, err := (&crawler.Crawler{}).Crawl(ctx, *crawl)
+		c := crawler.New()
+		c.Retry.MaxRetries = *retries
+		c.Strict = *strict
+		if *rate > 0 {
+			c.Limiter = resilience.NewLimiter(*rate, 4)
+		}
+		rep, err := c.Crawl(ctx, *crawl)
 		if err != nil {
 			cli.Fatal(err)
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			cli.Fatal(err)
 		}
-		for _, p := range pages {
+		for _, p := range rep.Pages {
 			// Re-render from the parsed form: what we save is exactly what
 			// the rest of the pipeline can re-read.
 			path := filepath.Join(*out, p.ID+".html")
@@ -55,9 +81,15 @@ func main() {
 				cli.Fatal(err)
 			}
 		}
-		fmt.Printf("crawled %d pages into %s\n", len(pages), *out)
+		fmt.Printf("crawled %s into %s\n", rep, *out)
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "lost: %s\n", f)
+		}
+		if rep.Degraded() {
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: soccrawl -serve :8080 | -crawl http://host:8080 [-out dir]")
+		fmt.Fprintln(os.Stderr, "usage: soccrawl -serve :8080 [-faults ...] | -crawl http://host:8080 [-out dir] [-retries n] [-strict]")
 		os.Exit(2)
 	}
 }

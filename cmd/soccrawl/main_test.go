@@ -1,11 +1,46 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/resilience"
 	"repro/internal/soccer"
 )
+
+// TestCrawlUnderFaultsRendersBack is the -faults path in-process: serve
+// the corpus behind the fault injector, crawl it with the hardened client
+// the way `soccrawl -crawl` does, and verify every recovered page still
+// renders back to re-parseable HTML.
+func TestCrawlUnderFaultsRendersBack(t *testing.T) {
+	corpus := soccer.Generate(soccer.Config{Matches: 3, Seed: 21, NarrationsPerMatch: 50})
+	fc, err := crawler.ParseFaultConfig("seed=1,drop=0.2,error=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(crawler.WithFaults(crawler.NewServer(corpus), fc))
+	defer srv.Close()
+
+	c := crawler.New()
+	c.Retry.BaseDelay = time.Millisecond
+	c.Retry.MaxDelay = 5 * time.Millisecond
+	c.Breaker = resilience.NewBreaker(20, 10*time.Millisecond)
+	rep, err := c.Crawl(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("crawl under faults: %v", err)
+	}
+	if rep.Degraded() || len(rep.Pages) != len(corpus.Matches) {
+		t.Fatalf("report: %s", rep)
+	}
+	for _, p := range rep.Pages {
+		if _, err := crawler.ParseMatchPage(renderBack(p)); err != nil {
+			t.Errorf("page %s does not render back: %v", p.ID, err)
+		}
+	}
+}
 
 // TestRenderBackRoundTrip: pages saved by the crawl path must re-parse to
 // the same content, including goals, subs and narrations.

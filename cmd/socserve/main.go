@@ -5,17 +5,25 @@
 //
 //	GET /search?q=messi+barcelona+goal&n=10   JSON results with snippets
 //	GET /                                      a minimal HTML search page
-//	GET /healthz                               liveness
+//	GET /healthz                               liveness (always ok while up)
+//	GET /readyz                                readiness (503 until the index is loaded)
 //
 //	socserve -addr :8090
 //	socserve -addr :8090 -index idx.bin
 //	socserve -addr :8090 -shards 4             sharded engine, per-request scatter-gather
 //	socserve -addr :8090 -shards 4 -index idx.bin
 //	                                           load idx.bin.shard000 ... 003
+//	socserve -addr :8090 -shards 4 -shard-timeout 200ms
+//	                                           degraded serving: a shard that
+//	                                           misses the deadline is dropped
+//	                                           from the merge and the response
+//	                                           is marked degraded
 //
-// The listener is a fully-configured http.Server (header/read/write
-// timeouts) and shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight searches before exiting.
+// The listener comes up immediately and reports readiness once the index
+// is loaded, so orchestrators can distinguish "starting" from "dead". It
+// is a fully-configured http.Server (header/read/write timeouts) and shuts
+// down gracefully on SIGINT/SIGTERM, draining in-flight searches before
+// exiting.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -49,6 +58,14 @@ type searcher interface {
 	Search(query string, limit int) []semindex.Hit
 	Related(docID int, limit int) []semindex.Hit
 	Suggest(query string) string
+}
+
+// deadlineSearcher is the degraded-serving surface: only the sharded
+// engine provides it, and only there does a per-shard deadline mean
+// anything.
+type deadlineSearcher interface {
+	searcher
+	SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, shard.SearchReport)
 }
 
 type searchResult struct {
@@ -71,6 +88,11 @@ type searchResponse struct {
 	// DidYouMean carries a spelling suggestion when the query has a token
 	// matching nothing in the index.
 	DidYouMean string `json:"didYouMean,omitempty"`
+	// Degraded is true when a shard missed its deadline and the results
+	// are merged from the remaining shards only.
+	Degraded bool `json:"degraded,omitempty"`
+	// MissingShards names the shards absent from a degraded answer.
+	MissingShards []int `json:"missingShards,omitempty"`
 }
 
 func main() {
@@ -80,51 +102,63 @@ func main() {
 	addr := fs.String("addr", ":8090", "listen address")
 	indexFile := fs.String("index", "", "load a saved index instead of building")
 	shards := fs.Int("shards", 0, "serve from an N-way sharded engine (with -index: load <index>.shard* files)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard search deadline; a late shard degrades the answer instead of stalling it (0 = wait forever)")
 	fs.Parse(os.Args[1:])
 
-	var s searcher
-	switch {
-	case *shards > 0 && *indexFile != "":
-		eng, err := shard.Load(*indexFile, nil)
+	h := NewHandler(nil)
+	h.ShardTimeout = *shardTimeout
+
+	// The listener comes up before the index so /healthz and /readyz can
+	// tell "loading" apart from "down"; /readyz flips once the searcher
+	// lands.
+	go func() {
+		s, desc, err := loadSearcher(&cf, *indexFile, *shards)
 		if err != nil {
 			cli.Fatal(err)
 		}
-		fmt.Printf("serving %s engine (%d docs across %d shards) on %s\n",
-			eng.Level(), eng.NumDocs(), eng.NumShards(), *addr)
-		s = eng
-	case *shards > 0:
+		h.SetSearcher(s)
+		fmt.Printf("serving %s on %s\n", desc, *addr)
+	}()
+
+	if err := serve(*addr, h); err != nil {
+		cli.Fatal(err)
+	}
+}
+
+// loadSearcher builds or loads the configured index shape and describes it.
+func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int) (searcher, string, error) {
+	switch {
+	case shards > 0 && indexFile != "":
+		eng, err := shard.Load(indexFile, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return eng, fmt.Sprintf("%s engine (%d docs across %d shards)", eng.Level(), eng.NumDocs(), eng.NumShards()), nil
+	case shards > 0:
 		pages, _, err := cf.LoadPages()
 		if err != nil {
-			cli.Fatal(err)
+			return nil, "", err
 		}
-		eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: *shards})
-		fmt.Printf("serving %s engine (%d docs across %d shards) on %s\n",
-			eng.Level(), eng.NumDocs(), eng.NumShards(), *addr)
-		s = eng
-	case *indexFile != "":
-		f, err := os.Open(*indexFile)
+		eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: shards})
+		return eng, fmt.Sprintf("%s engine (%d docs across %d shards)", eng.Level(), eng.NumDocs(), eng.NumShards()), nil
+	case indexFile != "":
+		f, err := os.Open(indexFile)
 		if err != nil {
-			cli.Fatal(err)
+			return nil, "", err
 		}
 		si, err := semindex.Load(f, nil)
 		f.Close()
 		if err != nil {
-			cli.Fatal(err)
+			return nil, "", err
 		}
-		fmt.Printf("serving %s index (%d docs) on %s\n", si.Level, si.Index.NumDocs(), *addr)
-		s = si
+		return si, fmt.Sprintf("%s index (%d docs)", si.Level, si.Index.NumDocs()), nil
 	default:
 		pages, _, err := cf.LoadPages()
 		if err != nil {
-			cli.Fatal(err)
+			return nil, "", err
 		}
 		si := semindex.NewBuilder().Build(semindex.FullInf, pages)
-		fmt.Printf("serving %s index (%d docs) on %s\n", si.Level, si.Index.NumDocs(), *addr)
-		s = si
-	}
-
-	if err := serve(*addr, NewHandler(s)); err != nil {
-		cli.Fatal(err)
+		return si, fmt.Sprintf("%s index (%d docs)", si.Level, si.Index.NumDocs()), nil
 	}
 }
 
@@ -176,17 +210,78 @@ func parseN(r *http.Request) (int, error) {
 	return v, nil
 }
 
-// NewHandler builds the service mux over any searcher (a monolithic index
-// or a sharded engine).
-func NewHandler(s searcher) http.Handler {
+// Handler is the service: it serves liveness from the moment it exists,
+// readiness and search only once a searcher is installed, and degraded
+// scatter-gather answers when a ShardTimeout is configured and a shard
+// blows it.
+type Handler struct {
+	mux *http.ServeMux
+	// s holds the installed searcher; nil until SetSearcher, after which
+	// /readyz flips to ready. Atomic so readiness can land mid-traffic.
+	s atomic.Pointer[searcherSlot]
+	// ShardTimeout is the per-shard search deadline applied when the
+	// searcher is a sharded engine; 0 waits for every shard.
+	ShardTimeout time.Duration
+}
+
+// searcherSlot boxes the searcher interface for atomic.Pointer.
+type searcherSlot struct{ s searcher }
+
+// SetSearcher installs (or replaces) the index the handler serves from
+// and marks the service ready.
+func (h *Handler) SetSearcher(s searcher) {
+	h.s.Store(&searcherSlot{s: s})
+}
+
+// ready returns the installed searcher, or false while still loading.
+func (h *Handler) ready() (searcher, bool) {
+	slot := h.s.Load()
+	if slot == nil || slot.s == nil {
+		return nil, false
+	}
+	return slot.s, true
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// search runs one query through the deadline path when available,
+// translating a degraded scatter-gather into the report.
+func (h *Handler) search(s searcher, q string, limit int) ([]semindex.Hit, shard.SearchReport) {
+	if ds, ok := s.(deadlineSearcher); ok && h.ShardTimeout > 0 {
+		return ds.SearchDeadline(q, limit, h.ShardTimeout)
+	}
+	return s.Search(q, limit), shard.SearchReport{}
+}
+
+// NewHandler builds the service over any searcher (a monolithic index or
+// a sharded engine). Pass nil to start not-ready and install the searcher
+// later with SetSearcher.
+func NewHandler(s searcher) *Handler {
+	h := &Handler{mux: http.NewServeMux()}
+	if s != nil {
+		h.SetSearcher(s)
+	}
 	hl := index.Highlighter{Pre: "<b>", Post: "</b>"}
-	mux := http.NewServeMux()
+	mux := h.mux
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := h.ready(); !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
 		q := r.URL.Query().Get("q")
 		if q == "" {
 			http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
@@ -198,11 +293,19 @@ func NewHandler(s searcher) http.Handler {
 			return
 		}
 		start := time.Now()
-		hits := s.Search(q, n)
+		// One unbounded-size fetch serves both the ranked page and the
+		// facet counts; the per-shard deadline bounds its time instead.
+		all, rep := h.search(s, q, 0)
+		hits := all
+		if len(hits) > n {
+			hits = hits[:n]
+		}
 		resp := searchResponse{
-			Query: q,
-			Took:  time.Since(start).Round(time.Microsecond).String(),
-			Total: len(hits),
+			Query:         q,
+			Took:          time.Since(start).Round(time.Microsecond).String(),
+			Total:         len(hits),
+			Degraded:      rep.Degraded,
+			MissingShards: rep.Missing,
 		}
 		for i, h := range hits {
 			res := searchResult{
@@ -220,8 +323,14 @@ func NewHandler(s searcher) http.Handler {
 			resp.Results = append(resp.Results, res)
 		}
 		// Facet the full result set by event kind for drill-down.
-		resp.Facets = semindex.Facets(s.Search(q, 0), semindex.MetaKind)
+		resp.Facets = semindex.Facets(all, semindex.MetaKind)
 		resp.DidYouMean = s.Suggest(q)
+		if rep.Degraded {
+			// Headers mirror the JSON so load balancers and caches can act
+			// on degradation without parsing the body.
+			w.Header().Set("X-Search-Degraded", "true")
+			w.Header().Set("X-Search-Missing-Shards", intsCSV(rep.Missing))
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -229,6 +338,11 @@ func NewHandler(s searcher) http.Handler {
 	})
 
 	mux.HandleFunc("/related", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
 		id, err := strconv.Atoi(r.URL.Query().Get("doc"))
 		if err != nil || id < 0 {
 			http.Error(w, `parameter "doc" must be a document id`, http.StatusBadRequest)
@@ -257,6 +371,11 @@ func NewHandler(s searcher) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
 		q := r.URL.Query().Get("q")
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(w, `<html><head><title>Semantic Soccer Search</title></head><body>
@@ -264,7 +383,10 @@ func NewHandler(s searcher) http.Handler {
 <form action="/"><input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>
 `, html.EscapeString(q))
 		if q != "" {
-			hits := s.Search(q, 10)
+			hits, rep := h.search(s, q, 10)
+			if rep.Degraded {
+				fmt.Fprintf(w, "<p><i>partial results: %d shard(s) timed out</i></p>\n", len(rep.Missing))
+			}
 			fmt.Fprintf(w, "<p>%d results</p><ol>\n", len(hits))
 			// Highlight on the raw text with sentinel markers, escape, then
 			// swap the markers for tags — highlighting escaped text would
@@ -287,5 +409,14 @@ func NewHandler(s searcher) http.Handler {
 		}
 		fmt.Fprintln(w, "</body></html>")
 	})
-	return mux
+	return h
+}
+
+// intsCSV renders shard indices as "1,3" for the degraded-answer header.
+func intsCSV(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
 }

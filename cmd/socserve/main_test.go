@@ -224,6 +224,137 @@ func TestShardedHandlerValidation(t *testing.T) {
 	}
 }
 
+// TestReadiness: the service is live from the first byte but not ready —
+// and serves no queries — until a searcher is installed.
+func TestReadiness(t *testing.T) {
+	h := NewHandler(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != 200 {
+		t.Errorf("healthz while loading = %d, want 200 (liveness is not readiness)", got)
+	}
+	for _, path := range []string{"/readyz", "/search?q=goal", "/related?doc=0", "/"} {
+		if got := get(path); got != http.StatusServiceUnavailable {
+			t.Errorf("%s while loading = %d, want 503", path, got)
+		}
+	}
+
+	c := soccer.Generate(soccer.Config{Matches: 1, Seed: 42, NarrationsPerMatch: 30})
+	h.SetSearcher(semindex.NewBuilder().Build(semindex.Trad, crawler.PagesFromCorpus(c)))
+	if got := get("/readyz"); got != 200 {
+		t.Errorf("readyz after SetSearcher = %d", got)
+	}
+	if got := get("/search?q=goal"); got != 200 {
+		t.Errorf("search after SetSearcher = %d", got)
+	}
+}
+
+// TestDegradedShardServing is the serving half of the degraded-search
+// acceptance test: with one shard stalled past the per-shard deadline the
+// endpoint still answers in budget, merges the live shards, and marks the
+// response degraded in both the JSON body and the response headers.
+func TestDegradedShardServing(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 60, PaperCoverage: true})
+	eng := shard.Build(nil, semindex.FullInf, crawler.PagesFromCorpus(c), shard.Options{Shards: 3})
+	const stalled = 2
+	eng.SetStall(func(i int) {
+		if i == stalled {
+			time.Sleep(2 * time.Second)
+		}
+	})
+	h := NewHandler(eng)
+	h.ShardTimeout = 50 * time.Millisecond
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	start := time.Now()
+	resp, err := srv.Client().Get(srv.URL + "/search?q=goal&n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("degraded search took %v against a 50ms per-shard budget", elapsed)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Search-Degraded"); got != "true" {
+		t.Errorf("X-Search-Degraded = %q", got)
+	}
+	if got := resp.Header.Get("X-Search-Missing-Shards"); got != "2" {
+		t.Errorf("X-Search-Missing-Shards = %q", got)
+	}
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Degraded || len(sr.MissingShards) != 1 || sr.MissingShards[0] != stalled {
+		t.Errorf("body degradation: degraded=%v missing=%v", sr.Degraded, sr.MissingShards)
+	}
+	if sr.Total == 0 {
+		t.Error("degraded answer carried no results from the live shards")
+	}
+}
+
+// TestShardTimeoutHealthyNotDegraded: a configured deadline that every
+// shard meets leaves the response unmarked and identical to the
+// monolith's.
+func TestShardTimeoutHealthyNotDegraded(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 2, Seed: 42, NarrationsPerMatch: 60, PaperCoverage: true})
+	eng := shard.Build(nil, semindex.FullInf, crawler.PagesFromCorpus(c), shard.Options{Shards: 3})
+	h := NewHandler(eng)
+	h.ShardTimeout = 5 * time.Second
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	resp, err := srv.Client().Get(srv.URL + "/search?q=punishment&n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Search-Degraded"); got != "" {
+		t.Errorf("healthy search marked degraded: %q", got)
+	}
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Degraded || len(sr.MissingShards) != 0 || sr.Total == 0 {
+		t.Errorf("response = %+v", sr)
+	}
+
+	// Same query through the monolithic reference handler: identical list.
+	mono := testHandler(t)
+	mresp, err := mono.Client().Get(mono.URL + "/search?q=punishment&n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var msr searchResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&msr); err != nil {
+		t.Fatal(err)
+	}
+	if len(msr.Results) != len(sr.Results) {
+		t.Fatalf("deadline path returned %d results, monolith %d", len(sr.Results), len(msr.Results))
+	}
+	for i := range msr.Results {
+		if msr.Results[i] != sr.Results[i] {
+			t.Errorf("rank %d: %+v vs %+v", i+1, sr.Results[i], msr.Results[i])
+		}
+	}
+}
+
 // TestGracefulServe exercises the configured server path: serve on a
 // random port, hit /healthz, then shut down via SIGTERM-equivalent cancel.
 func TestGracefulServe(t *testing.T) {

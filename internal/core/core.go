@@ -36,8 +36,11 @@ type System struct {
 	Reasoner *reasoner.Reasoner
 	Rules    []*rules.Rule
 
-	pages   []*crawler.MatchPage
-	indices map[semindex.Level]*semindex.SemanticIndex
+	pages []*crawler.MatchPage
+	// lastCrawl is the report of the most recent CrawlFrom, including any
+	// pages lost to a degraded crawl.
+	lastCrawl *crawler.CrawlReport
+	indices   map[semindex.Level]*semindex.SemanticIndex
 	// sharded caches partitioned engines by (level, shard count).
 	sharded map[shardKey]*shard.Engine
 	// populated caches per-match populated models by page ID.
@@ -67,15 +70,25 @@ func New() *System {
 }
 
 // CrawlFrom fetches every match page from a served site (Section 3.1
-// step 1) and loads it into the system.
+// step 1) and loads it into the system. It crawls with the hardened
+// production crawler (retries with backoff, circuit breaker, degraded
+// crawls): transient upstream faults cost retries, not the index build.
+// Pages lost for good are recorded in LastCrawl's report rather than
+// failing the whole acquisition.
 func (s *System) CrawlFrom(ctx context.Context, baseURL string) error {
-	pages, err := (&crawler.Crawler{}).Crawl(ctx, baseURL)
+	rep, err := crawler.New().Crawl(ctx, baseURL)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	s.LoadPages(pages)
+	s.lastCrawl = rep
+	s.LoadPages(rep.Pages)
 	return nil
 }
+
+// LastCrawl returns the report of the most recent successful CrawlFrom
+// (nil before any crawl): every page recovered, every page lost, and the
+// retry/backoff accounting the resilience layer spent.
+func (s *System) LastCrawl() *crawler.CrawlReport { return s.lastCrawl }
 
 // LoadPages loads already-fetched pages (e.g. from crawler.PagesFromCorpus).
 func (s *System) LoadPages(pages []*crawler.MatchPage) {

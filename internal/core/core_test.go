@@ -40,6 +40,31 @@ func TestCrawlFromEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCrawlFromSurvivesFaults: the façade crawls with the hardened
+// client, so a faulty origin costs retries — recorded in LastCrawl — not
+// pages.
+func TestCrawlFromSurvivesFaults(t *testing.T) {
+	c := soccer.Generate(soccer.Config{Matches: 3, Seed: 1, NarrationsPerMatch: 40})
+	srv := httptest.NewServer(crawler.WithFaults(crawler.NewServer(c),
+		crawler.FaultConfig{Seed: 1, DropRate: 0.2, ErrorRate: 0.1}))
+	defer srv.Close()
+
+	s := New()
+	if err := s.CrawlFrom(context.Background(), srv.URL); err != nil {
+		t.Fatalf("CrawlFrom under faults: %v", err)
+	}
+	if len(s.Pages()) != 3 {
+		t.Fatalf("%d pages recovered, want 3", len(s.Pages()))
+	}
+	rep := s.LastCrawl()
+	if rep == nil || rep.Degraded() {
+		t.Fatalf("LastCrawl = %v", rep)
+	}
+	if rep.Stats.Retries == 0 {
+		t.Error("no retries recorded despite injected faults")
+	}
+}
+
 func TestCrawlFromError(t *testing.T) {
 	s := New()
 	if err := s.CrawlFrom(context.Background(), "http://127.0.0.1:1"); err == nil {

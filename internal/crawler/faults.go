@@ -1,0 +1,160 @@
+package crawler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultConfig drives the deterministic fault-injection middleware. Rates
+// are probabilities in [0, 1]; they are drawn per request from a stream
+// seeded by (Seed, path, per-path request ordinal), so the k-th request
+// for a given URL faults — or not — identically across runs regardless of
+// goroutine interleaving. That determinism is what lets tests assert the
+// hardened crawler recovers the exact fault-free page set.
+type FaultConfig struct {
+	// Seed fixes the fault schedule; the same seed reproduces the same
+	// faults per (path, ordinal).
+	Seed int64
+	// DropRate is the probability a request's connection is severed before
+	// a response is written (the client sees EOF/ECONNRESET).
+	DropRate float64
+	// ErrorRate is the probability of a 500 response.
+	ErrorRate float64
+	// LatencyJitter adds a uniform [0, LatencyJitter) delay to every
+	// response, faulted or not.
+	LatencyJitter time.Duration
+	// TruncateRate is the probability the response body is cut short under
+	// an inflated Content-Length (the client sees io.ErrUnexpectedEOF).
+	TruncateRate float64
+}
+
+// Enabled reports whether the config injects anything at all.
+func (fc FaultConfig) Enabled() bool {
+	return fc.DropRate > 0 || fc.ErrorRate > 0 || fc.TruncateRate > 0 || fc.LatencyJitter > 0
+}
+
+func (fc FaultConfig) String() string {
+	return fmt.Sprintf("seed=%d drop=%.2f error=%.2f truncate=%.2f latency=%s",
+		fc.Seed, fc.DropRate, fc.ErrorRate, fc.TruncateRate, fc.LatencyJitter)
+}
+
+// ParseFaultConfig reads the comma-separated "key=value" syntax of the
+// soccrawl -faults flag, e.g. "seed=1,drop=0.2,error=0.1,latency=50ms".
+// Keys: seed, drop, error, truncate, latency. Unknown keys are errors.
+func ParseFaultConfig(s string) (FaultConfig, error) {
+	var fc FaultConfig
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return fc, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fc, fmt.Errorf("faults: %q is not key=value", part)
+		}
+		var err error
+		switch k {
+		case "seed":
+			fc.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "drop":
+			fc.DropRate, err = parseRate(v)
+		case "error":
+			fc.ErrorRate, err = parseRate(v)
+		case "truncate":
+			fc.TruncateRate, err = parseRate(v)
+		case "latency":
+			fc.LatencyJitter, err = time.ParseDuration(v)
+		default:
+			return fc, fmt.Errorf("faults: unknown key %q", k)
+		}
+		if err != nil {
+			return fc, fmt.Errorf("faults: %s: %v", k, err)
+		}
+	}
+	return fc, nil
+}
+
+func parseRate(v string) (float64, error) {
+	r, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", r)
+	}
+	return r, nil
+}
+
+// faultInjector wraps a handler with the configured faults.
+type faultInjector struct {
+	inner http.Handler
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	ordinals map[string]int64 // per-path request counter
+}
+
+// WithFaults wraps handler in the deterministic fault-injection
+// middleware. With a zero-value config it injects nothing. It is how tests
+// and `soccrawl -serve -faults ...` turn the in-process match site into a
+// hostile origin: dropped connections, 500s, latency spikes and truncated
+// bodies, on a schedule fixed by the seed.
+func WithFaults(handler http.Handler, cfg FaultConfig) http.Handler {
+	return &faultInjector{inner: handler, cfg: cfg, ordinals: map[string]int64{}}
+}
+
+// draw produces this request's private random stream: seeded by the global
+// seed, the request path and the per-path ordinal, so concurrency cannot
+// reorder fault decisions.
+func (f *faultInjector) draw(path string) *rand.Rand {
+	f.mu.Lock()
+	n := f.ordinals[path]
+	f.ordinals[path] = n + 1
+	f.mu.Unlock()
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return rand.New(rand.NewSource(f.cfg.Seed ^ int64(h.Sum64()) ^ (n+1)*0x5851f42d4c957f2d))
+}
+
+func (f *faultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rnd := f.draw(r.URL.Path)
+	if f.cfg.LatencyJitter > 0 {
+		time.Sleep(time.Duration(rnd.Int63n(int64(f.cfg.LatencyJitter))))
+	}
+	p := rnd.Float64()
+	switch {
+	case p < f.cfg.DropRate:
+		// Sever the connection without a response; net/http turns the
+		// abort panic into a closed connection, which the client observes
+		// as EOF / connection reset — a retryable network fault.
+		panic(http.ErrAbortHandler)
+	case p < f.cfg.DropRate+f.cfg.ErrorRate:
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+	case p < f.cfg.DropRate+f.cfg.ErrorRate+f.cfg.TruncateRate:
+		// Record the real response, then replay it under its true
+		// Content-Length while writing only half the body: the server
+		// closes the connection early and the client's read ends in
+		// io.ErrUnexpectedEOF — the truncated-body fault.
+		rec := httptest.NewRecorder()
+		f.inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		for k, vs := range rec.Header() {
+			w.Header()[k] = vs
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(rec.Code)
+		if len(body) > 1 {
+			w.Write(body[:len(body)/2])
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		f.inner.ServeHTTP(w, r)
+	}
+}

@@ -1,0 +1,139 @@
+package crawler
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// outcomeSequence records what a client observes across n sequential
+// requests to path: "ok", "500", or "neterr" (drop/truncation).
+func outcomeSequence(t *testing.T, h http.Handler, path string, n int) []string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	var out []string
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			out = append(out, "neterr")
+			continue
+		}
+		_, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case readErr != nil:
+			out = append(out, "neterr")
+		case resp.StatusCode == http.StatusOK:
+			out = append(out, "ok")
+		default:
+			out = append(out, "500")
+		}
+	}
+	return out
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeHTML(w, "<html><body>hello hello hello</body></html>")
+	})
+}
+
+// TestWithFaultsDeterministic: two injectors with the same seed produce
+// the identical outcome sequence; a different seed produces a different
+// one (for any reasonable seed pair).
+func TestWithFaultsDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, DropRate: 0.3, ErrorRate: 0.3}
+	a := outcomeSequence(t, WithFaults(okHandler(), cfg), "/x", 24)
+	b := outcomeSequence(t, WithFaults(okHandler(), cfg), "/x", 24)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different fault schedules:\n%v\n%v", a, b)
+	}
+	faults := 0
+	for _, o := range a {
+		if o != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Errorf("fault mix degenerate: %v", a)
+	}
+	cfg.Seed = 8
+	c := outcomeSequence(t, WithFaults(okHandler(), cfg), "/x", 24)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical schedules: %v", a)
+	}
+}
+
+// TestWithFaultsZeroConfigTransparent: a zero-value config passes every
+// request through untouched.
+func TestWithFaultsZeroConfigTransparent(t *testing.T) {
+	var cfg FaultConfig
+	if cfg.Enabled() {
+		t.Error("zero config claims to be enabled")
+	}
+	got := outcomeSequence(t, WithFaults(okHandler(), cfg), "/x", 10)
+	for _, o := range got {
+		if o != "ok" {
+			t.Fatalf("zero-config injector faulted: %v", got)
+		}
+	}
+}
+
+// TestWithFaultsTruncation: a truncated body surfaces as a client read
+// error, not a short success.
+func TestWithFaultsTruncation(t *testing.T) {
+	got := outcomeSequence(t, WithFaults(okHandler(), FaultConfig{Seed: 1, TruncateRate: 1}), "/x", 5)
+	for _, o := range got {
+		if o != "neterr" {
+			t.Fatalf("truncated response read as %q", o)
+		}
+	}
+}
+
+// TestWithFaultsErrorRate: error-only faults surface as 500s.
+func TestWithFaultsErrorRate(t *testing.T) {
+	got := outcomeSequence(t, WithFaults(okHandler(), FaultConfig{Seed: 1, ErrorRate: 1}), "/x", 3)
+	for _, o := range got {
+		if o != "500" {
+			t.Fatalf("forced error read as %q", o)
+		}
+	}
+}
+
+// TestWithFaultsLatency: latency jitter delays but does not fault.
+func TestWithFaultsLatency(t *testing.T) {
+	cfg := FaultConfig{Seed: 1, LatencyJitter: 10 * time.Millisecond}
+	if !cfg.Enabled() {
+		t.Error("latency-only config claims disabled")
+	}
+	got := outcomeSequence(t, WithFaults(okHandler(), cfg), "/x", 3)
+	for _, o := range got {
+		if o != "ok" {
+			t.Fatalf("latency jitter faulted: %q", o)
+		}
+	}
+}
+
+func TestParseFaultConfig(t *testing.T) {
+	fc, err := ParseFaultConfig("seed=9,drop=0.25,error=0.5,truncate=0.1,latency=75ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultConfig{Seed: 9, DropRate: 0.25, ErrorRate: 0.5, TruncateRate: 0.1, LatencyJitter: 75 * time.Millisecond}
+	if fc != want {
+		t.Errorf("ParseFaultConfig = %+v, want %+v", fc, want)
+	}
+	if fc, err := ParseFaultConfig("  "); err != nil || fc.Enabled() {
+		t.Errorf("blank config: %+v, %v", fc, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "drop=-0.1", "bogus=1", "latency=fast", "seed=x"} {
+		if _, err := ParseFaultConfig(bad); err == nil {
+			t.Errorf("ParseFaultConfig(%q) accepted", bad)
+		}
+	}
+}

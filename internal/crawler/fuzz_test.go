@@ -1,0 +1,60 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/soccer"
+)
+
+// FuzzParseMatchPage hardens the acquisition path against arbitrary
+// upstream HTML: whatever bytes an origin serves, the parser must return a
+// page or an error — never panic — and an accepted page must carry the
+// non-empty ID the rest of the pipeline keys on.
+func FuzzParseMatchPage(f *testing.F) {
+	c := soccer.Generate(soccer.Config{Matches: 1, Seed: 3, NarrationsPerMatch: 20})
+	f.Add(RenderMatchPage(c.Matches[0]))
+	f.Add("")
+	f.Add("<html><body></body></html>")
+	f.Add(`<h1 class="match" data-id="x" data-home-score="0" data-away-score="0"></h1>`)
+	f.Add(`<h1 class="match" data-id="x" data-home-score="NaN" data-away-score="0"></h1>`)
+	f.Add(`<h1 class="match" data-id="x" data-home-score="0" data-away-score="0"></h1>` + "\n" +
+		`<li class="player" data-shirt="ten">P</li>`)
+	f.Add(`<li class="goal" data-minute="90">x</li>`)
+	f.Add(`<ul class="lineup" data-team=`)
+	f.Add(`<h1 class="match" data-id="` + strings.Repeat("a", 100) + `"`)
+	f.Fuzz(func(t *testing.T, src string) {
+		page, err := ParseMatchPage(src)
+		if err == nil && page.ID == "" {
+			t.Errorf("accepted page with empty ID")
+		}
+		if err == nil {
+			// Accepted pages must also survive link extraction untouched —
+			// the two parsers see the same upstream bytes.
+			ExtractLinks(src)
+		}
+	})
+}
+
+// FuzzExtractLinks: link extraction over arbitrary bytes must terminate
+// and never return empty or duplicate hrefs.
+func FuzzExtractLinks(f *testing.F) {
+	f.Add(`<a href="/match/a">A</a>`)
+	f.Add(`<a href='/b'>B</a>`)
+	f.Add(`<a href="unterminated`)
+	f.Add(`href=href=href="`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		links := ExtractLinks(src)
+		seen := map[string]bool{}
+		for _, l := range links {
+			if l == "" {
+				t.Error("empty href returned")
+			}
+			if seen[l] {
+				t.Errorf("duplicate href %q", l)
+			}
+			seen[l] = true
+		}
+	})
+}

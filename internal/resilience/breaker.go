@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned in place of a network call when a host's circuit is
+// open. Classify reports it Retryable: a later attempt may find the
+// circuit half-open and probe through.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Breaker is a per-host circuit breaker. Threshold consecutive failures
+// open a host's circuit; while open, Allow denies every request without
+// touching the network. After Cooldown the circuit goes half-open and
+// admits exactly one probe: a successful probe closes the circuit, a
+// failed one re-opens it for another Cooldown.
+//
+// The zero value is not usable; construct with NewBreaker. All methods are
+// safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// now is the clock, swappable so tests can step through cooldowns
+	// without sleeping.
+	now func() time.Time
+
+	mu    sync.Mutex
+	hosts map[string]*circuit
+}
+
+type circuitState int
+
+const (
+	stateClosed circuitState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// circuit is one host's breaker state.
+type circuit struct {
+	state    circuitState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive failures
+// (values < 1 mean 1) and probing again after cooldown (<= 0 means 1s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		hosts:     map[string]*circuit{},
+	}
+}
+
+// SetClock swaps the breaker's time source; tests use it to cross
+// cooldowns instantly.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Allow reports whether a request to host may proceed. A half-open circuit
+// admits one probe at a time; callers that were admitted must Report the
+// outcome or the probe slot stays taken.
+func (b *Breaker) Allow(host string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.hosts[host]
+	if c == nil {
+		return true
+	}
+	switch c.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(c.openedAt) < b.cooldown {
+			return false
+		}
+		c.state = stateHalfOpen
+		c.probing = true
+		return true
+	default: // half-open: one probe only
+		if c.probing {
+			return false
+		}
+		c.probing = true
+		return true
+	}
+}
+
+// Report records the outcome of an admitted request. Success closes (or
+// keeps closed) the host's circuit; failure counts toward the threshold,
+// and a failed half-open probe re-opens immediately.
+func (b *Breaker) Report(host string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.hosts[host]
+	if c == nil {
+		c = &circuit{}
+		b.hosts[host] = c
+	}
+	if err == nil {
+		c.state = stateClosed
+		c.failures = 0
+		c.probing = false
+		return
+	}
+	switch c.state {
+	case stateHalfOpen:
+		c.state = stateOpen
+		c.openedAt = b.now()
+		c.probing = false
+	default:
+		c.failures++
+		if c.failures >= b.threshold {
+			c.state = stateOpen
+			c.openedAt = b.now()
+			c.failures = 0
+		}
+	}
+}
+
+// State returns a host's circuit state as a string ("closed", "open",
+// "half-open"), for logs and tests.
+func (b *Breaker) State(host string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.hosts[host]
+	if c == nil {
+		return "closed"
+	}
+	switch c.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

@@ -1,0 +1,208 @@
+// Package resilience is the fault-tolerance substrate of the acquisition
+// and serving paths: error classification, a retry policy with exponential
+// backoff and full jitter, a per-host token-bucket rate limiter and a
+// per-host circuit breaker with half-open probing.
+//
+// The paper's pipeline begins with a real crawl; real crawls lose requests.
+// The machinery here lets the crawler degrade instead of abort — retry what
+// is transient, give up fast on what is terminal, stop hammering a host
+// that is down, and account precisely for every attempt — and the same
+// classification vocabulary backs the degraded scatter-gather serving path.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/url"
+	"syscall"
+	"time"
+)
+
+// Class partitions errors by what retrying can achieve.
+type Class int
+
+const (
+	// Retryable errors are transient: timeouts, connection resets, 5xx
+	// responses. A later attempt may succeed.
+	Retryable Class = iota
+	// Terminal errors can never succeed by retrying: 4xx responses, parse
+	// failures, cancelled contexts. Retrying them only wastes budget.
+	Terminal
+)
+
+func (c Class) String() string {
+	if c == Terminal {
+		return "terminal"
+	}
+	return "retryable"
+}
+
+// HTTPError is a non-200 response, classified by status code.
+type HTTPError struct {
+	StatusCode int
+	Status     string
+}
+
+func (e *HTTPError) Error() string { return "status " + e.Status }
+
+// permanentError marks an error terminal regardless of its shape.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Classify reports it Terminal. Use it for failures
+// retrying cannot fix: oversized bodies, malformed pages.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Classify decides whether an error is worth retrying. Unknown errors
+// default to Retryable: on the acquisition path availability beats strictness,
+// and the retry budget bounds the damage of a wrong guess.
+func Classify(err error) Class {
+	if err == nil {
+		return Retryable
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return Terminal
+	}
+	// A cancelled or expired caller context terminates the whole operation;
+	// retrying against it can only fail again.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Terminal
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		switch {
+		case he.StatusCode >= 500:
+			return Retryable // server-side hiccup
+		case he.StatusCode == 429 || he.StatusCode == 408:
+			return Retryable // throttled / request timeout
+		case he.StatusCode >= 400:
+			return Terminal // our request is wrong; it will stay wrong
+		}
+		return Retryable
+	}
+	// Malformed URLs never become well-formed.
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		if _, parseErr := url.Parse(ue.URL); parseErr != nil {
+			return Terminal
+		}
+	}
+	// Network-shaped transience: timeouts, resets, refused connections,
+	// truncated reads.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return Retryable
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.EOF) {
+		return Retryable
+	}
+	return Retryable
+}
+
+// Policy is a retry policy with exponential backoff and full jitter
+// (delay drawn uniformly from [0, min(MaxDelay, BaseDelay<<attempt))), the
+// schedule that decorrelates synchronized retry storms. The zero value
+// retries nothing, so "no retries" is finally expressible; DefaultPolicy
+// is the crawler's production setting.
+type Policy struct {
+	// MaxRetries is how many re-attempts follow the first try. 0 means none.
+	MaxRetries int
+	// BaseDelay seeds the exponential schedule; 0 with MaxRetries > 0 means
+	// 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff; 0 means 2s.
+	MaxDelay time.Duration
+}
+
+// DefaultPolicy is the crawler's production retry setting.
+func DefaultPolicy() Policy {
+	return Policy{MaxRetries: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// Backoff returns the randomized delay before re-attempt number attempt
+// (1-based: the delay after the attempt-th failure).
+func (p Policy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	ceil := base
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	// Full jitter: anywhere in [0, ceil). Never zero so a retry always
+	// yields the scheduler.
+	return time.Duration(rand.Int63n(int64(ceil))) + 1
+}
+
+// Stats accounts for one resilient operation: how hard it had to work.
+type Stats struct {
+	// Attempts counts every call of the operation, including the first.
+	Attempts int
+	// Retries counts re-attempts after a retryable failure.
+	Retries int
+	// Backoff is the total time spent sleeping between attempts.
+	Backoff time.Duration
+	// ShortCircuits counts attempts denied by an open circuit breaker
+	// before reaching the network.
+	ShortCircuits int
+}
+
+// Add merges another operation's accounting into s.
+func (s *Stats) Add(o Stats) {
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Backoff += o.Backoff
+	s.ShortCircuits += o.ShortCircuits
+}
+
+// Do runs fn under the policy: retry retryable failures with backoff, stop
+// at the first terminal one, respect ctx between attempts. It returns the
+// accounting either way; the error is the last failure, wrapped with the
+// attempt count when retries were exhausted.
+func (p Policy) Do(ctx context.Context, fn func() error) (Stats, error) {
+	var st Stats
+	var lastErr error
+	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
+		if attempt > 0 {
+			d := p.Backoff(attempt)
+			select {
+			case <-ctx.Done():
+				return st, ctx.Err()
+			case <-time.After(d):
+			}
+			st.Backoff += d
+			st.Retries++
+		}
+		st.Attempts++
+		lastErr = fn()
+		if lastErr == nil {
+			return st, nil
+		}
+		if Classify(lastErr) == Terminal {
+			return st, lastErr
+		}
+	}
+	return st, fmt.Errorf("after %d attempts: %w", st.Attempts, lastErr)
+}

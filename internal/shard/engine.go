@@ -77,6 +77,21 @@ type Engine struct {
 	// recomputes the owning shard's contribution before re-merging.
 	perShard []*index.CorpusStats
 	global   *index.CorpusStats
+
+	// stall, when set, runs at the start of every per-shard scatter
+	// goroutine with the shard index — the fault-injection hook degraded
+	// serving is tested through. Install before serving traffic.
+	stall func(shard int)
+}
+
+// SetStall installs a per-shard delay hook called at the start of every
+// scatter goroutine. It exists for fault injection: tests (and drills)
+// stall one shard past the SearchDeadline budget and assert the engine
+// degrades instead of hanging. Pass nil to remove. Not for production use.
+func (e *Engine) SetStall(hook func(shard int)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stall = hook
 }
 
 // shardFor places a page on a shard by stable hash, so the same page ID

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/semindex"
@@ -47,7 +48,7 @@ func (e *Engine) searchQueryLocked(q index.Query, limit int) [][]semindex.Hit {
 // must be held by the caller.
 func (e *Engine) scatter(fn func(*semindex.SemanticIndex) []semindex.Hit) [][]semindex.Hit {
 	per := make([][]semindex.Hit, len(e.shards))
-	if len(e.shards) == 1 {
+	if len(e.shards) == 1 && e.stall == nil {
 		per[0] = fn(e.shards[0])
 		return per
 	}
@@ -56,11 +57,107 @@ func (e *Engine) scatter(fn func(*semindex.SemanticIndex) []semindex.Hit) [][]se
 		wg.Add(1)
 		go func(i int, s *semindex.SemanticIndex) {
 			defer wg.Done()
+			if e.stall != nil {
+				e.stall(i)
+			}
 			per[i] = fn(s)
 		}(i, s)
 	}
 	wg.Wait()
 	return per
+}
+
+// SearchReport annotates a deadline-bounded scatter-gather answer with how
+// complete it is: a Degraded answer is correctly merged from the shards
+// that met the deadline, with the stalled ones identified.
+type SearchReport struct {
+	// Degraded is true when at least one shard missed the deadline.
+	Degraded bool
+	// Missing lists the shard indices whose results are absent.
+	Missing []int
+}
+
+// SearchDeadline is the degraded-service form of Search: every shard gets
+// perShard time to answer; the merged top-k over the shards that made it
+// is returned along with a report naming any that did not. perShard <= 0
+// means no deadline (identical to Search). Stragglers are abandoned, not
+// cancelled — they finish in the background, and ingestion stays blocked
+// behind them so an abandoned reader can never observe a mid-ingest shard.
+func (e *Engine) SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, SearchReport) {
+	e.mu.RLock()
+	per, rep, release := e.scatterDeadline(func(s *semindex.SemanticIndex) []semindex.Hit {
+		return s.Search(query, limit)
+	}, perShard)
+	hits := e.merge(per, limit)
+	release()
+	return hits, rep
+}
+
+// scatterDeadline fans fn out to every shard and collects results for at
+// most perShard. The caller must hold the read lock and must call the
+// returned release func after it is done reading engine state: release
+// either unlocks immediately (all shards answered) or hands the read lock
+// to a drain goroutine that unlocks once the stragglers finish, keeping
+// writers out while any abandoned goroutine can still touch a shard.
+func (e *Engine) scatterDeadline(fn func(*semindex.SemanticIndex) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
+	n := len(e.shards)
+	type shardResult struct {
+		i    int
+		hits []semindex.Hit
+	}
+	results := make(chan shardResult, n)
+	for i, s := range e.shards {
+		go func(i int, s *semindex.SemanticIndex) {
+			if e.stall != nil {
+				e.stall(i)
+			}
+			results <- shardResult{i: i, hits: fn(s)}
+		}(i, s)
+	}
+
+	per := make([][]semindex.Hit, n)
+	arrived := make([]bool, n)
+	got := 0
+	var timeout <-chan time.Time
+	if perShard > 0 {
+		t := time.NewTimer(perShard)
+		defer t.Stop()
+		timeout = t.C
+	}
+collect:
+	for got < n {
+		select {
+		case r := <-results:
+			per[r.i] = r.hits
+			arrived[r.i] = true
+			got++
+		case <-timeout:
+			break collect
+		}
+	}
+
+	rep := SearchReport{}
+	for i, ok := range arrived {
+		if !ok {
+			rep.Degraded = true
+			rep.Missing = append(rep.Missing, i)
+		}
+	}
+	if got == n {
+		return per, rep, e.mu.RUnlock
+	}
+	missing := n - got
+	return per, rep, func() {
+		// Drain the stragglers off the caller's critical path, then release
+		// the read lock from the drain goroutine (sync.RWMutex permits a
+		// different goroutine to unlock). Their late results are discarded.
+		go func() {
+			for i := 0; i < missing; i++ {
+				<-results
+			}
+			e.mu.RUnlock()
+		}()
+	}
 }
 
 // merge rewrites per-shard local docIDs to global ones and produces the
