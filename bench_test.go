@@ -24,6 +24,7 @@ import (
 	"repro/internal/ie"
 	"repro/internal/index"
 	"repro/internal/inference"
+	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/populate"
 	"repro/internal/rdf"
@@ -468,6 +469,32 @@ func BenchmarkShardedSearch(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkObsOverhead prices the observability layer on the hottest
+// path: the same sharded engine with its metrics pointed at a live
+// registry versus stripped (SetMetrics(nil) makes every handle a no-op
+// nil). The acceptance bar is <5% p50 overhead — a handful of atomic
+// adds against a scatter-gather search. cmd/socbench records the same
+// comparison into BENCH_3.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	e := env(10)
+	eng := e.shardedEngine(4)
+	b.Run("instrumented", func(b *testing.B) {
+		eng.SetMetrics(obs.NewRegistry())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Search("messi barcelona goal", 10)
+		}
+	})
+	b.Run("uninstrumented", func(b *testing.B) {
+		eng.SetMetrics(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Search("messi barcelona goal", 10)
+		}
+	})
+	eng.SetMetrics(obs.Default)
 }
 
 // BenchmarkShardedIngest measures incremental ingest: one new match into

@@ -1,0 +1,194 @@
+// Command socbench is the benchmark smoke harness behind CI's BENCH_3.json
+// artifact: it builds the sharded FULL_INF engine over the paper-scale
+// corpus, measures build throughput and query latency quantiles, and
+// prices the observability layer by running the same query mix with
+// metrics live and stripped. It is deliberately in-process (no `go test`
+// exec) so one static binary run produces one machine-readable file.
+//
+//	socbench -out BENCH_3.json
+//	socbench -matches 50 -shards 8 -iters 1000 -out -
+//
+// The JSON records query p50/p95, build throughput, and the
+// instrumented-vs-uninstrumented p50 overhead percentage; the CI job
+// fails the build if that overhead crosses the 5% acceptance bar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/crawler"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/semindex"
+	"repro/internal/shard"
+	"repro/internal/soccer"
+)
+
+// report is the BENCH_3.json schema.
+type report struct {
+	Config   config  `json:"config"`
+	Build    build   `json:"build"`
+	Query    latency `json:"query"`
+	Overhead ovh     `json:"overhead"`
+}
+
+type config struct {
+	Matches int `json:"matches"`
+	Shards  int `json:"shards"`
+	Iters   int `json:"iters"`
+}
+
+type build struct {
+	Docs       int     `json:"docs"`
+	Seconds    float64 `json:"seconds"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+}
+
+type latency struct {
+	Iters int     `json:"iters"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+}
+
+type ovh struct {
+	InstrumentedP50us   float64 `json:"instrumented_p50_us"`
+	UninstrumentedP50us float64 `json:"uninstrumented_p50_us"`
+	P50OverheadPct      float64 `json:"p50_overhead_pct"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("socbench", flag.ExitOnError)
+	matches := fs.Int("matches", 10, "corpus size (paper scale is 10)")
+	shards := fs.Int("shards", 4, "engine shard count")
+	iters := fs.Int("iters", 400, "measured queries per arm and round")
+	rounds := fs.Int("rounds", 3, "alternating measurement rounds per arm (best round wins)")
+	maxOverhead := fs.Float64("max-overhead", 0, "fail (exit 1) if p50 overhead exceeds this percentage (0 = report only)")
+	out := fs.String("out", "BENCH_3.json", "output file (- = stdout)")
+	fs.Parse(os.Args[1:])
+
+	cfg := soccer.DefaultConfig()
+	cfg.Matches = *matches
+	pages := crawler.PagesFromCorpus(soccer.Generate(cfg))
+
+	buildStart := time.Now()
+	eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: *shards})
+	buildSec := time.Since(buildStart).Seconds()
+
+	queries := make([]string, 0, len(eval.PaperQueries()))
+	for _, q := range eval.PaperQueries() {
+		queries = append(queries, q.Keywords)
+	}
+
+	// Alternate instrumented/uninstrumented rounds so drift (thermal, GC,
+	// noisy neighbours) hits both arms; keep each arm's fastest round.
+	reg := obs.NewRegistry()
+	instr := make([][]time.Duration, 0, *rounds)
+	plain := make([][]time.Duration, 0, *rounds)
+	for r := 0; r < *rounds; r++ {
+		eng.SetMetrics(reg)
+		instr = append(instr, measure(eng, queries, *iters))
+		eng.SetMetrics(nil)
+		plain = append(plain, measure(eng, queries, *iters))
+	}
+	eng.SetMetrics(obs.Default)
+
+	instrP50 := bestP50(instr)
+	plainP50 := bestP50(plain)
+	all := flatten(instr)
+
+	rep := report{
+		Config: config{Matches: *matches, Shards: *shards, Iters: *iters},
+		Build: build{
+			Docs: eng.NumDocs(), Seconds: buildSec,
+			DocsPerSec: float64(eng.NumDocs()) / buildSec,
+		},
+		Query: latency{
+			Iters: len(all),
+			P50us: quantile(all, 0.50), P95us: quantile(all, 0.95),
+		},
+		Overhead: ovh{
+			InstrumentedP50us:   instrP50,
+			UninstrumentedP50us: plainP50,
+			P50OverheadPct:      100 * (instrP50 - plainP50) / plainP50,
+		},
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("wrote %s: query p50 %.1fµs p95 %.1fµs, build %.0f docs/s, obs overhead %+.2f%%\n",
+			*out, rep.Query.P50us, rep.Query.P95us, rep.Build.DocsPerSec, rep.Overhead.P50OverheadPct)
+	}
+	if *maxOverhead > 0 && rep.Overhead.P50OverheadPct > *maxOverhead {
+		fmt.Fprintf(os.Stderr, "observability overhead %.2f%% exceeds the %.1f%% budget\n",
+			rep.Overhead.P50OverheadPct, *maxOverhead)
+		os.Exit(1)
+	}
+}
+
+// measure runs iters queries (cycling the paper mix) after a short warmup
+// and returns each query's wall time.
+func measure(eng *shard.Engine, queries []string, iters int) []time.Duration {
+	for i := 0; i < iters/10+1; i++ {
+		eng.Search(queries[i%len(queries)], 10)
+	}
+	out := make([]time.Duration, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		eng.Search(queries[i%len(queries)], 10)
+		out[i] = time.Since(start)
+	}
+	return out
+}
+
+// bestP50 returns the lowest per-round median, in microseconds.
+func bestP50(rounds [][]time.Duration) float64 {
+	best := 0.0
+	for i, r := range rounds {
+		p := quantile(r, 0.50)
+		if i == 0 || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+func flatten(rounds [][]time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, r := range rounds {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// quantile returns the q-quantile of samples in microseconds (nearest-rank
+// with linear interpolation).
+func quantile(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return float64(s[len(s)-1]) / 1e3
+	}
+	frac := pos - float64(lo)
+	v := float64(s[lo])*(1-frac) + float64(s[lo+1])*frac
+	return v / 1e3
+}

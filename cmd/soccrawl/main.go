@@ -10,6 +10,9 @@
 //	                                            connections, 500s, latency
 //	soccrawl -crawl http://localhost:8080 -out pages/
 //	soccrawl -crawl http://localhost:8080 -retries 5 -rate 50 -strict
+//	soccrawl -crawl http://localhost:8080 -metrics-out crawl-metrics.prom
+//	                                            dump retry/breaker counters
+//	                                            after the crawl
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/crawler"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/soccer"
 )
@@ -39,6 +43,7 @@ func main() {
 	retries := fs.Int("retries", 3, "retry budget per URL (0 = no retries)")
 	rate := fs.Float64("rate", 0, "max requests/second per host (0 = unlimited)")
 	strict := fs.Bool("strict", false, "abort the crawl on the first unrecoverable page")
+	metricsOut := fs.String("metrics-out", "", "after a crawl, dump the process metrics (Prometheus text) to this file (- = stderr)")
 	fs.Parse(os.Args[1:])
 
 	switch {
@@ -85,6 +90,11 @@ func main() {
 		for _, f := range rep.Failures {
 			fmt.Fprintf(os.Stderr, "lost: %s\n", f)
 		}
+		if *metricsOut != "" {
+			if err := dumpMetrics(*metricsOut); err != nil {
+				cli.Fatal(err)
+			}
+		}
 		if rep.Degraded() {
 			os.Exit(1)
 		}
@@ -92,6 +102,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: soccrawl -serve :8080 [-faults ...] | -crawl http://host:8080 [-out dir] [-retries n] [-strict]")
 		os.Exit(2)
 	}
+}
+
+// dumpMetrics writes the default registry — a one-shot crawl has no
+// /metrics endpoint to scrape, so the retry/breaker counters land in a
+// file (or on stderr with "-") for post-mortem inspection.
+func dumpMetrics(path string) error {
+	if path == "-" {
+		return obs.Default.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // renderBack re-serializes a parsed page through the simulator-independent

@@ -7,6 +7,12 @@
 //	GET /                                      a minimal HTML search page
 //	GET /healthz                               liveness (always ok while up)
 //	GET /readyz                                readiness (503 until the index is loaded)
+//	GET /metrics                               Prometheus text-format metrics
+//	GET /debug/pprof/*                         profiling endpoints (only with -pprof)
+//
+// Every response carries an X-Trace-ID header; -access-log prints one line
+// per request with that ID, and -slow-query logs the per-shard timeline of
+// any request over the threshold.
 //
 //	socserve -addr :8090
 //	socserve -addr :8090 -index idx.bin
@@ -33,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"html"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +52,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/semindex"
 	"repro/internal/shard"
 )
@@ -66,6 +75,18 @@ type searcher interface {
 type deadlineSearcher interface {
 	searcher
 	SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, shard.SearchReport)
+}
+
+// tracedSearcher and tracedDeadlineSearcher are the observable variants:
+// the sharded engine records per-shard and merge spans into the request
+// trace. A searcher without them is served untraced (the span still shows
+// the whole query).
+type tracedSearcher interface {
+	SearchTraced(query string, limit int, tr *obs.Trace) []semindex.Hit
+}
+
+type tracedDeadlineSearcher interface {
+	SearchDeadlineTraced(query string, limit int, perShard time.Duration, tr *obs.Trace) ([]semindex.Hit, shard.SearchReport)
 }
 
 type searchResult struct {
@@ -103,10 +124,22 @@ func main() {
 	indexFile := fs.String("index", "", "load a saved index instead of building")
 	shards := fs.Int("shards", 0, "serve from an N-way sharded engine (with -index: load <index>.shard* files)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard search deadline; a late shard degrades the answer instead of stalling it (0 = wait forever)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	slowQuery := fs.Duration("slow-query", 0, "log requests slower than this, with their per-shard trace (0 = off)")
+	accessLog := fs.Bool("access-log", false, "log every request with its trace ID to stdout")
 	fs.Parse(os.Args[1:])
 
 	h := NewHandler(nil)
 	h.ShardTimeout = *shardTimeout
+	if *pprofOn {
+		h.EnablePprof()
+	}
+	if *slowQuery > 0 {
+		h.Slow = &obs.SlowLog{Threshold: *slowQuery, Out: os.Stderr}
+	}
+	if *accessLog {
+		h.AccessLog = os.Stdout
+	}
 
 	// The listener comes up before the index so /healthz and /readyz can
 	// tell "loading" apart from "down"; /readyz flips once the searcher
@@ -222,6 +255,72 @@ type Handler struct {
 	// ShardTimeout is the per-shard search deadline applied when the
 	// searcher is a sharded engine; 0 waits for every shard.
 	ShardTimeout time.Duration
+	// AccessLog, when set, receives one line per request: trace ID,
+	// method, path, status, duration. Nil disables access logging.
+	AccessLog io.Writer
+	// Slow, when set, logs traces slower than its threshold — the
+	// slow-query log. Nil logs nothing.
+	Slow *obs.SlowLog
+
+	// reg backs /metrics and the handler's own series. Set before serving
+	// traffic (SetMetrics); NewHandler wires obs.Default.
+	reg *obs.Registry
+	hm  handlerMetrics
+}
+
+// Handler metric names.
+const (
+	metricRequests = "socserve_requests_total"
+	metricReqSec   = "socserve_request_seconds"
+	metricInflight = "socserve_inflight_requests"
+	metricDegraded = "socserve_degraded_searches_total"
+)
+
+// handlerMetrics are the service-level series, one step above the engine's.
+type handlerMetrics struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+	degraded *obs.Counter
+}
+
+// SetMetrics points /metrics and the handler's own series at a registry
+// (nil disables the handler's instrumentation and empties /metrics).
+// Call before serving traffic.
+func (h *Handler) SetMetrics(r *obs.Registry) {
+	h.reg = r
+	r.Help(metricRequests, "HTTP requests served.")
+	r.Help(metricReqSec, "HTTP request latency.")
+	r.Help(metricInflight, "Requests currently being served.")
+	r.Help(metricDegraded, "Search responses answered without every shard.")
+	h.hm = handlerMetrics{
+		requests: r.Counter(metricRequests),
+		latency:  r.Histogram(metricReqSec, nil),
+		inflight: r.Gauge(metricInflight),
+		degraded: r.Counter(metricDegraded),
+	}
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ —
+// behind the -pprof flag because profiling endpoints expose internals and
+// cost CPU when scraped.
+func (h *Handler) EnablePprof() {
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // searcherSlot boxes the searcher interface for atomic.Pointer.
@@ -242,14 +341,49 @@ func (h *Handler) ready() (searcher, bool) {
 	return slot.s, true
 }
 
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+// ServeHTTP is the observability middleware around the mux: every request
+// gets a trace (ID surfaced as X-Trace-ID and threaded through the
+// context for the engine's per-shard spans), the in-flight gauge and
+// request counter/histogram move, degraded search answers are counted,
+// and the access log and slow-query log get their lines.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	tr := obs.NewTrace(r.URL.Path)
+	h.hm.inflight.Inc()
+	defer h.hm.inflight.Dec()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	sw.Header().Set("X-Trace-ID", tr.ID)
 
-// search runs one query through the deadline path when available,
-// translating a degraded scatter-gather into the report.
-func (h *Handler) search(s searcher, q string, limit int) ([]semindex.Hit, shard.SearchReport) {
-	if ds, ok := s.(deadlineSearcher); ok && h.ShardTimeout > 0 {
-		return ds.SearchDeadline(q, limit, h.ShardTimeout)
+	h.mux.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+
+	total := tr.Finish()
+	h.hm.requests.Inc()
+	h.hm.latency.ObserveDuration(total)
+	if sw.Header().Get("X-Search-Degraded") == "true" {
+		h.hm.degraded.Inc()
 	}
+	if h.AccessLog != nil {
+		fmt.Fprintf(h.AccessLog, "%s %s %s %d %s\n",
+			tr.ID, r.Method, r.URL.RequestURI(), sw.code, total.Round(time.Microsecond))
+	}
+	h.Slow.Record(tr)
+}
+
+// search runs one query through the most observable path the searcher
+// offers: traced + deadline when both are available, falling back to the
+// plain interfaces. The deadline applies only when configured.
+func (h *Handler) search(s searcher, q string, limit int, tr *obs.Trace) ([]semindex.Hit, shard.SearchReport) {
+	if h.ShardTimeout > 0 {
+		if ds, ok := s.(tracedDeadlineSearcher); ok {
+			return ds.SearchDeadlineTraced(q, limit, h.ShardTimeout, tr)
+		}
+		if ds, ok := s.(deadlineSearcher); ok {
+			return ds.SearchDeadline(q, limit, h.ShardTimeout)
+		}
+	}
+	if ts, ok := s.(tracedSearcher); ok {
+		return ts.SearchTraced(q, limit, tr), shard.SearchReport{}
+	}
+	defer tr.Span("search")()
 	return s.Search(q, limit), shard.SearchReport{}
 }
 
@@ -258,6 +392,7 @@ func (h *Handler) search(s searcher, q string, limit int) ([]semindex.Hit, shard
 // later with SetSearcher.
 func NewHandler(s searcher) *Handler {
 	h := &Handler{mux: http.NewServeMux()}
+	h.SetMetrics(obs.Default)
 	if s != nil {
 		h.SetSearcher(s)
 	}
@@ -266,6 +401,10 @@ func NewHandler(s searcher) *Handler {
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		obs.Handler(h.reg).ServeHTTP(w, r)
 	})
 
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
@@ -295,7 +434,7 @@ func NewHandler(s searcher) *Handler {
 		start := time.Now()
 		// One unbounded-size fetch serves both the ranked page and the
 		// facet counts; the per-shard deadline bounds its time instead.
-		all, rep := h.search(s, q, 0)
+		all, rep := h.search(s, q, 0, obs.TraceFrom(r.Context()))
 		hits := all
 		if len(hits) > n {
 			hits = hits[:n]
@@ -383,7 +522,7 @@ func NewHandler(s searcher) *Handler {
 <form action="/"><input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>
 `, html.EscapeString(q))
 		if q != "" {
-			hits, rep := h.search(s, q, 10)
+			hits, rep := h.search(s, q, 10, obs.TraceFrom(r.Context()))
 			if rep.Degraded {
 				fmt.Fprintf(w, "<p><i>partial results: %d shard(s) timed out</i></p>\n", len(rep.Missing))
 			}

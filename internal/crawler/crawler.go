@@ -49,6 +49,10 @@ type Crawler struct {
 	Strict bool
 	// MaxBodyBytes caps one page body; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+
+	// met holds resolved metric handles (see metrics.go); nil means the
+	// process-wide defaults on obs.Default. Set through SetMetrics.
+	met *crawlerMetrics
 }
 
 // New returns the production crawler: retries with exponential backoff and
@@ -110,6 +114,8 @@ func (c *Crawler) maxBody() int64 {
 // body, the attempt accounting, and the final error if the budget ran out
 // or the failure was terminal.
 func (c *Crawler) fetchResilient(ctx context.Context, client *http.Client, u string) (string, resilience.Stats, error) {
+	met := c.metrics()
+	fetchStart := time.Now()
 	host := hostOf(u)
 	var body string
 	shortCircuits := 0
@@ -119,7 +125,10 @@ func (c *Crawler) fetchResilient(ctx context.Context, client *http.Client, u str
 			return resilience.ErrOpen
 		}
 		if c.Limiter != nil {
-			if err := c.Limiter.Wait(ctx, host); err != nil {
+			waitStart := time.Now()
+			err := c.Limiter.Wait(ctx, host)
+			met.limitWait.ObserveDuration(time.Since(waitStart))
+			if err != nil {
 				return err
 			}
 		}
@@ -138,6 +147,13 @@ func (c *Crawler) fetchResilient(ctx context.Context, client *http.Client, u str
 		return err
 	})
 	st.ShortCircuits = shortCircuits
+	met.attempts.Add(uint64(st.Attempts))
+	met.retries.Add(uint64(st.Retries))
+	met.breaker.Add(uint64(shortCircuits))
+	if err != nil {
+		met.failures.Inc()
+	}
+	met.fetch.ObserveDuration(time.Since(fetchStart))
 	return body, st, err
 }
 
@@ -229,6 +245,7 @@ func (c *Crawler) Crawl(ctx context.Context, baseURL string) (*CrawlReport, erro
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("crawler: %w", err)
 	}
+	c.metrics().pages.Add(uint64(len(rep.Pages)))
 	return rep, nil
 }
 

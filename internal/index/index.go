@@ -155,6 +155,14 @@ func (ix *Index) FieldNames() []string {
 	return out
 }
 
+// HasField reports whether any document has indexed the named field.
+// Query routers use it to decide if a "name:" prefix in user input refers
+// to a real field or is just punctuation in a keyword ("2:1 goal").
+func (ix *Index) HasField(name string) bool {
+	_, ok := ix.fields[name]
+	return ok
+}
+
 // Terms returns the sorted term dictionary of a field, for vocabulary
 // scans such as spelling suggestion.
 func (ix *Index) Terms(field string) []string {

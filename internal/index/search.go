@@ -47,7 +47,10 @@ type TermQuery struct {
 	// Term must be in raw text form; it is analyzed against the index's
 	// analyzer before lookup.
 	Term string
-	// Boost scales this clause (0 means 1).
+	// Boost scales this clause. Zero is a convenience sentinel meaning
+	// "unset" and scores as 1.0 — a TermQuery cannot express "weight this
+	// field at nothing". To drop a field entirely, omit the clause;
+	// MultiFieldQuery does exactly that for zero-boost FieldBoosts.
 	Boost float64
 }
 
@@ -87,6 +90,8 @@ func (q TermQuery) scores(ix *Index) map[int]float64 {
 type PhraseQuery struct {
 	Field string
 	Terms []string
+	// Boost scales this clause; like TermQuery.Boost, zero means "unset"
+	// and scores as 1.0 — it cannot zero-weight the clause.
 	Boost float64
 }
 
@@ -221,11 +226,23 @@ type FieldBoost struct {
 // MultiFieldQuery builds the query Lucene's MultiFieldQueryParser would:
 // for each whitespace token of the text, a disjunction of term queries over
 // the given fields, all combined as Should clauses.
+//
+// A FieldBoost with Boost 0 drops its field from the query entirely. The
+// per-clause queries treat 0 as the "unset, score at 1.0" sentinel, so
+// forwarding a zero boost would silently search the field at full weight
+// — exactly what the Section 3.6.2 boost-ablation hook
+// (semindex.SearchWithBoosts) must not do when it zero-weights a field.
 func MultiFieldQuery(text string, fields []FieldBoost) Query {
+	searched := make([]FieldBoost, 0, len(fields))
+	for _, fb := range fields {
+		if fb.Boost != 0 {
+			searched = append(searched, fb)
+		}
+	}
 	var should []Query
 	for _, tok := range Tokenize(text) {
 		var perField []Query
-		for _, fb := range fields {
+		for _, fb := range searched {
 			perField = append(perField, TermQuery{Field: fb.Field, Term: tok, Boost: fb.Boost})
 		}
 		should = append(should, BooleanQuery{Should: perField, DisableCoord: true})

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// signature, histograms expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			b.WriteString(f.help)
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, "", s.key, "", float64(s.c.Value()))
+			case kindGauge:
+				writeSample(&b, f.name, "", s.key, "", s.g.Value())
+			case kindHistogram:
+				cum := uint64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					writeSample(&b, f.name, "_bucket", s.key,
+						`le="`+formatFloat(bound)+`"`, float64(cum))
+				}
+				writeSample(&b, f.name, "_bucket", s.key, `le="+Inf"`, float64(s.h.Count()))
+				writeSample(&b, f.name, "_sum", s.key, "", s.h.Sum())
+				writeSample(&b, f.name, "_count", s.key, "", float64(s.h.Count()))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample renders one sample line: name{labels,extra} value.
+func writeSample(b *strings.Builder, name, suffix, key, extra string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if key != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(key)
+		if key != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format — mount it at
+// /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("route", "/search"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels resolves to the same series.
+	if again := r.Counter("requests_total", L("route", "/search")); again.Value() != 5 {
+		t.Errorf("re-resolved counter = %d, want 5", again.Value())
+	}
+	// Different labels are a different series.
+	if other := r.Counter("requests_total", L("route", "/related")); other.Value() != 0 {
+		t.Errorf("new series = %d, want 0", other.Value())
+	}
+
+	g := r.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+	g.Set(7.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles must be inert")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram quantile must be NaN")
+	}
+	var tr *Trace
+	tr.Span("s")()
+	tr.AddSpan("s", time.Now(), time.Millisecond)
+	if tr.Finish() != 0 || tr.String() != "" || tr.Spans() != nil {
+		t.Error("nil trace must be inert")
+	}
+	var sl *SlowLog
+	if sl.Record(NewTrace("q")) {
+		t.Error("nil slow log must not record")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry exposition: %v", err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005) // all in the first bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("sum = %v, want 0.5", got)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.01]", q)
+	}
+	h.Observe(5) // +Inf bucket clamps to last bound
+	if q := h.Quantile(1); q != 1 {
+		t.Errorf("p100 = %v, want clamp to 1", q)
+	}
+
+	empty := r.Histogram("empty_seconds", nil)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+}
+
+func TestBucketNormalization(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 0.1, 0.1, 0.01})
+	h.Observe(0.05)
+	want := []float64{0.01, 0.1, 1}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+	for i := range want {
+		if h.bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", h.bounds, want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("searches_total", "Total searches.")
+	r.Counter("searches_total", L("shard", "0")).Add(3)
+	r.Counter("searches_total", L("shard", "1")).Add(7)
+	r.Gauge("inflight").Set(2)
+	h := r.Histogram("search_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP searches_total Total searches.",
+		"# TYPE searches_total counter",
+		`searches_total{shard="0"} 3`,
+		`searches_total{shard="1"} 7`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"# TYPE search_seconds histogram",
+		`search_seconds_bucket{le="0.1"} 1`,
+		`search_seconds_bucket{le="1"} 2`,
+		`search_seconds_bucket{le="+Inf"} 3`,
+		"search_seconds_sum 2.55",
+		"search_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name.
+	if strings.Index(out, "inflight") > strings.Index(out, "search_seconds") {
+		t.Error("families not sorted by name")
+	}
+
+	// The HTTP handler serves the same bytes with the right content type.
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("q", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `q="a\"b\\c\nd"`) {
+		t.Errorf("labels not escaped: %s", b.String())
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free paths under -race: many
+// goroutines hammering one counter, gauge and histogram while exposition
+// runs concurrently.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	// Exposition and resolution race the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+			r.Counter("c")
+		}
+	}()
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if math.Abs(h.Sum()-workers*iters*0.001) > 1e-6 {
+		t.Errorf("histogram sum = %v", h.Sum())
+	}
+}

@@ -20,6 +20,7 @@ type Hit struct {
 // "of X", "to X") and routes them to the subject/object phrase fields.
 // limit <= 0 returns every match.
 func (s *SemanticIndex) Search(query string, limit int) []Hit {
+	queryCounter(s.Level).Inc()
 	q := s.buildQuery(query)
 	raw := s.Index.Search(q, limit)
 	hits := make([]Hit, len(raw))
@@ -37,7 +38,7 @@ func (s *SemanticIndex) buildQuery(query string) index.Query {
 	// Advanced Lucene-style syntax (quoted phrases, +/- operators, field:
 	// prefixes, fuzzy~ terms) routes through the full query parser; plain
 	// keyword queries take the level's standard path.
-	if hasAdvancedSyntax(query) {
+	if s.hasAdvancedSyntax(query) {
 		if q, err := index.ParseQuery(query, boosts); err == nil {
 			return q
 		}
@@ -53,10 +54,28 @@ func (s *SemanticIndex) buildQuery(query string) index.Query {
 }
 
 // hasAdvancedSyntax reports whether the query uses parser-level operators.
-func hasAdvancedSyntax(query string) bool {
-	return strings.ContainsAny(query, `"~:`) ||
+// Punctuation alone is not enough: a ':' only signals field syntax when
+// the prefix before it names a field this index actually holds, and a '~'
+// only signals a fuzzy term as a token suffix. Otherwise plain keyword
+// queries carrying scoreline or time tokens ("2:1 goal", "19:30 kickoff")
+// would be parsed as field-prefix queries — the nonexistent field "2"
+// matches nothing, its tokens drop out of scoring, and the ranking
+// silently changes.
+func (s *SemanticIndex) hasAdvancedSyntax(query string) bool {
+	if strings.Contains(query, `"`) ||
 		strings.HasPrefix(query, "+") || strings.HasPrefix(query, "-") ||
-		strings.Contains(query, " +") || strings.Contains(query, " -")
+		strings.Contains(query, " +") || strings.Contains(query, " -") {
+		return true
+	}
+	for _, tok := range strings.Fields(query) {
+		if strings.HasSuffix(tok, "~") {
+			return true
+		}
+		if i := strings.IndexByte(tok, ':'); i > 0 && s.Index.HasField(tok[:i]) {
+			return true
+		}
+	}
+	return false
 }
 
 // phrasalQuery splits the query into phrasal pairs and plain tokens.

@@ -16,15 +16,44 @@ func (s *SemanticIndex) Suggest(query string) string {
 	if s.Level == Trad {
 		boosts = TradBoosts
 	}
+	return CorrectQuery(s.Index.Analyzer(), boosts, query, s.Index.DocFreq, s.Index.Terms)
+}
+
+// CorrectQuery is the spelling-correction core shared by the monolithic
+// index and the sharded engine, parameterized by where the vocabulary
+// lives: docFreq reports a term's document frequency in a field and terms
+// lists a field's dictionary in ascending order. The monolith passes its
+// local index; the engine passes the exchanged corpus-wide statistics, so
+// both produce identical corrections for identical vocabularies — a
+// guarantee TestSuggestEquivalence holds the two callers to.
+//
+// A token is corrected when its analyzed form has no postings in any
+// searched field; the replacement is the highest-df term within edit
+// distance 1, scanning fields in boost order and terms in lexicographic
+// order with strictly-greater df wins, which fixes the tie-breaks.
+func CorrectQuery(a index.Analyzer, boosts []index.FieldBoost, query string,
+	docFreq func(field, term string) int, terms func(field string) []string) string {
 	tokens := index.Tokenize(strings.ToLower(query))
 	corrected := make([]string, len(tokens))
 	changed := false
 	for i, tok := range tokens {
 		corrected[i] = tok
-		if s.tokenMatches(tok, boosts) {
+		analyzed := a.Analyze(tok)
+		if len(analyzed) == 0 {
+			continue // pure stopword: nothing to correct
+		}
+		target := analyzed[0]
+		matches := false
+		for _, fb := range boosts {
+			if docFreq(fb.Field, target) > 0 {
+				matches = true
+				break
+			}
+		}
+		if matches {
 			continue
 		}
-		if alt := s.nearestTerm(tok, boosts); alt != "" {
+		if alt := nearestTerm(target, boosts, docFreq, terms); alt != "" {
 			corrected[i] = alt
 			changed = true
 		}
@@ -35,42 +64,19 @@ func (s *SemanticIndex) Suggest(query string) string {
 	return strings.Join(corrected, " ")
 }
 
-// tokenMatches reports whether the analyzed token has postings in any
-// searched field.
-func (s *SemanticIndex) tokenMatches(tok string, boosts []index.FieldBoost) bool {
-	analyzed := s.Index.Analyzer().Analyze(tok)
-	if len(analyzed) == 0 {
-		return true // pure stopword: nothing to correct
-	}
-	for _, fb := range boosts {
-		if s.Index.DocFreq(fb.Field, analyzed[0]) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
 // nearestTerm finds the highest-df vocabulary term within edit distance 1
-// of the token, searching the subject/object player fields first (names
-// are where typos happen) and then the remaining fields.
-func (s *SemanticIndex) nearestTerm(tok string, boosts []index.FieldBoost) string {
-	analyzed := s.Index.Analyzer().Analyze(tok)
-	if len(analyzed) == 0 {
-		return ""
-	}
-	target := analyzed[0]
+// of the analyzed target, scanning the subject/object player fields first
+// (names are where typos happen) and then the remaining fields.
+func nearestTerm(target string, boosts []index.FieldBoost,
+	docFreq func(field, term string) int, terms func(field string) []string) string {
 	best := ""
 	bestDF := 0
 	for _, fb := range boosts {
-		for _, term := range s.Index.Terms(fb.Field) {
-			if term == target {
+		for _, term := range terms(fb.Field) {
+			if term == target || !index.WithinEditDistance1(term, target) {
 				continue
 			}
-			if !index.WithinEditDistance1(term, target) {
-				continue
-			}
-			df := s.Index.DocFreq(fb.Field, term)
-			if df > bestDF {
+			if df := docFreq(fb.Field, term); df > bestDF {
 				bestDF = df
 				best = term
 			}

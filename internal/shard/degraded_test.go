@@ -62,11 +62,11 @@ func TestSearchDeadlineDegraded(t *testing.T) {
 	refPer := func(q string, limit int) []semindex.Hit {
 		ref.mu.RLock()
 		defer ref.mu.RUnlock()
-		per := ref.scatter(func(s *semindex.SemanticIndex) []semindex.Hit {
+		per := ref.scatter(nil, func(s *semindex.SemanticIndex) []semindex.Hit {
 			return s.Search(q, limit)
 		})
 		per[stalled] = nil
-		return ref.merge(per, limit)
+		return ref.merge(nil, per, limit)
 	}
 
 	for _, q := range []string{"goal", "foul", "yellow card"} {

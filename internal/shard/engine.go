@@ -32,9 +32,11 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/semindex"
 )
 
@@ -78,6 +80,11 @@ type Engine struct {
 	perShard []*index.CorpusStats
 	global   *index.CorpusStats
 
+	// met holds the engine's metric handles (see metrics.go). Swapped by
+	// SetMetrics under the write lock; read under the read lock on every
+	// search path.
+	met *engineMetrics
+
 	// stall, when set, runs at the start of every per-shard scatter
 	// goroutine with the shard index — the fault-injection hook degraded
 	// serving is tested through. Install before serving traffic.
@@ -109,6 +116,7 @@ func shardFor(pageID string, n int) int {
 // then commit each shard's documents concurrently. A nil builder gets the
 // default soccer pipeline.
 func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage, opts Options) *Engine {
+	buildStart := time.Now()
 	if b == nil {
 		b = semindex.NewBuilder()
 	}
@@ -121,6 +129,7 @@ func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage
 		builder: b,
 		shards:  make([]*semindex.SemanticIndex, n),
 		gids:    make([][]int, n),
+		met:     newEngineMetrics(obs.Default, n),
 	}
 	for s := 0; s < n; s++ {
 		e.shards[s] = &semindex.SemanticIndex{Level: level, Index: index.New(b.Analyzer)}
@@ -181,6 +190,7 @@ func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage
 	wg.Wait()
 
 	e.exchangeStats()
+	e.met.build.ObserveDuration(time.Since(buildStart))
 	return e
 }
 
@@ -221,11 +231,13 @@ func (e *Engine) mergeAndInstall() {
 // untouched. The global statistics are re-merged so rankings stay
 // consistent with a from-scratch build over the enlarged corpus.
 func (e *Engine) AddPage(page *crawler.MatchPage) {
+	start := time.Now()
 	docs := e.builder.PageDocuments(e.level, page)
 	s := shardFor(page.ID, len(e.shards))
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer func() { e.met.ingest.ObserveDuration(time.Since(start)) }()
 	for _, d := range docs {
 		gid := len(e.byGID)
 		d.Add(MetaGID, strconv.Itoa(gid))

@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Metric names the engine publishes. Engines sharing a registry (the
+// default: obs.Default) share series — counts aggregate across engines,
+// which is what a process serving one engine wants and what tests avoid
+// by wiring a fresh registry through SetMetrics.
+const (
+	metricSearches    = "shard_engine_searches_total"
+	metricDegraded    = "shard_engine_degraded_total"
+	metricMissing     = "shard_engine_missing_shards_total"
+	metricSearchSec   = "shard_engine_search_seconds"
+	metricBuildSec    = "shard_engine_build_seconds"
+	metricIngestSec   = "shard_engine_ingest_seconds"
+	metricShardSearch = "shard_search_seconds"
+)
+
+// engineMetrics holds the engine's resolved metric handles. Handles are
+// nil (and every update a no-op) when built from a nil registry, so the
+// uninstrumented engine pays a nil check per event and nothing else.
+type engineMetrics struct {
+	// searches counts top-level queries (Search, SearchDeadline, SearchQuery).
+	searches *obs.Counter
+	// degraded counts deadline searches that lost at least one shard;
+	// missing counts the shards lost across them.
+	degraded *obs.Counter
+	missing  *obs.Counter
+	// latency observes whole-query wall time, scatter through merge.
+	latency *obs.Histogram
+	// build and ingest time the write paths.
+	build  *obs.Histogram
+	ingest *obs.Histogram
+	// perShard observes each shard's individual search time, labeled
+	// shard="N" — the histogram that makes a straggling shard visible.
+	perShard []*obs.Histogram
+}
+
+// newEngineMetrics resolves the engine's series in r (nil r means no-ops).
+func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
+	r.Help(metricSearches, "Top-level engine queries.")
+	r.Help(metricDegraded, "Deadline searches answered without every shard.")
+	r.Help(metricMissing, "Shards missing from degraded answers, cumulative.")
+	r.Help(metricSearchSec, "Whole-query latency: scatter through merge.")
+	r.Help(metricBuildSec, "Full sharded build duration.")
+	r.Help(metricIngestSec, "Incremental AddPage duration.")
+	r.Help(metricShardSearch, "Per-shard search latency.")
+	m := &engineMetrics{
+		searches: r.Counter(metricSearches),
+		degraded: r.Counter(metricDegraded),
+		missing:  r.Counter(metricMissing),
+		latency:  r.Histogram(metricSearchSec, nil),
+		build:    r.Histogram(metricBuildSec, nil),
+		ingest:   r.Histogram(metricIngestSec, nil),
+		perShard: make([]*obs.Histogram, shards),
+	}
+	for i := range m.perShard {
+		m.perShard[i] = r.Histogram(metricShardSearch, nil, obs.L("shard", strconv.Itoa(i)))
+	}
+	return m
+}
+
+// SetMetrics points the engine's instrumentation at a registry: obs.Default
+// is wired by Build, a fresh registry isolates a test, and nil strips the
+// instrumentation entirely (the uninstrumented arm of the overhead bench).
+func (e *Engine) SetMetrics(r *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.met = newEngineMetrics(r, len(e.shards))
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/semindex"
 )
 
@@ -74,6 +75,7 @@ func fromShards(shards []*semindex.SemanticIndex) (*Engine, error) {
 		builder: semindex.NewBuilder(),
 		shards:  shards,
 		gids:    make([][]int, len(shards)),
+		met:     newEngineMetrics(obs.Default, len(shards)),
 	}
 	total := 0
 	for _, sh := range shards {

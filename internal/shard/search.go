@@ -2,11 +2,12 @@ package shard
 
 import (
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/semindex"
 )
 
@@ -17,24 +18,40 @@ import (
 // result — documents and scores — is identical to searching a monolithic
 // index over the same corpus. limit <= 0 returns every match.
 func (e *Engine) Search(query string, limit int) []semindex.Hit {
+	return e.SearchTraced(query, limit, nil)
+}
+
+// SearchTraced is Search with a request trace attached: each shard's
+// search is recorded as a "shardN" span and the global merge as "merge",
+// so a slow query's timeline shows which shard dragged. A nil trace is
+// free — Search calls through here.
+func (e *Engine) SearchTraced(query string, limit int, tr *obs.Trace) []semindex.Hit {
+	start := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	per := e.scatter(func(s *semindex.SemanticIndex) []semindex.Hit {
+	e.met.searches.Inc()
+	per := e.scatter(tr, func(s *semindex.SemanticIndex) []semindex.Hit {
 		return s.Search(query, limit)
 	})
-	return e.merge(per, limit)
+	hits := e.merge(tr, per, limit)
+	e.met.latency.ObserveDuration(time.Since(start))
+	return hits
 }
 
 // SearchQuery scatters an already-built query across the shards — the
 // hook for programmatic callers that bypass the keyword front-end.
 func (e *Engine) SearchQuery(q index.Query, limit int) []semindex.Hit {
+	start := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.merge(e.searchQueryLocked(q, limit), limit)
+	e.met.searches.Inc()
+	hits := e.merge(nil, e.searchQueryLocked(q, limit), limit)
+	e.met.latency.ObserveDuration(time.Since(start))
+	return hits
 }
 
 func (e *Engine) searchQueryLocked(q index.Query, limit int) [][]semindex.Hit {
-	return e.scatter(func(s *semindex.SemanticIndex) []semindex.Hit {
+	return e.scatter(nil, func(s *semindex.SemanticIndex) []semindex.Hit {
 		raw := s.Index.Search(q, limit)
 		hits := make([]semindex.Hit, len(raw))
 		for i, h := range raw {
@@ -44,12 +61,18 @@ func (e *Engine) searchQueryLocked(q index.Query, limit int) [][]semindex.Hit {
 	})
 }
 
-// scatter runs fn against every shard on its own goroutine. Read lock
-// must be held by the caller.
-func (e *Engine) scatter(fn func(*semindex.SemanticIndex) []semindex.Hit) [][]semindex.Hit {
+// scatter runs fn against every shard on its own goroutine, timing each
+// shard into its shard_search_seconds series and, when tr is non-nil,
+// into a "shardN" trace span. Read lock must be held by the caller.
+func (e *Engine) scatter(tr *obs.Trace, fn func(*semindex.SemanticIndex) []semindex.Hit) [][]semindex.Hit {
+	met := e.met
 	per := make([][]semindex.Hit, len(e.shards))
 	if len(e.shards) == 1 && e.stall == nil {
+		start := time.Now()
 		per[0] = fn(e.shards[0])
+		d := time.Since(start)
+		met.perShard[0].ObserveDuration(d)
+		tr.AddSpan("shard0", start, d)
 		return per
 	}
 	var wg sync.WaitGroup
@@ -60,7 +83,11 @@ func (e *Engine) scatter(fn func(*semindex.SemanticIndex) []semindex.Hit) [][]se
 			if e.stall != nil {
 				e.stall(i)
 			}
+			start := time.Now()
 			per[i] = fn(s)
+			d := time.Since(start)
+			met.perShard[i].ObserveDuration(d)
+			tr.AddSpan("shard"+strconv.Itoa(i), start, d)
 		}(i, s)
 	}
 	wg.Wait()
@@ -84,12 +111,28 @@ type SearchReport struct {
 // cancelled — they finish in the background, and ingestion stays blocked
 // behind them so an abandoned reader can never observe a mid-ingest shard.
 func (e *Engine) SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, SearchReport) {
+	return e.SearchDeadlineTraced(query, limit, perShard, nil)
+}
+
+// SearchDeadlineTraced is SearchDeadline with a request trace attached;
+// shards that answer within the deadline contribute "shardN" spans (a
+// straggler's span lands whenever it finishes, which may be after the
+// trace is logged — AddSpan tolerates that).
+func (e *Engine) SearchDeadlineTraced(query string, limit int, perShard time.Duration, tr *obs.Trace) ([]semindex.Hit, SearchReport) {
+	start := time.Now()
 	e.mu.RLock()
-	per, rep, release := e.scatterDeadline(func(s *semindex.SemanticIndex) []semindex.Hit {
+	met := e.met
+	met.searches.Inc()
+	per, rep, release := e.scatterDeadline(tr, func(s *semindex.SemanticIndex) []semindex.Hit {
 		return s.Search(query, limit)
 	}, perShard)
-	hits := e.merge(per, limit)
+	hits := e.merge(tr, per, limit)
 	release()
+	if rep.Degraded {
+		met.degraded.Inc()
+		met.missing.Add(uint64(len(rep.Missing)))
+	}
+	met.latency.ObserveDuration(time.Since(start))
 	return hits, rep
 }
 
@@ -99,7 +142,8 @@ func (e *Engine) SearchDeadline(query string, limit int, perShard time.Duration)
 // either unlocks immediately (all shards answered) or hands the read lock
 // to a drain goroutine that unlocks once the stragglers finish, keeping
 // writers out while any abandoned goroutine can still touch a shard.
-func (e *Engine) scatterDeadline(fn func(*semindex.SemanticIndex) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
+func (e *Engine) scatterDeadline(tr *obs.Trace, fn func(*semindex.SemanticIndex) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
+	met := e.met
 	n := len(e.shards)
 	type shardResult struct {
 		i    int
@@ -111,7 +155,12 @@ func (e *Engine) scatterDeadline(fn func(*semindex.SemanticIndex) []semindex.Hit
 			if e.stall != nil {
 				e.stall(i)
 			}
-			results <- shardResult{i: i, hits: fn(s)}
+			start := time.Now()
+			hits := fn(s)
+			d := time.Since(start)
+			met.perShard[i].ObserveDuration(d)
+			tr.AddSpan("shard"+strconv.Itoa(i), start, d)
+			results <- shardResult{i: i, hits: hits}
 		}(i, s)
 	}
 
@@ -163,7 +212,8 @@ collect:
 // merge rewrites per-shard local docIDs to global ones and produces the
 // global ranking: score descending, global docID ascending on ties —
 // exactly the monolith's sort. Read lock must be held.
-func (e *Engine) merge(per [][]semindex.Hit, limit int) []semindex.Hit {
+func (e *Engine) merge(tr *obs.Trace, per [][]semindex.Hit, limit int) []semindex.Hit {
+	defer tr.Span("merge")()
 	total := 0
 	for _, hits := range per {
 		total += len(hits)
@@ -207,7 +257,7 @@ func (e *Engine) Related(gid int, limit int) []semindex.Hit {
 	if fetch > 0 {
 		fetch++
 	}
-	merged := e.merge(e.searchQueryLocked(q, fetch), 0)
+	merged := e.merge(nil, e.searchQueryLocked(q, fetch), 0)
 	out := merged[:0]
 	for _, h := range merged {
 		if h.DocID != gid {
@@ -223,7 +273,9 @@ func (e *Engine) Related(gid int, limit int) []semindex.Hit {
 // Suggest proposes a corrected query exactly like semindex.Suggest, but
 // against the corpus-wide vocabulary: a token that exists only on another
 // shard is not flagged as a typo, and the replacement is the globally
-// most frequent near-miss, independent of shard layout.
+// most frequent near-miss, independent of shard layout. The correction
+// logic itself is semindex.CorrectQuery — one implementation for both the
+// monolith and the engine, fed here from the exchanged statistics.
 func (e *Engine) Suggest(query string) string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -231,63 +283,22 @@ func (e *Engine) Suggest(query string) string {
 	if e.level == semindex.Trad {
 		boosts = semindex.TradBoosts
 	}
-	analyzer := e.shards[0].Index.Analyzer()
-	tokens := index.Tokenize(strings.ToLower(query))
-	corrected := make([]string, len(tokens))
-	changed := false
-	for i, tok := range tokens {
-		corrected[i] = tok
-		analyzed := analyzer.Analyze(tok)
-		if len(analyzed) == 0 {
-			continue // pure stopword: nothing to correct
-		}
-		target := analyzed[0]
-		matches := false
-		for _, fb := range boosts {
-			if e.global.DocFreq(fb.Field, target) > 0 {
-				matches = true
-				break
-			}
-		}
-		if matches {
-			continue
-		}
-		if alt := e.nearestTerm(target, boosts); alt != "" {
-			corrected[i] = alt
-			changed = true
-		}
-	}
-	if !changed {
-		return ""
-	}
-	return strings.Join(corrected, " ")
+	return semindex.CorrectQuery(e.shards[0].Index.Analyzer(), boosts, query,
+		e.global.DocFreq, e.globalTerms)
 }
 
-// nearestTerm finds the highest-global-df vocabulary term within edit
-// distance 1 of the target, scanning fields in boost order and terms in
-// lexicographic order for the same tie-breaks as the single-index path.
-func (e *Engine) nearestTerm(target string, boosts []index.FieldBoost) string {
-	best := ""
-	bestDF := 0
-	for _, fb := range boosts {
-		fs := e.global.Fields[fb.Field]
-		if fs == nil {
-			continue
-		}
-		terms := make([]string, 0, len(fs.DocFreq))
-		for t := range fs.DocFreq {
-			terms = append(terms, t)
-		}
-		sort.Strings(terms)
-		for _, term := range terms {
-			if term == target || !index.WithinEditDistance1(term, target) {
-				continue
-			}
-			if df := fs.DocFreq[term]; df > bestDF {
-				bestDF = df
-				best = term
-			}
-		}
+// globalTerms lists one field's corpus-wide vocabulary in ascending order
+// — the engine-side terms source for CorrectQuery, mirroring
+// index.Index.Terms over the exchanged statistics.
+func (e *Engine) globalTerms(field string) []string {
+	fs := e.global.Fields[field]
+	if fs == nil {
+		return nil
 	}
-	return best
+	terms := make([]string, 0, len(fs.DocFreq))
+	for t := range fs.DocFreq {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
 }
