@@ -464,7 +464,7 @@ func BenchmarkShardedSearch(b *testing.B) {
 			b.Run(fmt.Sprintf("shards=%d/matches=%d", n, matches), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					eng.Search("messi barcelona goal", 10)
+					eng.SearchHits("messi barcelona goal", 10)
 				}
 			})
 		}
@@ -484,14 +484,14 @@ func BenchmarkObsOverhead(b *testing.B) {
 		eng.SetMetrics(obs.NewRegistry())
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			eng.Search("messi barcelona goal", 10)
+			eng.SearchHits("messi barcelona goal", 10)
 		}
 	})
 	b.Run("uninstrumented", func(b *testing.B) {
 		eng.SetMetrics(nil)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			eng.Search("messi barcelona goal", 10)
+			eng.SearchHits("messi barcelona goal", 10)
 		}
 	})
 	eng.SetMetrics(obs.Default)

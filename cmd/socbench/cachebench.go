@@ -1,0 +1,149 @@
+// Cache mode: the BENCH_4.json sweep quantifying the query-result cache.
+// A seeded Zipfian stream over the paper queries — the classic web-search
+// popularity shape, a few hot queries and a long tail — runs twice: once
+// forced cold (NoCache on every call) and once against the cache. The
+// same seed drives both arms, so the only difference is the cache. A
+// final burst of concurrent identical queries exercises the singleflight
+// layer and records how many callers shared one scatter.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/shard"
+)
+
+// cacheReport is the BENCH_4.json schema.
+type cacheReport struct {
+	Config cacheBenchConfig `json:"config"`
+	// Cold is the NoCache arm: every query pays the full scatter-gather.
+	Cold latency `json:"cold"`
+	// Warm is the cached arm over the identical query stream.
+	Warm latency `json:"warm"`
+	// SpeedupP50 is cold p50 / warm p50 — the headline number.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	// HitRate is hits / (hits + misses) over the warm arm.
+	HitRate   float64 `json:"hit_rate"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	// Burst reports the singleflight check: BurstCallers concurrent
+	// identical cold queries, of which BurstCoalesced shared the single
+	// leader's scatter.
+	BurstCallers   int    `json:"burst_callers"`
+	BurstCoalesced uint64 `json:"burst_coalesced"`
+}
+
+type cacheBenchConfig struct {
+	Matches int     `json:"matches"`
+	Shards  int     `json:"shards"`
+	Iters   int     `json:"iters"`
+	ZipfS   float64 `json:"zipf_s"`
+	CacheMB int     `json:"cache_mb"`
+}
+
+// runCacheBench measures both arms, writes the report, and enforces the
+// speedup floor.
+func runCacheBench(eng *shard.Engine, queries []string, cfg cacheBenchConfig, minSpeedup float64, out string) {
+	// A fresh registry isolates this run's cache counters; the engine's
+	// own metrics ride along on the same registry.
+	reg := obs.NewRegistry()
+	eng.SetMetrics(reg)
+	eng.EnableCache(int64(cfg.CacheMB)<<20, reg)
+	defer eng.SetMetrics(obs.Default)
+
+	// One seeded Zipf stream indexes the query mix for both arms: rank 0
+	// is the hot query, the tail is cold. Identical streams make the two
+	// arms differ only in caching.
+	zrng := rand.New(rand.NewSource(42))
+	z := rand.NewZipf(zrng, cfg.ZipfS, 1, uint64(len(queries)-1))
+	stream := make([]int, cfg.Iters)
+	for i := range stream {
+		stream[i] = int(z.Uint64())
+	}
+
+	ctx := context.Background()
+	run := func(noCache bool) []time.Duration {
+		durs := make([]time.Duration, len(stream))
+		for i, qi := range stream {
+			start := time.Now()
+			if _, err := eng.Search(ctx, queries[qi], shard.SearchOptions{Limit: 10, NoCache: noCache}); err != nil {
+				cli.Fatal(err)
+			}
+			durs[i] = time.Since(start)
+		}
+		return durs
+	}
+
+	// Cold first: NoCache bypasses the cache entirely, so the warm arm
+	// still starts empty and pays its own compulsory misses.
+	cold := run(true)
+	warm := run(false)
+
+	hits := reg.Counter(qcache.MetricHits).Value()
+	misses := reg.Counter(qcache.MetricMisses).Value()
+
+	// Singleflight burst: concurrent identical queries on a key the warm
+	// arm never cached (a distinct limit), so every caller arrives cold.
+	const burst = 16
+	coalescedBefore := reg.Counter(qcache.MetricCoalesced).Value()
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Search(ctx, queries[0], shard.SearchOptions{Limit: 7}); err != nil {
+				cli.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	coldP50, warmP50 := quantile(cold, 0.50), quantile(warm, 0.50)
+	rep := cacheReport{
+		Config: cfg,
+		Cold: latency{
+			Iters: len(cold),
+			P50us: coldP50, P95us: quantile(cold, 0.95),
+		},
+		Warm: latency{
+			Iters: len(warm),
+			P50us: warmP50, P95us: quantile(warm, 0.95),
+		},
+		SpeedupP50:     coldP50 / warmP50,
+		HitRate:        float64(hits) / float64(hits+misses),
+		Hits:           hits,
+		Misses:         misses,
+		Coalesced:      reg.Counter(qcache.MetricCoalesced).Value(),
+		BurstCallers:   burst,
+		BurstCoalesced: reg.Counter(qcache.MetricCoalesced).Value() - coalescedBefore,
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("wrote %s: cold p50 %.1fµs, warm p50 %.1fµs (%.1fx), hit rate %.1f%%, burst coalesced %d/%d\n",
+			out, coldP50, warmP50, rep.SpeedupP50, 100*rep.HitRate, rep.BurstCoalesced, burst-1)
+	}
+	if minSpeedup > 0 && rep.SpeedupP50 < minSpeedup {
+		fmt.Fprintf(os.Stderr, "cache speedup %.2fx is below the %.1fx floor\n", rep.SpeedupP50, minSpeedup)
+		os.Exit(1)
+	}
+}

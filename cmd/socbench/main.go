@@ -11,6 +11,15 @@
 // The JSON records query p50/p95, build throughput, and the
 // instrumented-vs-uninstrumented p50 overhead percentage; the CI job
 // fails the build if that overhead crosses the 5% acceptance bar.
+//
+// -mode cache switches to the query-cache sweep behind BENCH_4.json: a
+// seeded Zipfian repeated-query mix runs once forced-cold (NoCache) and
+// once against the cache, reporting cold/warm latency quantiles, the hit
+// rate, and a singleflight coalescing burst. -min-speedup makes CI fail
+// when the warm p50 stops beating the cold p50.
+//
+//	socbench -mode cache -out BENCH_4.json
+//	socbench -mode cache -zipf-s 1.4 -cache-mb 16 -min-speedup 5
 package main
 
 import (
@@ -69,8 +78,19 @@ func main() {
 	iters := fs.Int("iters", 400, "measured queries per arm and round")
 	rounds := fs.Int("rounds", 3, "alternating measurement rounds per arm (best round wins)")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail (exit 1) if p50 overhead exceeds this percentage (0 = report only)")
-	out := fs.String("out", "BENCH_3.json", "output file (- = stdout)")
+	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price) or "cache" (BENCH_4, query-cache sweep)`)
+	zipfS := fs.Float64("zipf-s", 1.2, "cache mode: Zipf exponent of the repeated-query mix")
+	cacheMB := fs.Int("cache-mb", 64, "cache mode: query-cache capacity in MiB")
+	minSpeedup := fs.Float64("min-speedup", 0, "cache mode: fail (exit 1) if cold p50 / warm p50 falls below this factor (0 = report only)")
+	out := fs.String("out", "", "output file (- = stdout; default BENCH_3.json or BENCH_4.json by mode)")
 	fs.Parse(os.Args[1:])
+	if *out == "" {
+		if *mode == "cache" {
+			*out = "BENCH_4.json"
+		} else {
+			*out = "BENCH_3.json"
+		}
+	}
 
 	cfg := soccer.DefaultConfig()
 	cfg.Matches = *matches
@@ -83,6 +103,14 @@ func main() {
 	queries := make([]string, 0, len(eval.PaperQueries()))
 	for _, q := range eval.PaperQueries() {
 		queries = append(queries, q.Keywords)
+	}
+
+	if *mode == "cache" {
+		runCacheBench(eng, queries, cacheBenchConfig{
+			Matches: *matches, Shards: *shards, Iters: *iters,
+			ZipfS: *zipfS, CacheMB: *cacheMB,
+		}, *minSpeedup, *out)
+		return
 	}
 
 	// Alternate instrumented/uninstrumented rounds so drift (thermal, GC,
@@ -144,12 +172,12 @@ func main() {
 // and returns each query's wall time.
 func measure(eng *shard.Engine, queries []string, iters int) []time.Duration {
 	for i := 0; i < iters/10+1; i++ {
-		eng.Search(queries[i%len(queries)], 10)
+		eng.SearchHits(queries[i%len(queries)], 10)
 	}
 	out := make([]time.Duration, iters)
 	for i := 0; i < iters; i++ {
 		start := time.Now()
-		eng.Search(queries[i%len(queries)], 10)
+		eng.SearchHits(queries[i%len(queries)], 10)
 		out[i] = time.Since(start)
 	}
 	return out

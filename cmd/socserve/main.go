@@ -3,12 +3,20 @@
 // "scales our system up to web search engines". It builds (or loads) a
 // FULL_INF index — monolithic or sharded — and serves:
 //
-//	GET /search?q=messi+barcelona+goal&n=10   JSON results with snippets
+//	GET /v1/search?q=...&limit=10             versioned JSON envelope (see API.md)
+//	GET /v1/related?doc=3&limit=10            versioned related-documents lookup
+//	GET /v1/suggest?q=mesi                    versioned spelling suggestion
+//	GET /search?q=messi+barcelona+goal&n=10   legacy JSON results with snippets
+//	GET /related?doc=3                        legacy related documents
 //	GET /                                      a minimal HTML search page
 //	GET /healthz                               liveness (always ok while up)
 //	GET /readyz                                readiness (503 until the index is loaded)
 //	GET /metrics                               Prometheus text-format metrics
 //	GET /debug/pprof/*                         profiling endpoints (only with -pprof)
+//
+// Sharded engines answer repeated queries from an in-process result
+// cache (-cache-mb sizes it, -cache-off disables it); every search
+// response carries an X-Cache: hit|miss|coalesced|bypass header.
 //
 // Every response carries an X-Trace-ID header; -access-log prints one line
 // per request with that ID, and -slow-query logs the per-shard timeline of
@@ -61,32 +69,28 @@ import (
 // search layer unclamped.
 const maxResults = 100
 
-// searcher is the serving surface both index shapes provide: the
-// monolithic *semindex.SemanticIndex and the scatter-gather *shard.Engine.
+// searcher is the serving surface both index shapes provide beyond the
+// main query path: related-document lookup and spelling suggestions.
+// The query path itself splits by shape below.
 type searcher interface {
-	Search(query string, limit int) []semindex.Hit
 	Related(docID int, limit int) []semindex.Hit
 	Suggest(query string) string
 }
 
-// deadlineSearcher is the degraded-serving surface: only the sharded
-// engine provides it, and only there does a per-shard deadline mean
-// anything.
-type deadlineSearcher interface {
+// unifiedSearcher is the redesigned query surface: one Search taking a
+// context (deadline, cancellation) and an options struct (trace, limit,
+// cache bypass). The sharded engine implements it; results carry the
+// degradation report and the cache status for the X-Cache header.
+type unifiedSearcher interface {
 	searcher
-	SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, shard.SearchReport)
+	Search(ctx context.Context, query string, opts shard.SearchOptions) (shard.SearchResult, error)
 }
 
-// tracedSearcher and tracedDeadlineSearcher are the observable variants:
-// the sharded engine records per-shard and merge spans into the request
-// trace. A searcher without them is served untraced (the span still shows
-// the whole query).
-type tracedSearcher interface {
-	SearchTraced(query string, limit int, tr *obs.Trace) []semindex.Hit
-}
-
-type tracedDeadlineSearcher interface {
-	SearchDeadlineTraced(query string, limit int, perShard time.Duration, tr *obs.Trace) ([]semindex.Hit, shard.SearchReport)
+// legacySearcher is the monolithic index's plain query surface — no
+// deadline, no cache, no per-shard spans.
+type legacySearcher interface {
+	searcher
+	Search(query string, limit int) []semindex.Hit
 }
 
 type searchResult struct {
@@ -124,6 +128,8 @@ func main() {
 	indexFile := fs.String("index", "", "load a saved index instead of building")
 	shards := fs.Int("shards", 0, "serve from an N-way sharded engine (with -index: load <index>.shard* files)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard search deadline; a late shard degrades the answer instead of stalling it (0 = wait forever)")
+	cacheMB := fs.Int("cache-mb", 64, "query-result cache capacity in MiB for the sharded engine (0 disables)")
+	cacheOff := fs.Bool("cache-off", false, "disable the query-result cache entirely")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowQuery := fs.Duration("slow-query", 0, "log requests slower than this, with their per-shard trace (0 = off)")
 	accessLog := fs.Bool("access-log", false, "log every request with its trace ID to stdout")
@@ -144,8 +150,13 @@ func main() {
 	// The listener comes up before the index so /healthz and /readyz can
 	// tell "loading" apart from "down"; /readyz flips once the searcher
 	// lands.
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheOff {
+		cacheBytes = 0
+	}
+
 	go func() {
-		s, desc, err := loadSearcher(&cf, *indexFile, *shards)
+		s, desc, err := loadSearcher(&cf, *indexFile, *shards, cacheBytes)
 		if err != nil {
 			cli.Fatal(err)
 		}
@@ -158,22 +169,32 @@ func main() {
 	}
 }
 
-// loadSearcher builds or loads the configured index shape and describes it.
-func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int) (searcher, string, error) {
+// loadSearcher builds or loads the configured index shape and describes
+// it. Sharded shapes get the query-result cache sized by cacheBytes
+// (0 serves every query cold).
+func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int, cacheBytes int64) (searcher, string, error) {
+	describe := func(eng *shard.Engine) string {
+		d := fmt.Sprintf("%s engine (%d docs across %d shards", eng.Level(), eng.NumDocs(), eng.NumShards())
+		if cacheBytes > 0 {
+			return d + fmt.Sprintf(", %d MiB cache)", cacheBytes>>20)
+		}
+		return d + ")"
+	}
 	switch {
 	case shards > 0 && indexFile != "":
 		eng, err := shard.Load(indexFile, nil)
 		if err != nil {
 			return nil, "", err
 		}
-		return eng, fmt.Sprintf("%s engine (%d docs across %d shards)", eng.Level(), eng.NumDocs(), eng.NumShards()), nil
+		eng.EnableCache(cacheBytes, obs.Default)
+		return eng, describe(eng), nil
 	case shards > 0:
 		pages, _, err := cf.LoadPages()
 		if err != nil {
 			return nil, "", err
 		}
-		eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: shards})
-		return eng, fmt.Sprintf("%s engine (%d docs across %d shards)", eng.Level(), eng.NumDocs(), eng.NumShards()), nil
+		eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: shards, CacheBytes: cacheBytes})
+		return eng, describe(eng), nil
 	case indexFile != "":
 		f, err := os.Open(indexFile)
 		if err != nil {
@@ -368,23 +389,30 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.Slow.Record(tr)
 }
 
-// search runs one query through the most observable path the searcher
-// offers: traced + deadline when both are available, falling back to the
-// plain interfaces. The deadline applies only when configured.
-func (h *Handler) search(s searcher, q string, limit int, tr *obs.Trace) ([]semindex.Hit, shard.SearchReport) {
-	if h.ShardTimeout > 0 {
-		if ds, ok := s.(tracedDeadlineSearcher); ok {
-			return ds.SearchDeadlineTraced(q, limit, h.ShardTimeout, tr)
+// search runs one query through the searcher's best surface: the unified
+// context+options Search when available (ShardTimeout becomes the ctx
+// deadline, the request trace and cache-bypass flag ride the options),
+// else the legacy interface under a whole-query span. The error is
+// non-nil only when the context expired before any answer — degraded
+// answers come back as results with Report.Degraded set.
+func (h *Handler) search(ctx context.Context, s searcher, q string, limit int, noCache bool) (shard.SearchResult, error) {
+	tr := obs.TraceFrom(ctx)
+	if us, ok := s.(unifiedSearcher); ok {
+		if h.ShardTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, h.ShardTimeout)
+			defer cancel()
 		}
-		if ds, ok := s.(deadlineSearcher); ok {
-			return ds.SearchDeadline(q, limit, h.ShardTimeout)
-		}
+		return us.Search(ctx, q, shard.SearchOptions{Limit: limit, Trace: tr, NoCache: noCache})
 	}
-	if ts, ok := s.(tracedSearcher); ok {
-		return ts.SearchTraced(q, limit, tr), shard.SearchReport{}
+	ls, ok := s.(legacySearcher)
+	if !ok {
+		return shard.SearchResult{Cache: shard.CacheBypass}, nil
 	}
-	defer tr.Span("search")()
-	return s.Search(q, limit), shard.SearchReport{}
+	done := tr.Span("search")
+	hits := ls.Search(q, limit)
+	done()
+	return shard.SearchResult{Hits: hits, Cache: shard.CacheBypass}, nil
 }
 
 // NewHandler builds the service over any searcher (a monolithic index or
@@ -434,7 +462,13 @@ func NewHandler(s searcher) *Handler {
 		start := time.Now()
 		// One unbounded-size fetch serves both the ranked page and the
 		// facet counts; the per-shard deadline bounds its time instead.
-		all, rep := h.search(s, q, 0, obs.TraceFrom(r.Context()))
+		// Fetching the full set also gives every user limit one cache key.
+		res, err := h.search(r.Context(), s, q, 0, false)
+		if err != nil {
+			http.Error(w, "search timed out", http.StatusGatewayTimeout)
+			return
+		}
+		all, rep := res.Hits, res.Report
 		hits := all
 		if len(hits) > n {
 			hits = hits[:n]
@@ -470,6 +504,7 @@ func NewHandler(s searcher) *Handler {
 			w.Header().Set("X-Search-Degraded", "true")
 			w.Header().Set("X-Search-Missing-Shards", intsCSV(rep.Missing))
 		}
+		w.Header().Set("X-Cache", string(res.Cache))
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -505,6 +540,8 @@ func NewHandler(s searcher) *Handler {
 		}
 	})
 
+	h.registerV1(hl)
+
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -522,7 +559,12 @@ func NewHandler(s searcher) *Handler {
 <form action="/"><input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>
 `, html.EscapeString(q))
 		if q != "" {
-			hits, rep := h.search(s, q, 10, obs.TraceFrom(r.Context()))
+			res, err := h.search(r.Context(), s, q, 10, false)
+			if err != nil {
+				fmt.Fprintln(w, "<p><i>search timed out</i></p></body></html>")
+				return
+			}
+			hits, rep := res.Hits, res.Report
 			if rep.Degraded {
 				fmt.Fprintf(w, "<p><i>partial results: %d shard(s) timed out</i></p>\n", len(rep.Missing))
 			}

@@ -1,0 +1,215 @@
+// The /v1 API is the versioned JSON contract: a typed envelope carrying
+// the hits, the degradation report, the trace ID, the cache status and
+// server-side timing. The unversioned /search and /related endpoints
+// remain as frozen aliases with their original output; new fields land
+// here without breaking them. The full contract is documented in API.md.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/semindex"
+)
+
+// v1MaxLimit is the documented ceiling for the limit parameter. Values
+// above it are clamped, not rejected — a client asking for "everything"
+// gets the most the API serves.
+const v1MaxLimit = 1000
+
+// v1SearchResponse is the /v1/search envelope.
+type v1SearchResponse struct {
+	Query string `json:"query"`
+	// TraceID echoes the X-Trace-ID header so logs join on the body alone.
+	TraceID string `json:"traceId"`
+	// TookUs is the server-side wall time in microseconds.
+	TookUs int64 `json:"tookUs"`
+	// Cache is the query-cache outcome: hit, miss, coalesced or bypass.
+	Cache string `json:"cache"`
+	// Total counts the full result set; Hits carries at most limit of them.
+	Total      int              `json:"total"`
+	Hits       []searchResult   `json:"hits"`
+	Facets     []semindex.Facet `json:"facets,omitempty"`
+	DidYouMean string           `json:"didYouMean,omitempty"`
+	// Degraded is present only when a shard missed its deadline.
+	Degraded *v1Degraded `json:"degraded,omitempty"`
+}
+
+type v1Degraded struct {
+	MissingShards []int `json:"missingShards"`
+}
+
+// v1RelatedResponse is the /v1/related envelope.
+type v1RelatedResponse struct {
+	Doc     int            `json:"doc"`
+	TraceID string         `json:"traceId"`
+	TookUs  int64          `json:"tookUs"`
+	Total   int            `json:"total"`
+	Hits    []searchResult `json:"hits"`
+}
+
+// v1SuggestResponse is the /v1/suggest envelope. DidYouMean is empty
+// when every query token is in the vocabulary.
+type v1SuggestResponse struct {
+	Query      string `json:"query"`
+	TraceID    string `json:"traceId"`
+	DidYouMean string `json:"didYouMean"`
+}
+
+// parseV1Limit validates the limit parameter: absent defaults to 10,
+// non-numeric or non-positive is a 400, anything above v1MaxLimit clamps.
+func parseV1Limit(r *http.Request) (int, error) {
+	s := r.URL.Query().Get("limit")
+	if s == "" {
+		return 10, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf(`parameter "limit" must be a positive integer (values above %d are clamped)`, v1MaxLimit)
+	}
+	if v > v1MaxLimit {
+		v = v1MaxLimit
+	}
+	return v, nil
+}
+
+// v1Results converts engine hits to the wire shape, snippeting the
+// narration against the query when one is given.
+func v1Results(hits []semindex.Hit, q string, hl index.Highlighter) []searchResult {
+	out := make([]searchResult, 0, len(hits))
+	for i, h := range hits {
+		res := searchResult{
+			Rank:    i + 1,
+			Score:   h.Score,
+			Kind:    h.Meta(semindex.MetaKind),
+			Match:   h.Meta(semindex.MetaMatchID),
+			Minute:  h.Meta(semindex.MetaMinute),
+			Subject: h.Meta(semindex.MetaSubject),
+			Object:  h.Meta(semindex.MetaObject),
+		}
+		if narr := h.Doc.Get(semindex.FieldNarration); narr != "" {
+			if q != "" {
+				res.Snippet = hl.Snippet(narr, q)
+			} else {
+				res.Snippet = narr
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func writeV1(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// registerV1 mounts the versioned API on the handler's mux.
+func (h *Handler) registerV1(hl index.Highlighter) {
+	h.mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
+			return
+		}
+		limit, err := parseV1Limit(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		noCache := r.URL.Query().Get("nocache") == "1"
+		start := time.Now()
+		// Limit 0 fetches the full set: facets and Total need it, and it
+		// keeps one cache entry per query across all client limits — the
+		// limit itself is applied when slicing the response.
+		res, err := h.search(r.Context(), s, q, 0, noCache)
+		if err != nil {
+			http.Error(w, "search timed out", http.StatusGatewayTimeout)
+			return
+		}
+		all := res.Hits
+		hits := all
+		if len(hits) > limit {
+			hits = hits[:limit]
+		}
+		resp := v1SearchResponse{
+			Query:      q,
+			TookUs:     time.Since(start).Microseconds(),
+			Cache:      string(res.Cache),
+			Total:      len(all),
+			Hits:       v1Results(hits, q, hl),
+			Facets:     semindex.Facets(all, semindex.MetaKind),
+			DidYouMean: s.Suggest(q),
+		}
+		if tr := obs.TraceFrom(r.Context()); tr != nil {
+			resp.TraceID = tr.ID
+		}
+		if res.Report.Degraded {
+			resp.Degraded = &v1Degraded{MissingShards: res.Report.Missing}
+			w.Header().Set("X-Search-Degraded", "true")
+			w.Header().Set("X-Search-Missing-Shards", intsCSV(res.Report.Missing))
+		}
+		w.Header().Set("X-Cache", string(res.Cache))
+		writeV1(w, resp)
+	})
+
+	h.mux.HandleFunc("/v1/related", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
+		id, err := strconv.Atoi(r.URL.Query().Get("doc"))
+		if err != nil || id < 0 {
+			http.Error(w, `parameter "doc" must be a document id`, http.StatusBadRequest)
+			return
+		}
+		limit, err := parseV1Limit(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		hits := s.Related(id, limit)
+		resp := v1RelatedResponse{
+			Doc:    id,
+			TookUs: time.Since(start).Microseconds(),
+			Total:  len(hits),
+			Hits:   v1Results(hits, "", hl),
+		}
+		if tr := obs.TraceFrom(r.Context()); tr != nil {
+			resp.TraceID = tr.ID
+		}
+		writeV1(w, resp)
+	})
+
+	h.mux.HandleFunc("/v1/suggest", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
+			return
+		}
+		resp := v1SuggestResponse{Query: q, DidYouMean: s.Suggest(q)}
+		if tr := obs.TraceFrom(r.Context()); tr != nil {
+			resp.TraceID = tr.ID
+		}
+		writeV1(w, resp)
+	})
+}

@@ -255,7 +255,7 @@ func TestBuildShardedIndex(t *testing.T) {
 		t.Error("sharded engine not cached")
 	}
 	mono := s.BuildIndex(semindex.FullInf)
-	got := eng.Search("messi barcelona goal", 10)
+	got := eng.SearchHits("messi barcelona goal", 10)
 	want := mono.Search("messi barcelona goal", 10)
 	if len(got) != len(want) {
 		t.Fatalf("%d hits, want %d", len(got), len(want))

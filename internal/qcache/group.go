@@ -1,0 +1,67 @@
+package qcache
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// call is one in-flight computation shared by every waiter on its key.
+type call struct {
+	done chan struct{} // closed when val is ready
+	val  any
+}
+
+// Group coalesces concurrent identical requests: the first caller for a
+// key becomes the leader and runs fn; callers arriving before the leader
+// finishes wait for the leader's value instead of recomputing it. Once
+// the leader completes, the key is cleared — a later caller starts a
+// fresh flight (the cache, not the group, serves repeats over time).
+type Group struct {
+	mu        sync.Mutex
+	calls     map[string]*call
+	coalesced *obs.Counter
+}
+
+// NewGroup builds a singleflight group, registering its coalesced-request
+// counter in r (nil r disables instrumentation).
+func NewGroup(r *obs.Registry) *Group {
+	r.Help(MetricCoalesced, "Requests that shared another request's in-flight computation.")
+	return &Group{calls: map[string]*call{}, coalesced: r.Counter(MetricCoalesced)}
+}
+
+// Do runs fn for key, coalescing with any in-flight call on the same key.
+// It returns the shared value and whether this caller was the leader (ran
+// fn itself). A follower whose ctx expires before the leader finishes
+// returns ctx's error; the leader's computation keeps running for the
+// other waiters. A nil *Group runs fn directly.
+func (g *Group) Do(ctx context.Context, key string, fn func() any) (any, bool, error) {
+	if g == nil {
+		return fn(), true, nil
+	}
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Inc()
+		select {
+		case <-c.done:
+			return c.val, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	// The key is cleared before done is closed, so a caller arriving after
+	// completion can never latch onto a finished flight.
+	defer close(c.done)
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	c.val = fn()
+	return c.val, true, nil
+}

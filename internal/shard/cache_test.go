@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/semindex"
+)
+
+// cachedEngine builds a 4-shard engine over pages with the query cache
+// wired to a fresh registry, so tests can read the cache counters in
+// isolation.
+func cachedEngine(t testing.TB, pages int, r *obs.Registry) *Engine {
+	all, _ := fixture(t)
+	if pages <= 0 || pages > len(all) {
+		pages = len(all)
+	}
+	e := Build(nil, semindex.FullInf, all[:pages], Options{Shards: 4})
+	e.EnableCache(1<<20, r)
+	return e
+}
+
+// TestCacheHitIdenticalToCold is the cache's core guarantee: a hit is
+// byte-identical to the cold scatter that filled it, and to an uncached
+// (NoCache) run of the same query.
+func TestCacheHitIdenticalToCold(t *testing.T) {
+	r := obs.NewRegistry()
+	e := cachedEngine(t, 0, r)
+	for _, q := range eval.PaperQueries() {
+		cold, err := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Cache != CacheMiss {
+			t.Errorf("%s: first query status %q, want miss", q.ID, cold.Cache)
+		}
+		warm, err := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Cache != CacheHit {
+			t.Errorf("%s: second query status %q, want hit", q.ID, warm.Cache)
+		}
+		bypass, err := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bypass.Cache != CacheBypass {
+			t.Errorf("%s: NoCache status %q, want bypass", q.ID, bypass.Cache)
+		}
+		assertSameHits(t, q.ID+"/warm-vs-cold", warm.Hits, cold.Hits)
+		assertSameHits(t, q.ID+"/warm-vs-bypass", warm.Hits, bypass.Hits)
+	}
+	if hits := r.Counter(qcache.MetricHits).Value(); hits != uint64(len(eval.PaperQueries())) {
+		t.Errorf("cache hits = %d, want %d", hits, len(eval.PaperQueries()))
+	}
+}
+
+// TestCacheKeyNormalization: whitespace shape does not fragment the
+// cache, but different limits and different queries do.
+func TestCacheKeyNormalization(t *testing.T) {
+	r := obs.NewRegistry()
+	e := cachedEngine(t, 0, r)
+	first, _ := e.Search(context.Background(), "messi barcelona goal", SearchOptions{Limit: 10})
+	spaced, _ := e.Search(context.Background(), "  messi   barcelona\tgoal ", SearchOptions{Limit: 10})
+	if spaced.Cache != CacheHit {
+		t.Errorf("whitespace variant status %q, want hit", spaced.Cache)
+	}
+	assertSameHits(t, "whitespace variant", spaced.Hits, first.Hits)
+	if other, _ := e.Search(context.Background(), "messi barcelona goal", SearchOptions{Limit: 5}); other.Cache != CacheMiss {
+		t.Errorf("different limit status %q, want miss", other.Cache)
+	}
+}
+
+// TestCacheInvalidationEquivalence is the acceptance test for epoch
+// invalidation: fill the cache, ingest a page, and every re-query must
+// be served cold and byte-identical to a from-scratch index over the
+// enlarged corpus. A stale hit would freeze pre-ingest rankings.
+func TestCacheInvalidationEquivalence(t *testing.T) {
+	pages, mono := fixture(t)
+	r := obs.NewRegistry()
+	e := cachedEngine(t, len(pages)-1, r)
+
+	// Warm the cache on the smaller corpus.
+	for _, q := range eval.PaperQueries() {
+		if res, _ := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10}); res.Cache != CacheMiss {
+			t.Fatalf("%s: warmup status %q", q.ID, res.Cache)
+		}
+	}
+	epochBefore := e.Epoch()
+
+	e.AddPage(pages[len(pages)-1])
+
+	if e.Epoch() == epochBefore {
+		t.Fatal("AddPage did not advance the engine epoch")
+	}
+	for _, q := range eval.PaperQueries() {
+		res, err := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cache != CacheMiss {
+			t.Errorf("%s: post-ingest status %q, want miss (stale entry served?)", q.ID, res.Cache)
+		}
+		// mono is the from-scratch monolith over the full corpus: the
+		// re-query must match it exactly, documents and scores.
+		assertSameHits(t, q.ID+"/post-ingest", res.Hits, mono.Search(q.Keywords, 10))
+	}
+	if inv := r.Counter(qcache.MetricInvalidations).Value(); inv == 0 {
+		t.Error("no invalidations recorded despite the epoch bump")
+	}
+	// And the refilled entries serve hits again at the new epoch.
+	if res, _ := e.Search(context.Background(), eval.PaperQueries()[0].Keywords, SearchOptions{Limit: 10}); res.Cache != CacheHit {
+		t.Errorf("refilled entry status %q, want hit", res.Cache)
+	}
+}
+
+// TestSingleflightCoalescesQueries: N concurrent identical cold queries
+// run exactly one scatter; one caller reports miss, the rest coalesced,
+// and everyone gets the same ranking. Run under -race this also proves
+// the flight handoff is clean.
+func TestSingleflightCoalescesQueries(t *testing.T) {
+	r := obs.NewRegistry()
+	e := cachedEngine(t, 0, r)
+	var scatters atomic.Int64
+	release := make(chan struct{})
+	e.SetStall(func(i int) {
+		if i == 0 {
+			scatters.Add(1)
+		}
+		<-release
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]SearchResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Search(context.Background(), "messi barcelona goal", SearchOptions{Limit: 10})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	// Hold the scatter open until every follower has joined the flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Counter(qcache.MetricCoalesced).Value() < n-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	e.SetStall(nil)
+
+	if got := scatters.Load(); got != 1 {
+		t.Errorf("%d scatters ran, want 1", got)
+	}
+	misses, coalesced := 0, 0
+	for i, res := range results {
+		switch res.Cache {
+		case CacheMiss:
+			misses++
+		case CacheCoalesced:
+			coalesced++
+		default:
+			t.Errorf("caller %d status %q", i, res.Cache)
+		}
+		assertSameHits(t, "coalesced caller", res.Hits, results[0].Hits)
+	}
+	if misses != 1 || coalesced != n-1 {
+		t.Errorf("statuses: %d miss / %d coalesced, want 1 / %d", misses, coalesced, n-1)
+	}
+}
+
+// TestDegradedAnswersNotCached: an answer missing a shard must not be
+// served to later callers — the next healthy query runs cold and
+// complete.
+func TestDegradedAnswersNotCached(t *testing.T) {
+	r := obs.NewRegistry()
+	e := cachedEngine(t, 0, r)
+	var stalling atomic.Bool
+	stalling.Store(true)
+	e.SetStall(func(i int) {
+		if i == 1 && stalling.Load() {
+			time.Sleep(500 * time.Millisecond)
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := e.Search(ctx, "goal", SearchOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Degraded {
+		t.Skip("stalled shard met the deadline; cannot exercise the degraded path")
+	}
+
+	stalling.Store(false)
+	healthy, err := e.Search(context.Background(), "goal", SearchOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Cache == CacheHit {
+		t.Fatal("degraded answer was cached and served as a hit")
+	}
+	if healthy.Report.Degraded {
+		t.Fatal("healthy re-query still degraded")
+	}
+	bypass, _ := e.Search(context.Background(), "goal", SearchOptions{Limit: 10, NoCache: true})
+	assertSameHits(t, "healthy after degraded", healthy.Hits, bypass.Hits)
+}
+
+// TestDeprecatedWrappersMatchUnified: the four legacy entry points are
+// thin shims over the unified Search and must return its exact answer.
+func TestDeprecatedWrappersMatchUnified(t *testing.T) {
+	r := obs.NewRegistry()
+	e := cachedEngine(t, 0, r)
+	want, err := e.Search(context.Background(), "messi barcelona goal", SearchOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameHits(t, "SearchHits", e.SearchHits("messi barcelona goal", 10), want.Hits)
+	tr := obs.NewTrace("wrapper")
+	assertSameHits(t, "SearchTraced", e.SearchTraced("messi barcelona goal", 10, tr), want.Hits)
+	hits, rep := e.SearchDeadline("messi barcelona goal", 10, time.Minute)
+	if rep.Degraded {
+		t.Error("SearchDeadline degraded with a one-minute budget")
+	}
+	assertSameHits(t, "SearchDeadline", hits, want.Hits)
+	hits, rep = e.SearchDeadlineTraced("messi barcelona goal", 10, time.Minute, obs.NewTrace("wrapper"))
+	if rep.Degraded {
+		t.Error("SearchDeadlineTraced degraded with a one-minute budget")
+	}
+	assertSameHits(t, "SearchDeadlineTraced", hits, want.Hits)
+}
+
+// TestConcurrentCachedSearchAndIngest is the cached twin of the engine's
+// concurrency test: searches race ingests with the cache on, the race
+// detector arbitrates, and the final state serves the full corpus.
+func TestConcurrentCachedSearchAndIngest(t *testing.T) {
+	pages, _ := fixture(t)
+	e := Build(nil, semindex.FullInf, pages[:3], Options{Shards: 3})
+	e.EnableCache(1<<20, obs.NewRegistry())
+	queries := []string{"goal", "punishment", "messi barcelona goal", "yellow card"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, err := e.Search(context.Background(), q, SearchOptions{Limit: 10}); err != nil {
+					t.Errorf("search: %v", err)
+				}
+			}
+		}(g)
+	}
+	for _, p := range pages[3:] {
+		wg.Add(1)
+		go func(p *crawler.MatchPage) {
+			defer wg.Done()
+			e.AddPage(p)
+		}(p)
+	}
+	wg.Wait()
+	// Concurrent ingest order permutes global docIDs, so the monolith is
+	// not a valid reference here; the invariant is that the cached path
+	// agrees with a forced-cold scatter over the final state.
+	for _, q := range eval.PaperQueries() {
+		res, err := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := e.Search(context.Background(), q.Keywords, SearchOptions{Limit: 10, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameHits(t, q.ID+"/final", res.Hits, cold.Hits)
+	}
+}

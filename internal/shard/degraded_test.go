@@ -24,8 +24,8 @@ func TestSearchDeadlineHealthy(t *testing.T) {
 	pages, _ := fixture(t)
 	e := Build(nil, semindex.FullInf, pages, Options{Shards: 3})
 	for _, q := range []string{"goal", "messi barcelona goal", "yellow card"} {
-		want := e.Search(q, 10)
-		got, rep := e.SearchDeadline(q, 10, 5*time.Second)
+		want := searchN(e, q, 10)
+		got, rep := searchWithin(e, q, 10, 5*time.Second)
 		if rep.Degraded || len(rep.Missing) != 0 {
 			t.Fatalf("%q: healthy engine reported degraded: %+v", q, rep)
 		}
@@ -39,11 +39,11 @@ func TestSearchDeadlineNoBudgetMeansUnbounded(t *testing.T) {
 	pages, _ := fixture(t)
 	e := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
 	e.SetStall(stallShard(1, 30*time.Millisecond))
-	got, rep := e.SearchDeadline("goal", 10, 0)
+	got, rep := searchWithin(e, "goal", 10, 0)
 	if rep.Degraded {
 		t.Fatalf("unbounded search degraded: %+v", rep)
 	}
-	assertSameHits(t, "unbounded", got, e.Search("goal", 10))
+	assertSameHits(t, "unbounded", got, searchN(e, "goal", 10))
 }
 
 // TestSearchDeadlineDegraded is the degraded-search acceptance test: with
@@ -71,7 +71,7 @@ func TestSearchDeadlineDegraded(t *testing.T) {
 
 	for _, q := range []string{"goal", "foul", "yellow card"} {
 		start := time.Now()
-		got, rep := e.SearchDeadline(q, 10, 100*time.Millisecond)
+		got, rep := searchWithin(e, q, 10, 100*time.Millisecond)
 		elapsed := time.Since(start)
 		if elapsed > time.Second {
 			t.Fatalf("%q: degraded search took %v, budget was 100ms", q, elapsed)
@@ -96,7 +96,7 @@ func TestSearchDeadlineStragglerBlocksIngest(t *testing.T) {
 	e := Build(nil, semindex.FullInf, pages[:len(pages)-1], Options{Shards: 2})
 	e.SetStall(stallShard(0, 150*time.Millisecond))
 
-	_, rep := e.SearchDeadline("goal", 5, 10*time.Millisecond)
+	_, rep := searchWithin(e, "goal", 5, 10*time.Millisecond)
 	if !rep.Degraded {
 		t.Fatal("stalled shard met a 10ms budget")
 	}
@@ -108,7 +108,7 @@ func TestSearchDeadlineStragglerBlocksIngest(t *testing.T) {
 		t.Fatal("ingest lost documents")
 	}
 	// After the dust settles the engine still answers completely.
-	got, rep := e.SearchDeadline("goal", 5, 5*time.Second)
+	got, rep := searchWithin(e, "goal", 5, 5*time.Second)
 	if rep.Degraded || len(got) == 0 {
 		t.Fatalf("engine unhealthy after straggler: %d hits, %+v", len(got), rep)
 	}
@@ -130,8 +130,8 @@ func TestSearchDeadlineConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				e.SearchDeadline("goal", 5, time.Millisecond)
-				e.Search("foul", 5)
+				searchWithin(e, "goal", 5, time.Millisecond)
+				searchN(e, "foul", 5)
 			}
 		}()
 	}
@@ -143,7 +143,7 @@ func TestSearchDeadlineConcurrent(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	hits, rep := e.SearchDeadline("goal", 10, 5*time.Second)
+	hits, rep := searchWithin(e, "goal", 10, 5*time.Second)
 	if rep.Degraded || len(hits) == 0 {
 		t.Fatalf("engine unhealthy after churn: %d hits, %+v", len(hits), rep)
 	}

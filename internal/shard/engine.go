@@ -32,11 +32,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/qcache"
 	"repro/internal/semindex"
 )
 
@@ -59,6 +61,10 @@ type Options struct {
 	// Parallelism bounds the page-preparation worker pool; 0 means
 	// GOMAXPROCS. Shard commits always run with one worker per shard.
 	Parallelism int
+	// CacheBytes, when > 0, installs a query-result cache of that
+	// capacity (with request coalescing) on the built engine, registered
+	// against obs.Default. Use EnableCache for an isolated registry.
+	CacheBytes int64
 }
 
 // Engine is an N-way sharded semantic index. Searches are safe for
@@ -84,6 +90,19 @@ type Engine struct {
 	// SetMetrics under the write lock; read under the read lock on every
 	// search path.
 	met *engineMetrics
+
+	// epoch counts statistics exchanges: mergeAndInstall bumps it under
+	// the write lock, and every query-cache entry captures the epoch its
+	// answer was computed at, so a cached hit is never served across an
+	// ingest (invalidation by version, not by time).
+	epoch atomic.Uint64
+
+	// cache and flight are the optional query-result cache and its
+	// singleflight group (see internal/qcache). Installed before serving
+	// traffic — Options.CacheBytes or EnableCache — and swapped only
+	// under the write lock; nil means every query runs cold.
+	cache  *qcache.Cache
+	flight *qcache.Group
 
 	// stall, when set, runs at the start of every per-shard scatter
 	// goroutine with the shard index — the fault-injection hook degraded
@@ -190,9 +209,42 @@ func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage
 	wg.Wait()
 
 	e.exchangeStats()
+	if opts.CacheBytes > 0 {
+		e.cache = qcache.New(opts.CacheBytes, 0, obs.Default)
+		e.flight = qcache.NewGroup(obs.Default)
+	}
 	e.met.build.ObserveDuration(time.Since(buildStart))
 	return e
 }
+
+// EnableCache installs (maxBytes > 0) or removes (maxBytes <= 0) the
+// query-result cache and its singleflight group, registering cache
+// metrics in r (nil r disables cache instrumentation). Call before the
+// engine serves traffic; a swap mid-flight is safe but in-flight queries
+// finish against the cache they started with.
+func (e *Engine) EnableCache(maxBytes int64, r *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if maxBytes <= 0 {
+		e.cache, e.flight = nil, nil
+		return
+	}
+	e.cache = qcache.New(maxBytes, 0, r)
+	e.flight = qcache.NewGroup(r)
+}
+
+// QueryCache exposes the installed query-result cache (nil when caching
+// is off) — for stats endpoints and tests.
+func (e *Engine) QueryCache() *qcache.Cache {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cache
+}
+
+// Epoch returns the engine's current statistics epoch. Every ingest (or
+// any other statistics exchange) advances it, invalidating all cached
+// query results computed before.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
 // exchangeStats recomputes every shard's local statistics in parallel,
 // merges them into the corpus-wide view and installs it on every shard —
@@ -214,7 +266,9 @@ func (e *Engine) exchangeStats() {
 }
 
 // mergeAndInstall merges the cached per-shard statistics and installs the
-// global view on every shard. Write lock required.
+// global view on every shard, then advances the epoch: any query-cache
+// entry computed before this point is now invalid, because corpus-wide
+// statistics (and therefore scores) may have changed. Write lock required.
 func (e *Engine) mergeAndInstall() {
 	g := index.NewCorpusStats()
 	for _, cs := range e.perShard {
@@ -224,6 +278,7 @@ func (e *Engine) mergeAndInstall() {
 	for _, sh := range e.shards {
 		sh.Index.SetCorpusStats(g)
 	}
+	e.epoch.Add(1)
 }
 
 // AddPage ingests one new match incrementally: only the owning shard is

@@ -1,15 +1,43 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/eval"
 	"repro/internal/semindex"
 	"repro/internal/soccer"
 )
+
+// searchN runs the unified Search with just a limit — the common test
+// call shape (background context never errors).
+func searchN(e *Engine, q string, limit int) []semindex.Hit {
+	res, err := e.Search(context.Background(), q, SearchOptions{Limit: limit})
+	if err != nil {
+		panic(err)
+	}
+	return res.Hits
+}
+
+// searchWithin runs the unified Search under a per-scatter deadline
+// (d <= 0 means unbounded), returning hits plus the degradation report.
+func searchWithin(e *Engine, q string, limit int, d time.Duration) ([]semindex.Hit, SearchReport) {
+	ctx := context.Background()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	res, err := e.Search(ctx, q, SearchOptions{Limit: limit})
+	if err != nil {
+		panic(err)
+	}
+	return res.Hits, res.Report
+}
 
 // The fixture corpus and monolithic reference index are built once; the
 // per-match pipeline (extraction, population, inference) dominates build
@@ -59,9 +87,9 @@ func TestScatterGatherEquivalence(t *testing.T) {
 		t.Fatalf("engine has %d docs, monolith %d", e.NumDocs(), mono.Index.NumDocs())
 	}
 	for _, q := range eval.PaperQueries() {
-		assertSameHits(t, q.ID, e.Search(q.Keywords, 10), mono.Search(q.Keywords, 10))
+		assertSameHits(t, q.ID, searchN(e, q.Keywords, 10), mono.Search(q.Keywords, 10))
 		// The full ranking (limit 0), not just the top-10, must agree.
-		assertSameHits(t, q.ID+"/full", e.Search(q.Keywords, 0), mono.Search(q.Keywords, 0))
+		assertSameHits(t, q.ID+"/full", searchN(e, q.Keywords, 0), mono.Search(q.Keywords, 0))
 	}
 }
 
@@ -72,7 +100,7 @@ func TestShardCountInvariance(t *testing.T) {
 	want := mono.Search("messi barcelona goal", 10)
 	for _, n := range []int{1, 2, 3, 5} {
 		e := Build(nil, semindex.FullInf, pages, Options{Shards: n})
-		assertSameHits(t, fmt.Sprintf("shards=%d", n), e.Search("messi barcelona goal", 10), want)
+		assertSameHits(t, fmt.Sprintf("shards=%d", n), searchN(e, "messi barcelona goal", 10), want)
 	}
 }
 
@@ -141,7 +169,7 @@ func TestIncrementalIngest(t *testing.T) {
 		t.Fatalf("engine has %d docs after ingest, monolith %d", e.NumDocs(), mono.Index.NumDocs())
 	}
 	for _, q := range eval.PaperQueries() {
-		assertSameHits(t, q.ID, e.Search(q.Keywords, 10), mono.Search(q.Keywords, 10))
+		assertSameHits(t, q.ID, searchN(e, q.Keywords, 10), mono.Search(q.Keywords, 10))
 	}
 }
 
@@ -181,7 +209,7 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				q := queries[(g+i)%len(queries)]
-				e.Search(q, 10)
+				searchN(e, q, 10)
 				e.Suggest(q)
 				e.Related(i%e.NumDocs(), 5)
 			}
@@ -207,7 +235,7 @@ func TestEmptyAndSingle(t *testing.T) {
 	if e.NumShards() != 1 {
 		t.Errorf("clamped shards = %d, want 1", e.NumShards())
 	}
-	if hits := e.Search("goal", 10); len(hits) != 0 {
+	if hits := searchN(e, "goal", 10); len(hits) != 0 {
 		t.Errorf("empty engine returned %d hits", len(hits))
 	}
 	if e.Doc(0) != nil {

@@ -18,6 +18,11 @@ const (
 	metricBuildSec    = "shard_engine_build_seconds"
 	metricIngestSec   = "shard_engine_ingest_seconds"
 	metricShardSearch = "shard_search_seconds"
+	// metricCacheSearch splits whole-call latency by cache outcome
+	// (result="hit" vs result="miss") — the histogram pair the cache's
+	// speedup claim is measured from. Bypass calls land only in
+	// metricSearchSec.
+	metricCacheSearch = "shard_engine_cache_search_seconds"
 )
 
 // engineMetrics holds the engine's resolved metric handles. Handles are
@@ -38,6 +43,10 @@ type engineMetrics struct {
 	// perShard observes each shard's individual search time, labeled
 	// shard="N" — the histogram that makes a straggling shard visible.
 	perShard []*obs.Histogram
+	// cacheHit and cacheMiss observe whole-call latency on the cached
+	// path, split by outcome (coalesced calls ride the leader's miss).
+	cacheHit  *obs.Histogram
+	cacheMiss *obs.Histogram
 }
 
 // newEngineMetrics resolves the engine's series in r (nil r means no-ops).
@@ -49,14 +58,17 @@ func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
 	r.Help(metricBuildSec, "Full sharded build duration.")
 	r.Help(metricIngestSec, "Incremental AddPage duration.")
 	r.Help(metricShardSearch, "Per-shard search latency.")
+	r.Help(metricCacheSearch, "Whole-call latency on the cached path, by outcome.")
 	m := &engineMetrics{
-		searches: r.Counter(metricSearches),
-		degraded: r.Counter(metricDegraded),
-		missing:  r.Counter(metricMissing),
-		latency:  r.Histogram(metricSearchSec, nil),
-		build:    r.Histogram(metricBuildSec, nil),
-		ingest:   r.Histogram(metricIngestSec, nil),
-		perShard: make([]*obs.Histogram, shards),
+		searches:  r.Counter(metricSearches),
+		degraded:  r.Counter(metricDegraded),
+		missing:   r.Counter(metricMissing),
+		latency:   r.Histogram(metricSearchSec, nil),
+		build:     r.Histogram(metricBuildSec, nil),
+		ingest:    r.Histogram(metricIngestSec, nil),
+		perShard:  make([]*obs.Histogram, shards),
+		cacheHit:  r.Histogram(metricCacheSearch, nil, obs.L("result", "hit")),
+		cacheMiss: r.Histogram(metricCacheSearch, nil, obs.L("result", "miss")),
 	}
 	for i := range m.perShard {
 		m.perShard[i] = r.Histogram(metricShardSearch, nil, obs.L("shard", strconv.Itoa(i)))

@@ -21,8 +21,8 @@ func TestEngineMetrics(t *testing.T) {
 	r := obs.NewRegistry()
 	e.SetMetrics(r)
 
-	e.Search("goal", 10)
-	e.Search("yellow card", 10)
+	searchN(e, "goal", 10)
+	searchN(e, "yellow card", 10)
 	e.AddPage(pages[len(pages)-1])
 
 	if got := r.Counter(metricSearches).Value(); got != 2 {
@@ -45,7 +45,7 @@ func TestEngineMetrics(t *testing.T) {
 	}
 
 	e.SetStall(stallShard(1, 300*time.Millisecond))
-	_, rep := e.SearchDeadline("goal", 10, 10*time.Millisecond)
+	_, rep := searchWithin(e, "goal", 10, 10*time.Millisecond)
 	if !rep.Degraded {
 		t.Fatal("stalled shard met a 10ms budget")
 	}
@@ -68,7 +68,7 @@ func TestEngineMetricsExposition(t *testing.T) {
 	e := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
 	r := obs.NewRegistry()
 	e.SetMetrics(r)
-	e.Search("goal", 10)
+	searchN(e, "goal", 10)
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
@@ -95,8 +95,8 @@ func TestDisabledMetrics(t *testing.T) {
 	pages, mono := fixture(t)
 	e := Build(nil, semindex.FullInf, pages, Options{Shards: 3})
 	e.SetMetrics(nil)
-	assertSameHits(t, "metrics off", e.Search("goal", 10), mono.Search("goal", 10))
-	if _, rep := e.SearchDeadline("goal", 10, time.Second); rep.Degraded {
+	assertSameHits(t, "metrics off", searchN(e, "goal", 10), mono.Search("goal", 10))
+	if _, rep := searchWithin(e, "goal", 10, time.Second); rep.Degraded {
 		t.Fatalf("healthy deadline search degraded: %+v", rep)
 	}
 	e.Suggest("mesi goal")
@@ -166,7 +166,7 @@ func TestSearchDeadlinePartialEqualsMonolithRestricted(t *testing.T) {
 	e.SetStall(stallShard(stalled, 2*time.Second))
 
 	for _, q := range []string{"goal", "foul", "yellow card"} {
-		got, rep := e.SearchDeadline(q, 10, 50*time.Millisecond)
+		got, rep := searchWithin(e, q, 10, 50*time.Millisecond)
 		if !rep.Degraded || len(rep.Missing) != 1 || rep.Missing[0] != stalled {
 			t.Fatalf("%q: report %+v, want shard %d missing", q, rep, stalled)
 		}
@@ -205,9 +205,9 @@ func TestConcurrentSearchWithMetrics(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				if (w+i)%2 == 0 {
-					e.Search("goal", 5)
+					searchN(e, "goal", 5)
 				} else {
-					e.SearchDeadline("foul", 5, time.Second)
+					searchWithin(e, "foul", 5, time.Second)
 				}
 				e.Suggest("mesi")
 			}
@@ -250,7 +250,7 @@ func TestLoadedEngineHasMetrics(t *testing.T) {
 	}
 	r := obs.NewRegistry()
 	loaded.SetMetrics(r)
-	if hits := loaded.Search("goal", 10); len(hits) == 0 {
+	if hits := searchN(loaded, "goal", 10); len(hits) == 0 {
 		t.Fatal("loaded engine found nothing")
 	}
 	if got := r.Counter(metricSearches).Value(); got != 1 {

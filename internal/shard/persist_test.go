@@ -33,7 +33,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			back.Level(), back.NumShards(), back.NumDocs())
 	}
 	for _, q := range eval.PaperQueries() {
-		assertSameHits(t, q.ID, back.Search(q.Keywords, 10), e.Search(q.Keywords, 10))
+		assertSameHits(t, q.ID, searchN(back, q.Keywords, 10), searchN(e, q.Keywords, 10))
 	}
 	if got, want := back.Suggest("mesi goal"), e.Suggest("mesi goal"); got != want {
 		t.Errorf("loaded Suggest = %q, want %q", got, want)

@@ -1,8 +1,10 @@
 package shard
 
 import (
+	"context"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,35 +13,231 @@ import (
 	"repro/internal/semindex"
 )
 
-// Search fans the keyword query out to every shard concurrently, collects
-// per-shard top-k lists and merges them into the global top-k. Hit DocIDs
-// are global. Because every shard scores with the exchanged corpus-wide
-// statistics and local order equals global order within a shard, the
-// result — documents and scores — is identical to searching a monolithic
-// index over the same corpus. limit <= 0 returns every match.
-func (e *Engine) Search(query string, limit int) []semindex.Hit {
-	return e.SearchTraced(query, limit, nil)
+// SearchOptions configures one unified Search call. The zero value is a
+// plain unbounded keyword search: every match, no trace, cache allowed.
+type SearchOptions struct {
+	// Limit caps the merged result list; <= 0 returns every match.
+	Limit int
+	// Trace, when non-nil, receives per-shard "shardN" spans and the
+	// "merge" span. Tracing never changes the answer, so it is excluded
+	// from the cache key; a cache hit simply records no shard spans
+	// (there was no scatter to time).
+	Trace *obs.Trace
+	// NoCache bypasses the query-result cache and the singleflight layer
+	// for this call — the always-cold path benchmarks and invalidation
+	// tests compare against.
+	NoCache bool
 }
 
-// SearchTraced is Search with a request trace attached: each shard's
-// search is recorded as a "shardN" span and the global merge as "merge",
-// so a slow query's timeline shows which shard dragged. A nil trace is
-// free — Search calls through here.
-func (e *Engine) SearchTraced(query string, limit int, tr *obs.Trace) []semindex.Hit {
-	start := time.Now()
+// fingerprint summarizes the result-affecting options beyond the limit
+// for cache keying. Trace and NoCache never change the bytes of an
+// answer, so today this is a constant version tag; any future option
+// that alters ranking or result shape must be folded in here.
+func (o SearchOptions) fingerprint() string { return "v1" }
+
+// CacheStatus reports how a Search answer was produced.
+type CacheStatus string
+
+const (
+	// CacheHit: served from a valid cache entry, no scatter ran.
+	CacheHit CacheStatus = "hit"
+	// CacheMiss: this call ran the scatter-gather (and filled the cache
+	// when the answer was complete).
+	CacheMiss CacheStatus = "miss"
+	// CacheCoalesced: shared a concurrent identical query's scatter via
+	// the singleflight layer.
+	CacheCoalesced CacheStatus = "coalesced"
+	// CacheBypass: the cache was off or the call opted out (NoCache).
+	CacheBypass CacheStatus = "bypass"
+)
+
+// SearchResult is the unified Search answer: the globally-ranked hits,
+// the degradation report, and how the cache participated.
+type SearchResult struct {
+	// Hits is the merged global ranking (global docIDs).
+	Hits []semindex.Hit
+	// Report describes completeness: degraded answers name the shards
+	// that missed the deadline. Degraded answers are never cached.
+	Report SearchReport
+	// Cache tells how this answer was produced (hit/miss/coalesced/bypass).
+	Cache CacheStatus
+}
+
+// Search is the engine's one query entry point: it fans the keyword
+// query out to every shard, merges the per-shard top-k lists into the
+// global top-k, and returns hits whose DocIDs are global. Because every
+// shard scores with the exchanged corpus-wide statistics and local order
+// equals global order within a shard, the result — documents and scores
+// — is identical to searching a monolithic index over the same corpus.
+//
+// The context carries the deadline: with no deadline the call waits for
+// every shard; with one, shards that miss it are dropped from the merge
+// and named in the report (degraded serving). A ctx that is already done
+// returns its error without searching.
+//
+// When a query-result cache is installed (Options.CacheBytes or
+// EnableCache), complete answers are cached under the normalized query
+// shape and validated against the engine epoch, so a hit is always
+// byte-identical to what a cold scatter would return; concurrent
+// identical queries coalesce into one scatter. Degraded answers are
+// never cached.
+func (e *Engine) Search(ctx context.Context, query string, opts SearchOptions) (SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SearchResult{}, err
+	}
+	// Snapshot the swappable state under the read lock: SetMetrics and
+	// EnableCache replace these under the write lock.
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	e.met.searches.Inc()
-	per := e.scatter(tr, func(s *semindex.SemanticIndex) []semindex.Hit {
-		return s.Search(query, limit)
+	cache, flight, met := e.cache, e.flight, e.met
+	epoch := e.epoch.Load()
+	e.mu.RUnlock()
+	if cache == nil || opts.NoCache {
+		res, _ := e.searchCold(ctx, query, opts)
+		res.Cache = CacheBypass
+		return res, nil
+	}
+	start := time.Now()
+	key := e.cacheKey(query, opts)
+	if v, ok := cache.Get(key, epoch); ok {
+		ent := v.(*cacheEntry)
+		met.cacheHit.ObserveDuration(time.Since(start))
+		return SearchResult{Hits: cloneHits(ent.hits), Report: ent.report, Cache: CacheHit}, nil
+	}
+	v, leader, err := flight.Do(ctx, key, func() any {
+		res, epoch := e.searchCold(ctx, query, opts)
+		if !res.Report.Degraded {
+			// The cache owns a private copy: callers are free to truncate
+			// or reorder their slice without poisoning later hits. The
+			// entry carries the epoch observed under the read lock during
+			// the scatter, so an ingest landing after this line simply
+			// makes the entry invisible.
+			ent := &cacheEntry{hits: cloneHits(res.Hits), report: res.Report}
+			cache.Put(key, ent, entryBytes(key, ent.hits), epoch)
+		}
+		return res
 	})
-	hits := e.merge(tr, per, limit)
-	e.met.latency.ObserveDuration(time.Since(start))
-	return hits
+	if err != nil {
+		return SearchResult{}, err
+	}
+	res := v.(SearchResult)
+	if leader {
+		res.Cache = CacheMiss
+		met.cacheMiss.ObserveDuration(time.Since(start))
+		return res, nil
+	}
+	// Followers share the leader's slice; hand each its own copy.
+	return SearchResult{Hits: cloneHits(res.Hits), Report: res.Report, Cache: CacheCoalesced}, nil
+}
+
+// cacheEntry is the cached value for one query shape.
+type cacheEntry struct {
+	hits   []semindex.Hit
+	report SearchReport
+}
+
+// cacheKey builds the cache key: normalized query (whitespace collapsed
+// — case and token order are preserved because the analyzer, not the
+// cache, decides their meaning), the semantic level, the limit, and the
+// options fingerprint.
+func (e *Engine) cacheKey(query string, opts SearchOptions) string {
+	norm := strings.Join(strings.Fields(query), " ")
+	return norm + "\x00" + string(e.level) + "\x00" + strconv.Itoa(opts.Limit) + "\x00" + opts.fingerprint()
+}
+
+// entryBytes estimates a cached answer's resident cost: key, entry
+// bookkeeping and the hit structs. Stored documents are shared with the
+// index (the cache holds pointers, not copies), so they are not charged.
+func entryBytes(key string, hits []semindex.Hit) int64 {
+	const entryOverhead = 96
+	const hitSize = 40 // DocID + Score + Doc pointer, padded
+	return int64(len(key)) + entryOverhead + int64(len(hits))*hitSize
+}
+
+// cloneHits copies a hit slice so cache, leader and followers never
+// share a mutable header.
+func cloneHits(hits []semindex.Hit) []semindex.Hit {
+	if hits == nil {
+		return nil
+	}
+	return append([]semindex.Hit(nil), hits...)
+}
+
+// searchCold runs the actual scatter-gather under the read lock and
+// returns the answer plus the engine epoch it was computed at. The
+// context deadline, when present, is the per-scatter collection budget:
+// shards that miss it are dropped from the merge and reported.
+func (e *Engine) searchCold(ctx context.Context, query string, opts SearchOptions) (SearchResult, uint64) {
+	start := time.Now()
+	tr := opts.Trace
+	fn := func(s *semindex.SemanticIndex) []semindex.Hit {
+		return s.Search(query, opts.Limit)
+	}
+	e.mu.RLock()
+	met := e.met
+	met.searches.Inc()
+	epoch := e.epoch.Load()
+	var per [][]semindex.Hit
+	var rep SearchReport
+	release := e.mu.RUnlock
+	if dl, ok := ctx.Deadline(); ok {
+		per, rep, release = e.scatterDeadline(ctx, tr, fn, time.Until(dl))
+	} else {
+		per = e.scatter(tr, fn)
+	}
+	hits := e.merge(tr, per, opts.Limit)
+	release()
+	if rep.Degraded {
+		met.degraded.Inc()
+		met.missing.Add(uint64(len(rep.Missing)))
+	}
+	met.latency.ObserveDuration(time.Since(start))
+	return SearchResult{Hits: hits, Report: rep}, epoch
+}
+
+// SearchHits is the former two-argument Search: every shard is awaited,
+// only the hits are returned.
+//
+// Deprecated: use Search with a context and SearchOptions.
+func (e *Engine) SearchHits(query string, limit int) []semindex.Hit {
+	res, _ := e.Search(context.Background(), query, SearchOptions{Limit: limit})
+	return res.Hits
+}
+
+// SearchTraced is SearchHits with a request trace attached.
+//
+// Deprecated: use Search with SearchOptions.Trace.
+func (e *Engine) SearchTraced(query string, limit int, tr *obs.Trace) []semindex.Hit {
+	res, _ := e.Search(context.Background(), query, SearchOptions{Limit: limit, Trace: tr})
+	return res.Hits
+}
+
+// SearchDeadline is the degraded-service form of SearchHits: every shard
+// gets perShard time to answer; the merged top-k over the shards that
+// made it is returned along with a report naming any that did not.
+// perShard <= 0 means no deadline.
+//
+// Deprecated: use Search with a deadline context.
+func (e *Engine) SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, SearchReport) {
+	return e.SearchDeadlineTraced(query, limit, perShard, nil)
+}
+
+// SearchDeadlineTraced is SearchDeadline with a request trace attached.
+//
+// Deprecated: use Search with a deadline context and SearchOptions.Trace.
+func (e *Engine) SearchDeadlineTraced(query string, limit int, perShard time.Duration, tr *obs.Trace) ([]semindex.Hit, SearchReport) {
+	ctx := context.Background()
+	if perShard > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, perShard)
+		defer cancel()
+	}
+	res, _ := e.Search(ctx, query, SearchOptions{Limit: limit, Trace: tr})
+	return res.Hits, res.Report
 }
 
 // SearchQuery scatters an already-built query across the shards — the
-// hook for programmatic callers that bypass the keyword front-end.
+// hook for programmatic callers that bypass the keyword front-end. It is
+// not cached: structured queries have no stable normalization to key on.
 func (e *Engine) SearchQuery(q index.Query, limit int) []semindex.Hit {
 	start := time.Now()
 	e.mu.RLock()
@@ -104,45 +302,16 @@ type SearchReport struct {
 	Missing []int
 }
 
-// SearchDeadline is the degraded-service form of Search: every shard gets
-// perShard time to answer; the merged top-k over the shards that made it
-// is returned along with a report naming any that did not. perShard <= 0
-// means no deadline (identical to Search). Stragglers are abandoned, not
-// cancelled — they finish in the background, and ingestion stays blocked
-// behind them so an abandoned reader can never observe a mid-ingest shard.
-func (e *Engine) SearchDeadline(query string, limit int, perShard time.Duration) ([]semindex.Hit, SearchReport) {
-	return e.SearchDeadlineTraced(query, limit, perShard, nil)
-}
-
-// SearchDeadlineTraced is SearchDeadline with a request trace attached;
-// shards that answer within the deadline contribute "shardN" spans (a
-// straggler's span lands whenever it finishes, which may be after the
-// trace is logged — AddSpan tolerates that).
-func (e *Engine) SearchDeadlineTraced(query string, limit int, perShard time.Duration, tr *obs.Trace) ([]semindex.Hit, SearchReport) {
-	start := time.Now()
-	e.mu.RLock()
-	met := e.met
-	met.searches.Inc()
-	per, rep, release := e.scatterDeadline(tr, func(s *semindex.SemanticIndex) []semindex.Hit {
-		return s.Search(query, limit)
-	}, perShard)
-	hits := e.merge(tr, per, limit)
-	release()
-	if rep.Degraded {
-		met.degraded.Inc()
-		met.missing.Add(uint64(len(rep.Missing)))
-	}
-	met.latency.ObserveDuration(time.Since(start))
-	return hits, rep
-}
-
 // scatterDeadline fans fn out to every shard and collects results for at
-// most perShard. The caller must hold the read lock and must call the
-// returned release func after it is done reading engine state: release
-// either unlocks immediately (all shards answered) or hands the read lock
-// to a drain goroutine that unlocks once the stragglers finish, keeping
-// writers out while any abandoned goroutine can still touch a shard.
-func (e *Engine) scatterDeadline(tr *obs.Trace, fn func(*semindex.SemanticIndex) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
+// most perShard (or until ctx is done — a cancelled client stops the
+// wait the same way a blown budget does). Stragglers are abandoned, not
+// cancelled — they finish in the background, and ingestion stays blocked
+// behind them so an abandoned reader can never observe a mid-ingest
+// shard. The caller must hold the read lock and must call the returned
+// release func after it is done reading engine state: release either
+// unlocks immediately (all shards answered) or hands the read lock to a
+// drain goroutine that unlocks once the stragglers finish.
+func (e *Engine) scatterDeadline(ctx context.Context, tr *obs.Trace, fn func(*semindex.SemanticIndex) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
 	met := e.met
 	n := len(e.shards)
 	type shardResult struct {
@@ -181,6 +350,8 @@ collect:
 			arrived[r.i] = true
 			got++
 		case <-timeout:
+			break collect
+		case <-ctx.Done():
 			break collect
 		}
 	}
