@@ -1,0 +1,157 @@
+// Coldpath mode: the BENCH_5.json sweep quantifying the top-k scoring
+// kernel. The same paper-query mix runs always-cold (NoCache, so every
+// query pays the full scatter and scoring) through two engine
+// configurations: the pruned document-at-a-time kernel and the
+// term-at-a-time exhaustive path (SetExhaustiveScoring). Both arms are
+// measured at limit 10 (the pruning sweet spot — a tight top-k raises the
+// MaxScore threshold fast) and limit 100, alternating rounds so machine
+// drift hits both arms; each arm keeps its best round. Scoring-path
+// allocations are sampled separately with runtime.MemStats.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/shard"
+)
+
+// coldReport is the BENCH_5.json schema.
+type coldReport struct {
+	Config config `json:"config"`
+	// Limit10 and Limit100 compare the two scoring paths at each limit.
+	Limit10  coldArm `json:"limit10"`
+	Limit100 coldArm `json:"limit100"`
+	// SpeedupP50 is exhaustive p50 / pruned p50 at limit 10 — the headline
+	// number and the CI floor.
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// coldArm holds the naive-vs-pruned comparison for one limit.
+type coldArm struct {
+	Pruned     latency `json:"pruned"`
+	Exhaustive latency `json:"exhaustive"`
+	// SpeedupP50 is exhaustive p50 / pruned p50 at this limit.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	// PrunedAllocsPerOp / ExhaustiveAllocsPerOp are mean heap allocations
+	// per query on each path, from runtime.MemStats deltas.
+	PrunedAllocsPerOp     float64 `json:"pruned_allocs_per_op"`
+	ExhaustiveAllocsPerOp float64 `json:"exhaustive_allocs_per_op"`
+}
+
+// runColdBench measures both scoring paths, writes the report, and
+// enforces the limit-10 speedup floor.
+func runColdBench(eng *shard.Engine, queries []string, cfg config, rounds int, minSpeedup float64, out string) {
+	arm10 := measureColdArm(eng, queries, cfg.Iters, rounds, 10)
+	arm100 := measureColdArm(eng, queries, cfg.Iters, rounds, 100)
+
+	rep := coldReport{
+		Config:     cfg,
+		Limit10:    arm10,
+		Limit100:   arm100,
+		SpeedupP50: arm10.SpeedupP50,
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("wrote %s: limit10 pruned p50 %.1fµs vs exhaustive %.1fµs (%.1fx), limit100 %.1fx, allocs/op %.0f vs %.0f\n",
+			out, arm10.Pruned.P50us, arm10.Exhaustive.P50us, arm10.SpeedupP50,
+			arm100.SpeedupP50, arm10.PrunedAllocsPerOp, arm10.ExhaustiveAllocsPerOp)
+	}
+	if minSpeedup > 0 && rep.SpeedupP50 < minSpeedup {
+		fmt.Fprintf(os.Stderr, "cold-path speedup %.2fx at limit 10 is below the %.1fx floor\n",
+			rep.SpeedupP50, minSpeedup)
+		os.Exit(1)
+	}
+}
+
+// measureColdArm times the always-cold query mix at one limit on both
+// scoring paths, alternating rounds, keeping each path's best round.
+func measureColdArm(eng *shard.Engine, queries []string, iters, rounds, limit int) coldArm {
+	pruned := make([][]time.Duration, 0, rounds)
+	exhaustive := make([][]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		eng.SetExhaustiveScoring(false)
+		pruned = append(pruned, measureCold(eng, queries, iters, limit))
+		eng.SetExhaustiveScoring(true)
+		exhaustive = append(exhaustive, measureCold(eng, queries, iters, limit))
+	}
+
+	eng.SetExhaustiveScoring(false)
+	prunedAllocs := measureAllocs(eng, queries, limit)
+	eng.SetExhaustiveScoring(true)
+	exhaustiveAllocs := measureAllocs(eng, queries, limit)
+	eng.SetExhaustiveScoring(false)
+
+	prunedP50 := bestP50(pruned)
+	exhaustiveP50 := bestP50(exhaustive)
+	prunedAll := flatten(pruned)
+	exhaustiveAll := flatten(exhaustive)
+	return coldArm{
+		Pruned: latency{
+			Iters: len(prunedAll),
+			P50us: prunedP50, P95us: quantile(prunedAll, 0.95),
+		},
+		Exhaustive: latency{
+			Iters: len(exhaustiveAll),
+			P50us: exhaustiveP50, P95us: quantile(exhaustiveAll, 0.95),
+		},
+		SpeedupP50:            exhaustiveP50 / prunedP50,
+		PrunedAllocsPerOp:     prunedAllocs,
+		ExhaustiveAllocsPerOp: exhaustiveAllocs,
+	}
+}
+
+// measureCold runs iters always-cold queries (cycling the paper mix) at
+// the given limit after a short warmup, returning each query's wall time.
+func measureCold(eng *shard.Engine, queries []string, iters, limit int) []time.Duration {
+	ctx := context.Background()
+	opts := shard.SearchOptions{Limit: limit, NoCache: true}
+	for i := 0; i < iters/10+1; i++ {
+		if _, err := eng.Search(ctx, queries[i%len(queries)], opts); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	out := make([]time.Duration, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if _, err := eng.Search(ctx, queries[i%len(queries)], opts); err != nil {
+			cli.Fatal(err)
+		}
+		out[i] = time.Since(start)
+	}
+	return out
+}
+
+// measureAllocs samples mean heap allocations per query over one pass of
+// the query mix, via runtime.MemStats deltas (single-threaded, so the
+// delta is attributable to the queries).
+func measureAllocs(eng *shard.Engine, queries []string, limit int) float64 {
+	ctx := context.Background()
+	opts := shard.SearchOptions{Limit: limit, NoCache: true}
+	const passes = 3
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < passes*len(queries); i++ {
+		if _, err := eng.Search(ctx, queries[i%len(queries)], opts); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(passes*len(queries))
+}

@@ -20,6 +20,16 @@
 //
 //	socbench -mode cache -out BENCH_4.json
 //	socbench -mode cache -zipf-s 1.4 -cache-mb 16 -min-speedup 5
+//
+// -mode coldpath switches to the BENCH_5.json scoring-kernel comparison:
+// the always-cold query mix runs through the pruned document-at-a-time
+// kernel and the term-at-a-time exhaustive path at limits 10 and 100,
+// reporting per-path latency quantiles, allocations per query, and the
+// naive-vs-pruned speedup. -min-speedup makes CI fail when pruning stops
+// paying at limit 10.
+//
+//	socbench -mode coldpath -out BENCH_5.json
+//	socbench -mode coldpath -min-speedup 2
 package main
 
 import (
@@ -78,16 +88,19 @@ func main() {
 	iters := fs.Int("iters", 400, "measured queries per arm and round")
 	rounds := fs.Int("rounds", 3, "alternating measurement rounds per arm (best round wins)")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail (exit 1) if p50 overhead exceeds this percentage (0 = report only)")
-	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price) or "cache" (BENCH_4, query-cache sweep)`)
+	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep) or "coldpath" (BENCH_5, scoring-kernel comparison)`)
 	zipfS := fs.Float64("zipf-s", 1.2, "cache mode: Zipf exponent of the repeated-query mix")
 	cacheMB := fs.Int("cache-mb", 64, "cache mode: query-cache capacity in MiB")
 	minSpeedup := fs.Float64("min-speedup", 0, "cache mode: fail (exit 1) if cold p50 / warm p50 falls below this factor (0 = report only)")
 	out := fs.String("out", "", "output file (- = stdout; default BENCH_3.json or BENCH_4.json by mode)")
 	fs.Parse(os.Args[1:])
 	if *out == "" {
-		if *mode == "cache" {
+		switch *mode {
+		case "cache":
 			*out = "BENCH_4.json"
-		} else {
+		case "coldpath":
+			*out = "BENCH_5.json"
+		default:
 			*out = "BENCH_3.json"
 		}
 	}
@@ -110,6 +123,12 @@ func main() {
 			Matches: *matches, Shards: *shards, Iters: *iters,
 			ZipfS: *zipfS, CacheMB: *cacheMB,
 		}, *minSpeedup, *out)
+		return
+	}
+	if *mode == "coldpath" {
+		runColdBench(eng, queries,
+			config{Matches: *matches, Shards: *shards, Iters: *iters},
+			*rounds, *minSpeedup, *out)
 		return
 	}
 

@@ -274,3 +274,39 @@ func TestBuildShardedIndex(t *testing.T) {
 		t.Errorf("after AddPage: engine %d docs, monolith %d", eng.NumDocs(), mono.Index.NumDocs())
 	}
 }
+
+// TestSearchLevelDAATEquivalence drives the DAAT-equals-exhaustive
+// contract through the full system façade at every semantic level: the
+// pruned kernel must return the exact hits — documents, scores, order —
+// the term-at-a-time path does, for plain, phrasal and advanced-syntax
+// queries alike.
+func TestSearchLevelDAATEquivalence(t *testing.T) {
+	s := testSystem(t, 3)
+	queries := []string{
+		"goal", "yellow card corner", "goal by player",
+		`"free kick"`, "+goal -card", "gaol~",
+	}
+	for _, level := range semindex.Levels {
+		ix := s.BuildIndex(level)
+		for _, q := range queries {
+			for _, limit := range []int{0, 1, 5, 50} {
+				pruned := s.SearchLevel(level, q, limit)
+				ix.Index.SetExhaustive(true)
+				exhaustive := s.SearchLevel(level, q, limit)
+				ix.Index.SetExhaustive(false)
+				if len(pruned) != len(exhaustive) {
+					t.Fatalf("%s %q limit %d: %d hits pruned, %d exhaustive",
+						level, q, limit, len(pruned), len(exhaustive))
+				}
+				for i := range exhaustive {
+					if pruned[i].DocID != exhaustive[i].DocID || pruned[i].Score != exhaustive[i].Score {
+						t.Errorf("%s %q limit %d rank %d: (%d, %v) want (%d, %v)",
+							level, q, limit, i+1,
+							pruned[i].DocID, pruned[i].Score,
+							exhaustive[i].DocID, exhaustive[i].Score)
+					}
+				}
+			}
+		}
+	}
+}

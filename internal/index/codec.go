@@ -167,6 +167,7 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 			postings: make(map[string][]Posting),
 			docLen:   make(map[int]int),
 			boost:    make(map[int]float64),
+			caps:     make(map[string]termCap),
 		}
 		ix.fields[name] = fi
 
@@ -244,6 +245,9 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 			}
 			fi.boost[int(id)] = v
 		}
+		// Score-bound caps are derived state: recompute rather than
+		// serialize, so the codec format is unchanged.
+		fi.rebuildCaps()
 	}
 	return ix, nil
 }

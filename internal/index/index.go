@@ -27,6 +27,21 @@ type fieldIndex struct {
 	sumLen int
 	// boost records the per-doc field boost (last write wins per doc).
 	boost map[int]float64
+	// caps tracks each term's score-bound inputs for MaxScore pruning,
+	// maintained incrementally by Add and rebuilt by the codec on load.
+	caps map[string]termCap
+}
+
+// termCap records the inputs from which a term's score upper bound is
+// derived at query time: the largest within-document frequency, the
+// shortest document carrying the term (tracked conservatively — a
+// multi-valued field observed mid-growth only shrinks the bound's length,
+// which loosens, never invalidates, the cap), and the largest posting
+// boost.
+type termCap struct {
+	maxFreq  int
+	minLen   int
+	maxBoost float64
 }
 
 // avgLen is the mean field length across documents carrying the field.
@@ -50,6 +65,9 @@ type Index struct {
 	// statistics in every ranking formula (see stats.go) so a shard of a
 	// partitioned corpus ranks exactly like the whole.
 	global *CorpusStats
+	// exhaustive routes Search through the term-at-a-time map-accumulator
+	// path instead of the DAAT kernel (see SetExhaustive).
+	exhaustive bool
 }
 
 // New returns an empty index using the analyzer for every field and the
@@ -85,6 +103,7 @@ func (ix *Index) Add(d *Document) int {
 				postings: make(map[string][]Posting),
 				docLen:   make(map[int]int),
 				boost:    make(map[int]float64),
+				caps:     make(map[string]termCap),
 			}
 			ix.fields[f.Name] = fi
 		}
@@ -105,6 +124,27 @@ func (ix *Index) Add(d *Document) int {
 				pl = append(pl, Posting{DocID: id, Positions: []int{base + pos}, Boost: boost})
 			}
 			fi.postings[term] = pl
+			// Keep the term's score-bound inputs current: the last posting
+			// is always this document's.
+			p := &pl[len(pl)-1]
+			c, ok := fi.caps[term]
+			if !ok {
+				fi.caps[term] = termCap{maxFreq: len(p.Positions), minLen: fi.docLen[id], maxBoost: p.Boost}
+				continue
+			}
+			changed := false
+			if f := len(p.Positions); f > c.maxFreq {
+				c.maxFreq, changed = f, true
+			}
+			if l := fi.docLen[id]; l < c.minLen {
+				c.minLen, changed = l, true
+			}
+			if p.Boost > c.maxBoost {
+				c.maxBoost, changed = p.Boost, true
+			}
+			if changed {
+				fi.caps[term] = c
+			}
 		}
 	}
 	return id
@@ -210,4 +250,59 @@ func (ix *Index) fieldNorm(field string, docID int) float64 {
 		return 0
 	}
 	return 1 / math.Sqrt(float64(l))
+}
+
+// termUpperBound returns an upper bound on the score any single document
+// can earn from the (field, term) clause at the given query boost — the
+// per-term cap MaxScore pruning compares against the top-k threshold.
+// The bound evaluates the similarity at the term's best-case posting
+// shape (max freq, min length, max boost, tracked in fieldIndex.caps
+// since build time) under the same collection statistics real scoring
+// uses, so it holds per shard even when corpus-wide statistics are
+// installed. Similarities that do not implement UpperBoundSimilarity get
+// +Inf, which disables pruning but keeps evaluation correct.
+func (ix *Index) termUpperBound(field, term string, queryBoost float64) float64 {
+	fi := ix.fields[field]
+	if fi == nil {
+		return 0
+	}
+	c, ok := fi.caps[term]
+	if !ok {
+		return 0
+	}
+	ubs, ok := ix.sim.(UpperBoundSimilarity)
+	if !ok {
+		return math.Inf(1)
+	}
+	// A negative boost flips "evaluate at the best-case posting" into a
+	// lower bound; no pruning rather than wrong pruning.
+	if c.maxBoost < 0 || queryBoost < 0 {
+		return math.Inf(1)
+	}
+	df := ix.scoringDocFreq(field, term)
+	b := ubs.TermScoreBound(c.maxFreq, df, ix.scoringNumDocs(), c.minLen, ix.scoringAvgLen(field))
+	return b * c.maxBoost * queryBoost * capSlack
+}
+
+// rebuildCaps recomputes the per-term score-bound inputs from the posting
+// lists — the codec's load-time equivalent of Add's incremental tracking
+// (and slightly tighter, since loaded docLens are final).
+func (fi *fieldIndex) rebuildCaps() {
+	fi.caps = make(map[string]termCap, len(fi.postings))
+	for t, pl := range fi.postings {
+		c := termCap{minLen: math.MaxInt}
+		for i := range pl {
+			p := &pl[i]
+			if f := len(p.Positions); f > c.maxFreq {
+				c.maxFreq = f
+			}
+			if l := fi.docLen[p.DocID]; l < c.minLen {
+				c.minLen = l
+			}
+			if p.Boost > c.maxBoost {
+				c.maxBoost = p.Boost
+			}
+		}
+		fi.caps[t] = c
+	}
 }

@@ -1,7 +1,5 @@
 package index
 
-import "sort"
-
 // MoreLikeThis builds a query from the most discriminative terms of an
 // existing document — the "related events" feature of a search UI. Terms
 // are ranked by TF-IDF within the given fields; the top maxTerms become a
@@ -34,8 +32,15 @@ func (ix *Index) LikeThisQuery(docID int, fields []FieldBoost, maxTerms int) Que
 		term  string
 		score float64
 	}
+	// Select the maxTerms most discriminative terms with the same bounded
+	// heap the search kernel uses — no full sort of the candidate set.
+	top := bounded[scored]{k: maxTerms, worse: func(a, b scored) bool {
+		if a.score != b.score {
+			return a.score < b.score
+		}
+		return a.term > b.term
+	}}
 	seen := map[string]bool{}
-	var candidates []scored
 	for _, fb := range fields {
 		text := d.Get(fb.Field)
 		if text == "" {
@@ -60,20 +65,12 @@ func (ix *Index) LikeThisQuery(docID int, fields []FieldBoost, maxTerms int) Que
 			if df > ceiling {
 				continue
 			}
-			candidates = append(candidates, scored{term: term, score: ix.IDF(fb.Field, term)})
+			top.push(scored{term: term, score: ix.IDF(fb.Field, term)})
 		}
 	}
+	candidates := top.sorted()
 	if len(candidates) == 0 {
 		return nil
-	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].score != candidates[j].score {
-			return candidates[i].score > candidates[j].score
-		}
-		return candidates[i].term < candidates[j].term
-	})
-	if len(candidates) > maxTerms {
-		candidates = candidates[:maxTerms]
 	}
 	var should []Query
 	for _, c := range candidates {
@@ -93,4 +90,11 @@ func (q docIDQuery) scores(ix *Index) map[int]float64 {
 		return nil
 	}
 	return map[int]float64{q.id: 1}
+}
+
+func (q docIDQuery) newScorer(ix *Index) scorer {
+	if q.id < 0 || q.id >= ix.NumDocs() {
+		return emptyScorer{}
+	}
+	return &singleDocScorer{id: q.id, cur: -1}
 }

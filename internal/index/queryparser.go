@@ -186,6 +186,42 @@ func (q FuzzyQuery) scores(ix *Index) map[int]float64 {
 	return out
 }
 
+// newScorer expands the fuzzy term against the field's dictionary once —
+// the same scan the exhaustive path pays — and evaluates the expansion
+// document-at-a-time as a weighted per-document maximum, reproducing the
+// "best matching variant wins" semantics of scores.
+func (q FuzzyQuery) newScorer(ix *Index) scorer {
+	analyzed := ix.analyzer.Analyze(q.Term)
+	if len(analyzed) != 1 {
+		return emptyScorer{}
+	}
+	target := analyzed[0]
+	boost := q.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	fi := ix.fields[q.Field]
+	if fi == nil {
+		return emptyScorer{}
+	}
+	var subs []scorer
+	var weights []float64
+	for term := range fi.postings {
+		var weight float64
+		switch {
+		case term == target:
+			weight = 1
+		case WithinEditDistance1(term, target):
+			weight = 0.5
+		default:
+			continue
+		}
+		subs = append(subs, newTermScorer(ix, q.Field, term, boost))
+		weights = append(weights, weight)
+	}
+	return newMaxScorer(subs, weights)
+}
+
 // WithinEditDistance1 reports whether two strings are within Levenshtein
 // distance 1 (one insertion, deletion or substitution), computed without
 // building a distance matrix.

@@ -2,14 +2,20 @@ package index
 
 import (
 	"math"
-	"sort"
+	"sync"
 )
 
 // Query scores documents against the index. Implementations are TermQuery,
 // PhraseQuery and BooleanQuery.
 type Query interface {
-	// scores returns the raw per-document scores of this query clause.
+	// scores returns the raw per-document scores of this query clause —
+	// the exhaustive term-at-a-time path kept as the ExhaustiveSearch
+	// escape hatch and the oracle the DAAT kernel is verified against.
 	scores(ix *Index) map[int]float64
+	// newScorer returns the clause's document-at-a-time cursor (see
+	// scorer.go). It must reproduce scores exactly: same documents, same
+	// floating-point expression order, byte-identical scores.
+	newScorer(ix *Index) scorer
 }
 
 // Hit is one search result.
@@ -20,25 +26,61 @@ type Hit struct {
 
 // Search evaluates the query and returns hits sorted by descending score
 // (docID ascending on ties, for determinism). limit <= 0 returns all hits.
+//
+// Evaluation is document-at-a-time with MaxScore pruning against the
+// top-k threshold: posting lists are walked in docID lockstep, a bounded
+// typed min-heap keeps the best limit hits, and once the heap is full the
+// weakest kept score becomes a bar that lets the evaluator skip documents
+// whose per-term score caps prove they cannot qualify. The result is
+// byte-identical — documents, scores and tie order — to ExhaustiveSearch.
 func (ix *Index) Search(q Query, limit int) []Hit {
-	sc := q.scores(ix)
-	hits := make([]Hit, 0, len(sc))
-	for id, s := range sc {
-		if s > 0 {
-			hits = append(hits, Hit{DocID: id, Score: s})
+	if ix.exhaustive {
+		return ix.ExhaustiveSearch(q, limit)
+	}
+	sc := q.newScorer(ix)
+	if _, empty := sc.(emptyScorer); empty {
+		return nil
+	}
+	c := acquireCollector(limit)
+	pr, canPrune := sc.(prunable)
+	th := 0.0
+	for d := sc.next(); d != noMoreDocs; d = sc.next() {
+		if s := sc.score(); s > th {
+			c.collect(d, s)
+			if nt := c.threshold(); nt > th {
+				th = nt
+				if canPrune {
+					pr.setThreshold(nt)
+				}
+			}
 		}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].DocID < hits[j].DocID
-	})
-	if limit > 0 && len(hits) > limit {
-		hits = hits[:limit]
-	}
+	hits := c.results()
+	c.release()
 	return hits
 }
+
+// ExhaustiveSearch evaluates the query term-at-a-time over every matching
+// document — the seed-era map-accumulator path. It is the baseline arm of
+// the cold-path benchmark and the oracle for the DAAT equivalence tests;
+// production callers should use Search.
+func (ix *Index) ExhaustiveSearch(q Query, limit int) []Hit {
+	sc := q.scores(ix)
+	c := acquireCollector(limit)
+	for id, s := range sc {
+		if s > 0 {
+			c.collect(id, s)
+		}
+	}
+	hits := c.results()
+	c.release()
+	return hits
+}
+
+// SetExhaustive routes Search through ExhaustiveSearch (true) or the DAAT
+// kernel (false, the default). It exists for benchmarks and equivalence
+// tests; like SetSimilarity it must not race with searches.
+func (ix *Index) SetExhaustive(on bool) { ix.exhaustive = on }
 
 // TermQuery matches documents containing a single term in one field,
 // scored with classic TF-IDF: sqrt(tf) · idf² · fieldBoost · lengthNorm.
@@ -85,6 +127,23 @@ func (q TermQuery) scores(ix *Index) map[int]float64 {
 	return out
 }
 
+func (q TermQuery) newScorer(ix *Index) scorer {
+	terms := ix.analyzer.Analyze(q.Term)
+	if len(terms) != 1 {
+		if len(terms) == 0 {
+			return emptyScorer{}
+		}
+		// Mirror scores: multi-token terms re-enter as a phrase (which
+		// re-analyzes them, keeping both paths on identical tokens).
+		return PhraseQuery{Field: q.Field, Terms: terms, Boost: q.Boost}.newScorer(ix)
+	}
+	boost := q.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	return newTermScorer(ix, q.Field, terms[0], boost)
+}
+
 // PhraseQuery matches documents where the terms occur consecutively in one
 // field. Terms are raw tokens, analyzed individually before matching.
 type PhraseQuery struct {
@@ -96,10 +155,7 @@ type PhraseQuery struct {
 }
 
 func (q PhraseQuery) scores(ix *Index) map[int]float64 {
-	var terms []string
-	for _, t := range q.Terms {
-		terms = append(terms, ix.analyzer.Analyze(t)...)
-	}
+	terms := phraseTerms(ix, q.Terms)
 	if len(terms) == 0 {
 		return nil
 	}
@@ -129,6 +185,51 @@ func (q PhraseQuery) scores(ix *Index) map[int]float64 {
 	return out
 }
 
+func (q PhraseQuery) newScorer(ix *Index) scorer {
+	terms := phraseTerms(ix, q.Terms)
+	if len(terms) == 0 {
+		return emptyScorer{}
+	}
+	boost := q.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	return newPhraseScorer(ix, q.Field, terms, boost)
+}
+
+// phraseBufPool recycles the join scratch phraseTerms uses, so repeated
+// phrase evaluation does not regrow a buffer per call.
+var phraseBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// phraseTerms analyzes a phrase's raw terms in ONE analyzer pass: the
+// terms are joined with spaces in a pooled scratch buffer and analyzed
+// together. Tokenization splits on the same boundaries either way, so the
+// token stream is identical to analyzing each term separately — without
+// the per-term Analyze allocations and append-regrowth the seed path paid
+// on every call.
+func phraseTerms(ix *Index, raw []string) []string {
+	switch len(raw) {
+	case 0:
+		return nil
+	case 1:
+		return ix.analyzer.Analyze(raw[0])
+	}
+	bufp := phraseBufPool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	for i, t := range raw {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, t...)
+	}
+	// string(buf) copies: the analyzer's tokens alias their input string,
+	// so they must not share the pooled buffer.
+	terms := ix.analyzer.Analyze(string(buf))
+	*bufp = buf
+	phraseBufPool.Put(bufp)
+	return terms
+}
+
 func phraseAt(ix *Index, field string, terms []string, docID, start int) bool {
 	for i := 1; i < len(terms); i++ {
 		if !hasPosition(ix.Postings(field, terms[i]), docID, start+i) {
@@ -140,13 +241,42 @@ func phraseAt(ix *Index, field string, terms []string, docID, start int) bool {
 
 func hasPosition(pl []Posting, docID, pos int) bool {
 	// Posting lists are built in ascending docID order.
-	i := sort.Search(len(pl), func(i int) bool { return pl[i].DocID >= docID })
+	i := searchPostings(pl, docID)
 	if i >= len(pl) || pl[i].DocID != docID {
 		return false
 	}
 	ps := pl[i].Positions
-	j := sort.SearchInts(ps, pos)
+	j := searchInts(ps, pos)
 	return j < len(ps) && ps[j] == pos
+}
+
+// searchPostings is sort.Search specialized to posting lists: the first
+// index whose DocID >= docID.
+func searchPostings(pl []Posting, docID int) int {
+	lo, hi := 0, len(pl)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pl[mid].DocID < docID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchInts is sort.SearchInts without the closure indirection.
+func searchInts(s []int, x int) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // BooleanQuery combines clauses: Must clauses all have to match, MustNot
@@ -204,6 +334,8 @@ func (q BooleanQuery) scores(ix *Index) map[int]float64 {
 	return out
 }
 
+func (q BooleanQuery) newScorer(ix *Index) scorer { return newBooleanScorer(ix, q) }
+
 // MatchAllQuery matches every document with a constant score, useful for
 // "list everything" style queries and tests.
 type MatchAllQuery struct{}
@@ -214,6 +346,13 @@ func (MatchAllQuery) scores(ix *Index) map[int]float64 {
 		out[id] = 1
 	}
 	return out
+}
+
+func (MatchAllQuery) newScorer(ix *Index) scorer {
+	if len(ix.docs) == 0 {
+		return emptyScorer{}
+	}
+	return &allScorer{n: len(ix.docs), cur: -1}
 }
 
 // FieldBoost pairs a field with a query-time boost, for multi-field keyword
@@ -241,11 +380,53 @@ func MultiFieldQuery(text string, fields []FieldBoost) Query {
 	}
 	var should []Query
 	for _, tok := range Tokenize(text) {
-		var perField []Query
-		for _, fb := range searched {
-			perField = append(perField, TermQuery{Field: fb.Field, Term: tok, Boost: fb.Boost})
-		}
-		should = append(should, BooleanQuery{Should: perField, DisableCoord: true})
+		should = append(should, multiTermQuery{tok: tok, fields: searched})
 	}
 	return BooleanQuery{Should: should}
+}
+
+// multiTermQuery is one keyword searched across several fields — the
+// per-token clause MultiFieldQuery builds. Semantically it is exactly the
+// coord-free disjunction of per-field TermQueries (its scores method IS
+// that query), but its scorer analyzes the token once instead of once per
+// field: the analyzer's stemmer dominated scorer construction when every
+// field clause re-derived the same index term.
+type multiTermQuery struct {
+	tok    string
+	fields []FieldBoost
+}
+
+// asBoolean is the equivalent public-query shape, the form both scores
+// and the multi-token fallback evaluate.
+func (q multiTermQuery) asBoolean() BooleanQuery {
+	per := make([]Query, len(q.fields))
+	for i, fb := range q.fields {
+		per[i] = TermQuery{Field: fb.Field, Term: q.tok, Boost: fb.Boost}
+	}
+	return BooleanQuery{Should: per, DisableCoord: true}
+}
+
+func (q multiTermQuery) scores(ix *Index) map[int]float64 {
+	return q.asBoolean().scores(ix)
+}
+
+func (q multiTermQuery) newScorer(ix *Index) scorer {
+	terms := ix.analyzer.Analyze(q.tok)
+	if len(terms) == 0 {
+		return emptyScorer{}
+	}
+	if len(terms) != 1 {
+		// A token that analyzes to several terms re-enters as per-field
+		// phrases, mirroring TermQuery's fallback.
+		return q.asBoolean().newScorer(ix)
+	}
+	shoulds := make([]scorer, len(q.fields))
+	for i, fb := range q.fields {
+		boost := fb.Boost
+		if boost == 0 {
+			boost = 1
+		}
+		shoulds[i] = newTermScorer(ix, fb.Field, terms[0], boost)
+	}
+	return newDisjunctionScorer(shoulds)
 }

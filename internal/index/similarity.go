@@ -13,6 +13,21 @@ type Similarity interface {
 	TermScore(freq, df, numDocs, fieldLen int, avgLen float64) float64
 }
 
+// UpperBoundSimilarity is implemented by similarities whose TermScore is
+// monotone nondecreasing in freq and nonincreasing in fieldLen — which
+// lets the DAAT kernel derive a per-term score cap by evaluating the
+// formula at a term's best-case posting shape. Both built-in similarities
+// qualify (see DESIGN.md §10 for the derivations); a custom similarity
+// that does not implement the interface simply runs without MaxScore
+// pruning.
+type UpperBoundSimilarity interface {
+	Similarity
+	// TermScoreBound returns an upper bound on TermScore over every
+	// posting with freq <= maxFreq and fieldLen >= minLen, at the given
+	// collection statistics.
+	TermScoreBound(maxFreq, df, numDocs, minLen int, avgLen float64) float64
+}
+
 // ClassicTFIDF is Lucene's classic similarity:
 // sqrt(tf) · idf² · 1/sqrt(fieldLen), idf = 1 + ln(N/(df+1)).
 type ClassicTFIDF struct{}
@@ -24,6 +39,13 @@ func (ClassicTFIDF) TermScore(freq, df, numDocs, fieldLen int, avgLen float64) f
 	}
 	idf := 1 + math.Log(float64(numDocs)/float64(df+1))
 	return math.Sqrt(float64(freq)) * idf * idf / math.Sqrt(float64(fieldLen))
+}
+
+// TermScoreBound implements UpperBoundSimilarity: sqrt(tf) rises with tf
+// and 1/sqrt(len) falls with len, so the formula at (maxFreq, minLen)
+// dominates every real posting.
+func (s ClassicTFIDF) TermScoreBound(maxFreq, df, numDocs, minLen int, avgLen float64) float64 {
+	return s.TermScore(maxFreq, df, numDocs, minLen, avgLen)
 }
 
 // BM25 is Okapi BM25 with the usual k1/b parameterization. Zero values get
@@ -49,4 +71,11 @@ func (s BM25) TermScore(freq, df, numDocs, fieldLen int, avgLen float64) float64
 	tf := float64(freq)
 	norm := 1 - b + b*float64(fieldLen)/math.Max(avgLen, 1)
 	return idf * tf * (k1 + 1) / (tf + k1*norm)
+}
+
+// TermScoreBound implements UpperBoundSimilarity: tf·(k1+1)/(tf+k1·norm)
+// rises with tf and falls with norm (which rises with len), so the
+// formula at (maxFreq, minLen) dominates every real posting.
+func (s BM25) TermScoreBound(maxFreq, df, numDocs, minLen int, avgLen float64) float64 {
+	return s.TermScore(maxFreq, df, numDocs, minLen, avgLen)
 }

@@ -19,6 +19,11 @@ type Hit struct {
 // additionally recognizes the phrasal expressions of Section 6 ("by X",
 // "of X", "to X") and routes them to the subject/object phrase fields.
 // limit <= 0 returns every match.
+//
+// The limit is pushed down into the index kernel, not applied as a
+// truncation here: a positive limit arms document-at-a-time MaxScore
+// pruning (see index.Index.Search), so asking for the top 10 costs far
+// less than ranking every match and slicing.
 func (s *SemanticIndex) Search(query string, limit int) []Hit {
 	queryCounter(s.Level).Inc()
 	q := s.buildQuery(query)

@@ -304,6 +304,20 @@ func (e *Engine) AddPage(page *crawler.MatchPage) {
 	e.mergeAndInstall()
 }
 
+// SetExhaustiveScoring routes every shard through the term-at-a-time
+// map-accumulator scoring path instead of the pruned DAAT kernel (see
+// index.Index.SetExhaustive) — the engine-level escape hatch the cold-path
+// benchmark compares against. Results are identical either way; only the
+// evaluation strategy changes. Takes the write lock: do not flip it while
+// queries are in flight you care about timing.
+func (e *Engine) SetExhaustiveScoring(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, sh := range e.shards {
+		sh.Index.SetExhaustive(on)
+	}
+}
+
 // Level returns the semantic level all shards are built at.
 func (e *Engine) Level() semindex.Level { return e.level }
 

@@ -85,6 +85,13 @@ func (e *Engine) Search(ctx context.Context, query string, opts SearchOptions) (
 	if err := ctx.Err(); err != nil {
 		return SearchResult{}, err
 	}
+	// Every non-positive limit means "all matches". Normalize to 0 before
+	// anything looks at it so (a) the limit pushed down to each shard is
+	// the canonical form and (b) the cache key for limit -1 and limit 0 is
+	// the same entry — they are the same query.
+	if opts.Limit < 0 {
+		opts.Limit = 0
+	}
 	// Snapshot the swappable state under the read lock: SetMetrics and
 	// EnableCache replace these under the write lock.
 	e.mu.RLock()
@@ -169,6 +176,12 @@ func cloneHits(hits []semindex.Hit) []semindex.Hit {
 func (e *Engine) searchCold(ctx context.Context, query string, opts SearchOptions) (SearchResult, uint64) {
 	start := time.Now()
 	tr := opts.Trace
+	// Limit pushdown: each shard returns only its local top-limit. That is
+	// safe for the global merge because shards score with the exchanged
+	// corpus-wide statistics — a shard's local ranking is its slice of the
+	// global ranking, so no document outside a shard's top-limit can sit in
+	// the global top-limit. The pushed-down limit also arms the shard-local
+	// MaxScore pruning in the index kernel.
 	fn := func(s *semindex.SemanticIndex) []semindex.Hit {
 		return s.Search(query, opts.Limit)
 	}
@@ -239,6 +252,9 @@ func (e *Engine) SearchDeadlineTraced(query string, limit int, perShard time.Dur
 // hook for programmatic callers that bypass the keyword front-end. It is
 // not cached: structured queries have no stable normalization to key on.
 func (e *Engine) SearchQuery(q index.Query, limit int) []semindex.Hit {
+	if limit < 0 {
+		limit = 0
+	}
 	start := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
