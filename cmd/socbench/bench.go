@@ -1,0 +1,88 @@
+// Shared measurement and reporting plumbing for every socbench mode.
+// Each mode file (main.go overhead, cachebench.go, coldbench.go,
+// loadbench.go) owns its schema and sweep; the sample math, the
+// report-file handling and the CI floor enforcement live here once.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cli"
+)
+
+// latency is the per-arm quantile block shared by every report schema.
+type latency struct {
+	Iters int     `json:"iters"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+}
+
+// writeReport marshals rep to out ("-" = stdout) and, when writing a
+// file, prints the one-line summary so CI logs carry the headline numbers
+// without opening the artifact.
+func writeReport(out string, rep any, summary string) {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, summary)
+}
+
+// failBelowFloor exits 1 when a CI floor is armed (floor > 0) and the
+// measured factor falls below it.
+func failBelowFloor(what string, got, floor float64) {
+	if floor > 0 && got < floor {
+		fmt.Fprintf(os.Stderr, "%s %.2fx is below the %.1fx floor\n", what, got, floor)
+		os.Exit(1)
+	}
+}
+
+// bestP50 returns the lowest per-round median, in microseconds.
+func bestP50(rounds [][]time.Duration) float64 {
+	best := 0.0
+	for i, r := range rounds {
+		p := quantile(r, 0.50)
+		if i == 0 || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+func flatten(rounds [][]time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, r := range rounds {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// quantile returns the q-quantile of samples in microseconds (nearest-rank
+// with linear interpolation).
+func quantile(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return float64(s[len(s)-1]) / 1e3
+	}
+	frac := pos - float64(lo)
+	v := float64(s[lo])*(1-frac) + float64(s[lo+1])*frac
+	return v / 1e3
+}

@@ -9,10 +9,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"sync"
 	"time"
 
@@ -128,22 +126,7 @@ func runCacheBench(eng *shard.Engine, queries []string, cfg cacheBenchConfig, mi
 		BurstCoalesced: reg.Counter(qcache.MetricCoalesced).Value() - coalescedBefore,
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		cli.Fatal(err)
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		os.Stdout.Write(enc)
-	} else {
-		if err := os.WriteFile(out, enc, 0o644); err != nil {
-			cli.Fatal(err)
-		}
-		fmt.Printf("wrote %s: cold p50 %.1fµs, warm p50 %.1fµs (%.1fx), hit rate %.1f%%, burst coalesced %d/%d\n",
-			out, coldP50, warmP50, rep.SpeedupP50, 100*rep.HitRate, rep.BurstCoalesced, burst-1)
-	}
-	if minSpeedup > 0 && rep.SpeedupP50 < minSpeedup {
-		fmt.Fprintf(os.Stderr, "cache speedup %.2fx is below the %.1fx floor\n", rep.SpeedupP50, minSpeedup)
-		os.Exit(1)
-	}
+	writeReport(out, rep, fmt.Sprintf("cold p50 %.1fµs, warm p50 %.1fµs (%.1fx), hit rate %.1f%%, burst coalesced %d/%d",
+		coldP50, warmP50, rep.SpeedupP50, 100*rep.HitRate, rep.BurstCoalesced, burst-1))
+	failBelowFloor("cache speedup", rep.SpeedupP50, minSpeedup)
 }

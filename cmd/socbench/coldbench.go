@@ -11,9 +11,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -57,26 +55,10 @@ func runColdBench(eng *shard.Engine, queries []string, cfg config, rounds int, m
 		SpeedupP50: arm10.SpeedupP50,
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		cli.Fatal(err)
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		os.Stdout.Write(enc)
-	} else {
-		if err := os.WriteFile(out, enc, 0o644); err != nil {
-			cli.Fatal(err)
-		}
-		fmt.Printf("wrote %s: limit10 pruned p50 %.1fµs vs exhaustive %.1fµs (%.1fx), limit100 %.1fx, allocs/op %.0f vs %.0f\n",
-			out, arm10.Pruned.P50us, arm10.Exhaustive.P50us, arm10.SpeedupP50,
-			arm100.SpeedupP50, arm10.PrunedAllocsPerOp, arm10.ExhaustiveAllocsPerOp)
-	}
-	if minSpeedup > 0 && rep.SpeedupP50 < minSpeedup {
-		fmt.Fprintf(os.Stderr, "cold-path speedup %.2fx at limit 10 is below the %.1fx floor\n",
-			rep.SpeedupP50, minSpeedup)
-		os.Exit(1)
-	}
+	writeReport(out, rep, fmt.Sprintf("limit10 pruned p50 %.1fµs vs exhaustive %.1fµs (%.1fx), limit100 %.1fx, allocs/op %.0f vs %.0f",
+		arm10.Pruned.P50us, arm10.Exhaustive.P50us, arm10.SpeedupP50,
+		arm100.SpeedupP50, arm10.PrunedAllocsPerOp, arm10.ExhaustiveAllocsPerOp))
+	failBelowFloor("cold-path speedup at limit 10", rep.SpeedupP50, minSpeedup)
 }
 
 // measureColdArm times the always-cold query mix at one limit on both

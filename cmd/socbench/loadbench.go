@@ -1,0 +1,168 @@
+// Load mode: the BENCH_6.json scale-truth sweep. Each tier streams a
+// seeded synthetic corpus (internal/corpus) through the chunked sharded
+// build — the generator never materializes the corpus, so tier size costs
+// index memory only — then drives a closed-loop Zipfian query workload
+// (internal/loadgen) of keyword/phrase/field/fuzzy/suggest classes
+// against the engine and records build throughput, QPS and high-quantile
+// latency. Declarative SLOs gate every tier; any violation exits 1, which
+// is what turns a CI benchmark job into an enforced contract.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/corpus"
+	"repro/internal/loadgen"
+	"repro/internal/semindex"
+	"repro/internal/shard"
+)
+
+// loadReport is the BENCH_6.json schema.
+type loadReport struct {
+	Config loadBenchConfig `json:"config"`
+	// SLOs echoes the parsed assertions every tier was checked against.
+	SLOs []string `json:"slos"`
+	// Tiers carries one entry per -size value, in the order given — the
+	// scale trajectory (e.g. 10k, 100k, 1M).
+	Tiers []loadTier `json:"tiers"`
+	// Violations flattens every tier's SLO violations ("100k: p99 = ...").
+	Violations []string `json:"violations"`
+}
+
+// loadTier is one corpus size's build + load measurement.
+type loadTier struct {
+	Size  string `json:"size"`
+	Docs  int    `json:"docs"`
+	Pages int    `json:"pages"`
+	// Build throughput of the streaming sharded build at this tier.
+	BuildSeconds    float64 `json:"build_seconds"`
+	BuildDocsPerSec float64 `json:"build_docs_per_sec"`
+	// Closed-loop results over the measured (post-warmup) phase.
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Degraded int     `json:"degraded"`
+	QPS      float64 `json:"qps"`
+	P50us    float64 `json:"p50_us"`
+	P95us    float64 `json:"p95_us"`
+	P99us    float64 `json:"p99_us"`
+	P999us   float64 `json:"p999_us"`
+	// ByClass counts measured requests per query class.
+	ByClass map[string]int `json:"by_class"`
+	// Violations lists this tier's failed SLOs, empty when all hold.
+	Violations []string `json:"violations,omitempty"`
+}
+
+type loadBenchConfig struct {
+	Sizes    string  `json:"sizes"`
+	Shards   int     `json:"shards"`
+	Workers  int     `json:"workers"`
+	Requests int     `json:"requests"`
+	Warmup   int     `json:"warmup"`
+	ZipfS    float64 `json:"zipf_s"`
+	CacheMB  int     `json:"cache_mb"`
+	Seed     int64   `json:"seed"`
+}
+
+// loadQueryPool is how many distinct queries the workload templates; the
+// Zipf selector over the pool makes a head of them hot.
+const loadQueryPool = 500
+
+// runLoadBench sweeps every tier, writes the report, and exits 1 on any
+// SLO violation.
+func runLoadBench(cfg loadBenchConfig, sloSpec, out string) {
+	slos, err := loadgen.ParseSLOs(sloSpec)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	rep := loadReport{Config: cfg}
+	for _, s := range slos {
+		rep.SLOs = append(rep.SLOs, s.Raw)
+	}
+
+	for _, sizeStr := range strings.Split(cfg.Sizes, ",") {
+		sizeStr = strings.TrimSpace(sizeStr)
+		if sizeStr == "" {
+			continue
+		}
+		docs, err := corpus.ParseSize(sizeStr)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		tier := runLoadTier(cfg, slos, docs)
+		rep.Tiers = append(rep.Tiers, tier)
+		for _, v := range tier.Violations {
+			rep.Violations = append(rep.Violations, tier.Size+": "+v)
+		}
+		// Drop the tier's engine before building the next one: tiers are
+		// measured independently, not cumulatively.
+		runtime.GC()
+	}
+
+	var heads []string
+	for _, t := range rep.Tiers {
+		heads = append(heads, fmt.Sprintf("%s %.0f qps p99 %.0fµs", t.Size, t.QPS, t.P99us))
+	}
+	writeReport(out, rep, strings.Join(heads, ", "))
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "SLO violations:\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// runLoadTier builds one tier's engine from the stream and load-tests it.
+func runLoadTier(cfg loadBenchConfig, slos []loadgen.SLO, docs int) loadTier {
+	g := corpus.New(corpus.Spec{TargetDocs: docs, Seed: cfg.Seed})
+	buildStart := time.Now()
+	eng, err := shard.BuildStream(nil, semindex.FullInf, g, shard.Options{
+		Shards:     cfg.Shards,
+		CacheBytes: int64(cfg.CacheMB) << 20,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+	buildSec := time.Since(buildStart).Seconds()
+	fmt.Fprintf(os.Stderr, "tier %s: built %d docs over %d pages in %.1fs (%.0f docs/s)\n",
+		corpus.SizeLabel(docs), eng.NumDocs(), g.Pages(), buildSec,
+		float64(eng.NumDocs())/buildSec)
+
+	queries := loadgen.GenerateQueries(loadgen.VocabFromUniverse(g.Universe()),
+		nil, loadQueryPool, cfg.Seed)
+	res, err := loadgen.Run(context.Background(), &loadgen.EngineTarget{Eng: eng}, loadgen.Config{
+		Workers:  cfg.Workers,
+		Requests: cfg.Requests,
+		Warmup:   cfg.Warmup,
+		ZipfS:    cfg.ZipfS,
+		Seed:     cfg.Seed,
+		Queries:  queries,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	tier := loadTier{
+		Size: corpus.SizeLabel(docs), Docs: eng.NumDocs(), Pages: g.Pages(),
+		BuildSeconds: buildSec, BuildDocsPerSec: float64(eng.NumDocs()) / buildSec,
+		Requests: res.Requests, Errors: res.Errors, Degraded: res.Degraded,
+		QPS:   res.QPS,
+		P50us: us(res.P50), P95us: us(res.P95), P99us: us(res.P99), P999us: us(res.P999),
+		ByClass: map[string]int{},
+	}
+	for c, n := range res.ByClass {
+		tier.ByClass[string(c)] = n
+	}
+	for _, v := range loadgen.CheckSLOs(res, slos) {
+		tier.Violations = append(tier.Violations, v.String())
+	}
+	return tier
+}
+
+func us(d time.Duration) float64 { return float64(d) / 1e3 }

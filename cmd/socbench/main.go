@@ -1,16 +1,15 @@
-// Command socbench is the benchmark smoke harness behind CI's BENCH_3.json
-// artifact: it builds the sharded FULL_INF engine over the paper-scale
-// corpus, measures build throughput and query latency quantiles, and
-// prices the observability layer by running the same query mix with
-// metrics live and stripped. It is deliberately in-process (no `go test`
-// exec) so one static binary run produces one machine-readable file.
+// Command socbench is the benchmark smoke harness behind CI's BENCH_*.json
+// artifacts: it builds the sharded FULL_INF engine, measures it, and
+// writes one machine-readable file per mode. It is deliberately
+// in-process (no `go test` exec) so one static binary run produces one
+// artifact.
 //
 //	socbench -out BENCH_3.json
 //	socbench -matches 50 -shards 8 -iters 1000 -out -
 //
-// The JSON records query p50/p95, build throughput, and the
-// instrumented-vs-uninstrumented p50 overhead percentage; the CI job
-// fails the build if that overhead crosses the 5% acceptance bar.
+// The default (overhead) mode records query p50/p95, build throughput,
+// and the instrumented-vs-uninstrumented p50 overhead percentage; the CI
+// job fails the build if that overhead crosses the 5% acceptance bar.
 //
 // -mode cache switches to the query-cache sweep behind BENCH_4.json: a
 // seeded Zipfian repeated-query mix runs once forced-cold (NoCache) and
@@ -30,17 +29,26 @@
 //
 //	socbench -mode coldpath -out BENCH_5.json
 //	socbench -mode coldpath -min-speedup 2
+//
+// -mode load switches to the BENCH_6.json scale-truth sweep: for each
+// -size tier (comma-separated, e.g. 10k,100k,1M) it streams a synthetic
+// corpus through the sharded build (internal/corpus — peak memory
+// independent of corpus size), then drives a closed-loop Zipfian query
+// mix of keyword/phrase/field/fuzzy/suggest classes against the engine
+// (internal/loadgen), recording build throughput, QPS and p50/p95/p99/
+// p999 latency per tier. -slo declares assertions ("p99<50ms,
+// error_rate<1%") checked against every tier; any violation exits 1.
+//
+//	socbench -mode load -size 10k -slo 'p99<50ms,error_rate<1%' -out BENCH_6.json
+//	socbench -mode load -size 10k,100k,1M -workers 8 -requests 5000
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
-	"repro/internal/cli"
 	"repro/internal/crawler"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -69,12 +77,6 @@ type build struct {
 	DocsPerSec float64 `json:"docs_per_sec"`
 }
 
-type latency struct {
-	Iters int     `json:"iters"`
-	P50us float64 `json:"p50_us"`
-	P95us float64 `json:"p95_us"`
-}
-
 type ovh struct {
 	InstrumentedP50us   float64 `json:"instrumented_p50_us"`
 	UninstrumentedP50us float64 `json:"uninstrumented_p50_us"`
@@ -88,11 +90,17 @@ func main() {
 	iters := fs.Int("iters", 400, "measured queries per arm and round")
 	rounds := fs.Int("rounds", 3, "alternating measurement rounds per arm (best round wins)")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail (exit 1) if p50 overhead exceeds this percentage (0 = report only)")
-	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep) or "coldpath" (BENCH_5, scoring-kernel comparison)`)
-	zipfS := fs.Float64("zipf-s", 1.2, "cache mode: Zipf exponent of the repeated-query mix")
-	cacheMB := fs.Int("cache-mb", 64, "cache mode: query-cache capacity in MiB")
-	minSpeedup := fs.Float64("min-speedup", 0, "cache mode: fail (exit 1) if cold p50 / warm p50 falls below this factor (0 = report only)")
-	out := fs.String("out", "", "output file (- = stdout; default BENCH_3.json or BENCH_4.json by mode)")
+	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep), "coldpath" (BENCH_5, scoring-kernel comparison) or "load" (BENCH_6, scale-truth load/SLO sweep)`)
+	zipfS := fs.Float64("zipf-s", 1.2, "cache/load mode: Zipf exponent of the repeated-query mix")
+	cacheMB := fs.Int("cache-mb", 64, "cache/load mode: query-cache capacity in MiB")
+	minSpeedup := fs.Float64("min-speedup", 0, "cache/coldpath mode: fail (exit 1) if the p50 speedup falls below this factor (0 = report only)")
+	size := fs.String("size", "10k", "load mode: comma-separated corpus tiers (e.g. 10k,100k,1M)")
+	workers := fs.Int("workers", 4, "load mode: closed-loop worker concurrency")
+	requests := fs.Int("requests", 2000, "load mode: measured requests per tier")
+	warmup := fs.Int("warmup", 200, "load mode: warmup requests per tier (excluded from statistics)")
+	slo := fs.String("slo", "", `load mode: SLO assertions, e.g. "p99<50ms,error_rate<1%" (violation = exit 1)`)
+	seed := fs.Int64("seed", 42, "load mode: corpus and workload seed")
+	out := fs.String("out", "", "output file (- = stdout; default BENCH_<n>.json by mode)")
 	fs.Parse(os.Args[1:])
 	if *out == "" {
 		switch *mode {
@@ -100,9 +108,22 @@ func main() {
 			*out = "BENCH_4.json"
 		case "coldpath":
 			*out = "BENCH_5.json"
+		case "load":
+			*out = "BENCH_6.json"
 		default:
 			*out = "BENCH_3.json"
 		}
+	}
+
+	// Load mode builds its own tiered corpora; the paper-scale engine
+	// below would be wasted work.
+	if *mode == "load" {
+		runLoadBench(loadBenchConfig{
+			Sizes: *size, Shards: *shards, Workers: *workers,
+			Requests: *requests, Warmup: *warmup,
+			ZipfS: *zipfS, CacheMB: *cacheMB, Seed: *seed,
+		}, *slo, *out)
+		return
 	}
 
 	cfg := soccer.DefaultConfig()
@@ -166,20 +187,8 @@ func main() {
 		},
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		cli.Fatal(err)
-	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-	} else {
-		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			cli.Fatal(err)
-		}
-		fmt.Printf("wrote %s: query p50 %.1fµs p95 %.1fµs, build %.0f docs/s, obs overhead %+.2f%%\n",
-			*out, rep.Query.P50us, rep.Query.P95us, rep.Build.DocsPerSec, rep.Overhead.P50OverheadPct)
-	}
+	writeReport(*out, rep, fmt.Sprintf("query p50 %.1fµs p95 %.1fµs, build %.0f docs/s, obs overhead %+.2f%%",
+		rep.Query.P50us, rep.Query.P95us, rep.Build.DocsPerSec, rep.Overhead.P50OverheadPct))
 	if *maxOverhead > 0 && rep.Overhead.P50OverheadPct > *maxOverhead {
 		fmt.Fprintf(os.Stderr, "observability overhead %.2f%% exceeds the %.1f%% budget\n",
 			rep.Overhead.P50OverheadPct, *maxOverhead)
@@ -200,42 +209,4 @@ func measure(eng *shard.Engine, queries []string, iters int) []time.Duration {
 		out[i] = time.Since(start)
 	}
 	return out
-}
-
-// bestP50 returns the lowest per-round median, in microseconds.
-func bestP50(rounds [][]time.Duration) float64 {
-	best := 0.0
-	for i, r := range rounds {
-		p := quantile(r, 0.50)
-		if i == 0 || p < best {
-			best = p
-		}
-	}
-	return best
-}
-
-func flatten(rounds [][]time.Duration) []time.Duration {
-	var out []time.Duration
-	for _, r := range rounds {
-		out = append(out, r...)
-	}
-	return out
-}
-
-// quantile returns the q-quantile of samples in microseconds (nearest-rank
-// with linear interpolation).
-func quantile(samples []time.Duration, q float64) float64 {
-	if len(samples) == 0 {
-		return 0
-	}
-	s := append([]time.Duration(nil), samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	pos := q * float64(len(s)-1)
-	lo := int(pos)
-	if lo >= len(s)-1 {
-		return float64(s[len(s)-1]) / 1e3
-	}
-	frac := pos - float64(lo)
-	v := float64(s[lo])*(1-frac) + float64(s[lo+1])*frac
-	return v / 1e3
 }

@@ -6,44 +6,112 @@
 //	socgen -out pages/            write the default 10-match corpus
 //	socgen -matches 100 -seed 7   a larger corpus
 //	socgen -show 2                print the first narrations of match 2
+//
+// -size switches to the streaming scale generator (internal/corpus):
+// instead of materializing a corpus in memory it streams matches one at
+// a time into -stream-out, so a 1M-document corpus costs the same peak
+// memory as a 10k one. Generation is fully seeded — the same -seed (and
+// size) always produces byte-identical page files, so a corpus directory
+// is reproducible from its command line alone and never needs archiving.
+//
+//	socgen -size 100k -stream-out pages100k/
+//	socgen -size 1M -seed 7 -stream-out pages1m/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cli"
+	"repro/internal/corpus"
+	"repro/internal/crawler"
 	"repro/internal/soccer"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		cli.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("socgen", flag.ExitOnError)
 	var cf cli.CorpusFlags
 	cf.Register(fs)
 	out := fs.String("out", "", "directory to write match pages into")
 	show := fs.Int("show", -1, "print the narrations of match N and exit")
-	fs.Parse(os.Args[1:])
+	size := fs.String("size", "", `stream a scale corpus of this document size ("10k", "100k", "1M") instead of the in-memory paper corpus`)
+	streamOut := fs.String("stream-out", "", "directory the -size stream writes pages into (required with -size)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	corpus := soccer.Generate(cf.Config())
-	fmt.Println(corpus.Stats())
+	if *size != "" {
+		return runStream(*size, *streamOut, &cf, stdout)
+	}
+
+	c := soccer.Generate(cf.Config())
+	fmt.Fprintln(stdout, c.Stats())
 
 	if *show >= 0 {
-		if *show >= len(corpus.Matches) {
-			cli.Fatal(fmt.Errorf("match %d out of range", *show))
+		if *show >= len(c.Matches) {
+			return fmt.Errorf("match %d out of range", *show)
 		}
-		m := corpus.Matches[*show]
-		fmt.Printf("%s vs %s, %d-%d at %s (%s)\n", m.Home.Name, m.Away.Name,
+		m := c.Matches[*show]
+		fmt.Fprintf(stdout, "%s vs %s, %d-%d at %s (%s)\n", m.Home.Name, m.Away.Name,
 			m.HomeScore, m.AwayScore, m.Home.Stadium, m.Date)
 		for _, n := range m.Narrations {
-			fmt.Printf("%3d' %s\n", n.Minute, n.Text)
+			fmt.Fprintf(stdout, "%3d' %s\n", n.Minute, n.Text)
 		}
-		return
+		return nil
 	}
 	if *out != "" {
-		if err := cli.WritePagesDir(*out, corpus); err != nil {
-			cli.Fatal(err)
+		if err := cli.WritePagesDir(*out, c); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %d pages to %s\n", len(corpus.Matches), *out)
+		fmt.Fprintf(stdout, "wrote %d pages to %s\n", len(c.Matches), *out)
 	}
+	return nil
+}
+
+// runStream writes a streamed scale corpus: one rendered page file per
+// generated match, never holding more than the match in flight. The page
+// files carry the generator's sequence-prefixed IDs, so reading the
+// directory back sorted by name (cli.ReadPagesDir) replays the exact
+// generation order.
+func runStream(size, dir string, cf *cli.CorpusFlags, stdout io.Writer) error {
+	docs, err := corpus.ParseSize(size)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		return fmt.Errorf("-size needs -stream-out DIR to write into")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := corpus.New(corpus.Spec{
+		TargetDocs: docs,
+		Seed:       cf.Seed,
+		NoCoverage: cf.NoForce,
+	})
+	for {
+		m, err := g.NextMatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, m.ID+".html")
+		if err := os.WriteFile(path, []byte(crawler.RenderMatchPage(m)), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "streamed %d pages (%d docs) to %s (seed %d)\n",
+		g.Pages(), g.Docs(), dir, cf.Seed)
+	return nil
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirDigest hashes every file in dir in name order — the byte-identity
+// fingerprint of a generated corpus directory.
+func dirDigest(t *testing.T, dir string) [32]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte(e.Name()))
+		h.Write(data)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// TestStreamOutByteIdenticalForEqualSeeds pins the documented contract:
+// the same -size and -seed always reproduce the identical page files, so
+// a corpus directory never needs archiving.
+func TestStreamOutByteIdenticalForEqualSeeds(t *testing.T) {
+	var out bytes.Buffer
+	dir1 := t.TempDir()
+	dir2 := t.TempDir()
+	dir3 := t.TempDir()
+	for _, args := range [][]string{
+		{"-size", "2k", "-seed", "7", "-stream-out", dir1},
+		{"-size", "2k", "-seed", "7", "-stream-out", dir2},
+		{"-size", "2k", "-seed", "8", "-stream-out", dir3},
+	} {
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	if dirDigest(t, dir1) != dirDigest(t, dir2) {
+		t.Fatalf("same -size/-seed produced different page files")
+	}
+	if dirDigest(t, dir1) == dirDigest(t, dir3) {
+		t.Fatalf("different seeds produced identical page files")
+	}
+	entries, err := os.ReadDir(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("stream wrote no pages")
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".html") {
+			t.Fatalf("unexpected file %q in stream output", e.Name())
+		}
+	}
+	if !strings.Contains(out.String(), "streamed") {
+		t.Fatalf("run printed %q, want a streamed summary", out.String())
+	}
+}
+
+func TestStreamOutValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "2k"}, &out); err == nil {
+		t.Fatal("-size without -stream-out did not error")
+	}
+	if err := run([]string{"-size", "2.5M", "-stream-out", t.TempDir()}, &out); err == nil {
+		t.Fatal("bad -size did not error")
+	}
+}

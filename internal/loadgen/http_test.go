@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+)
+
+// TestHTTPTarget pins the /v1 wire contract the HTTP target depends on:
+// search classes hit /v1/search and read total + degraded from the
+// envelope, suggest probes hit /v1/suggest, and non-200s surface as
+// errors (so the harness counts them) rather than zero-hit successes.
+func TestHTTPTarget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/search":
+			if r.URL.Query().Get("q") == "" {
+				http.Error(w, "missing q", http.StatusBadRequest)
+				return
+			}
+			w.Write([]byte(`{"total": 7, "degraded": {"missingShards": [2]}}`))
+		case "/v1/suggest":
+			w.Write([]byte(`{"didYouMean": "goal"}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	tgt := &HTTPTarget{BaseURL: srv.URL, Limit: 5}
+	ctx := context.Background()
+	out, err := tgt.Do(ctx, Query{Class: ClassKeyword, Text: "messi goal"})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if out.Hits != 7 || !out.Degraded {
+		t.Fatalf("search outcome %+v, want 7 hits degraded", out)
+	}
+	if _, err := tgt.Do(ctx, Query{Class: ClassSuggest, Text: "gaol"}); err != nil {
+		t.Fatalf("suggest: %v", err)
+	}
+	if _, err := tgt.Do(ctx, Query{Class: ClassKeyword, Text: ""}); err == nil {
+		t.Fatal("400 response did not surface as an error")
+	}
+}
+
+// TestHTTPTargetLive drives a real socserve when LOADGEN_LIVE_URL is set
+// (e.g. http://127.0.0.1:8090) — the end-to-end check that the harness
+// and the server agree on the envelope.
+func TestHTTPTargetLive(t *testing.T) {
+	base := os.Getenv("LOADGEN_LIVE_URL")
+	if base == "" {
+		t.Skip("set LOADGEN_LIVE_URL to run against a live server")
+	}
+	queries := []Query{
+		{Class: ClassKeyword, Text: "messi goal"},
+		{Class: ClassPhrase, Text: `"yellow card" chelsea`},
+		{Class: ClassField, Text: "event:goal barcelona"},
+		{Class: ClassFuzzy, Text: "mesi~ goal"},
+		{Class: ClassSuggest, Text: "gaol"},
+	}
+	res, err := Run(context.Background(), &HTTPTarget{BaseURL: base, Limit: 10}, Config{
+		Workers: 2, Requests: 100, Warmup: 10, Seed: 1, Queries: queries,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors against %s", res.Errors, base)
+	}
+	t.Logf("live: %d requests, %.0f qps, p50 %v p99 %v", res.Requests, res.QPS, res.P50, res.P99)
+}

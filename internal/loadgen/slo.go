@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is one declarative assertion over a Result, parsed from the textual
+// form the CLI and CI use: "p99 < 5ms", "error_rate < 1%", "qps > 200".
+//
+// Metrics: p50 / p95 / p99 / p999 (durations), error_rate /
+// degraded_rate (percent or fraction), qps (number). Operators: < and >.
+type SLO struct {
+	// Metric is the normalized metric name (e.g. "p99").
+	Metric string
+	// Op is '<' or '>'.
+	Op byte
+	// Threshold is the bound in canonical units: seconds for latency
+	// metrics, a [0,1] fraction for rates, plain number for qps.
+	Threshold float64
+	// Raw preserves the original text for reporting.
+	Raw string
+}
+
+// ParseSLOs parses a comma- or semicolon-separated assertion list.
+// Empty input yields no SLOs (nothing asserted), not an error.
+func ParseSLOs(s string) ([]SLO, error) {
+	var out []SLO
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ';' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		slo, err := parseSLO(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, slo)
+	}
+	return out, nil
+}
+
+func parseSLO(s string) (SLO, error) {
+	i := strings.IndexAny(s, "<>")
+	if i < 0 {
+		return SLO{}, fmt.Errorf("loadgen: SLO %q: want metric<bound or metric>bound", s)
+	}
+	metric := strings.ToLower(strings.TrimSpace(s[:i]))
+	bound := strings.TrimSpace(s[i+1:])
+	slo := SLO{Metric: metric, Op: s[i], Raw: s}
+	switch metric {
+	case "p50", "p95", "p99", "p999":
+		d, err := time.ParseDuration(bound)
+		if err != nil {
+			return SLO{}, fmt.Errorf("loadgen: SLO %q: bad duration %q: %w", s, bound, err)
+		}
+		slo.Threshold = d.Seconds()
+	case "error_rate", "degraded_rate":
+		pct := strings.HasSuffix(bound, "%")
+		v, err := strconv.ParseFloat(strings.TrimSuffix(bound, "%"), 64)
+		if err != nil || v < 0 {
+			return SLO{}, fmt.Errorf("loadgen: SLO %q: bad rate %q", s, bound)
+		}
+		if pct {
+			v /= 100
+		}
+		slo.Threshold = v
+	case "qps":
+		v, err := strconv.ParseFloat(bound, 64)
+		if err != nil || v < 0 {
+			return SLO{}, fmt.Errorf("loadgen: SLO %q: bad qps %q", s, bound)
+		}
+		slo.Threshold = v
+	default:
+		return SLO{}, fmt.Errorf("loadgen: SLO %q: unknown metric %q (want p50|p95|p99|p999|error_rate|degraded_rate|qps)", s, metric)
+	}
+	return slo, nil
+}
+
+// value extracts the SLO's metric from a result in the threshold's units.
+func (s SLO) value(r *Result) float64 {
+	switch s.Metric {
+	case "p50":
+		return r.P50.Seconds()
+	case "p95":
+		return r.P95.Seconds()
+	case "p99":
+		return r.P99.Seconds()
+	case "p999":
+		return r.P999.Seconds()
+	case "error_rate":
+		return r.ErrorRate()
+	case "degraded_rate":
+		return r.DegradedRate()
+	case "qps":
+		return r.QPS
+	}
+	return 0
+}
+
+// Violation reports one failed assertion.
+type Violation struct {
+	SLO    SLO     `json:"slo"`
+	Actual float64 `json:"actual"`
+}
+
+func (v Violation) String() string {
+	format := func(x float64) string {
+		switch v.SLO.Metric {
+		case "p50", "p95", "p99", "p999":
+			return time.Duration(x * float64(time.Second)).Round(time.Microsecond).String()
+		case "error_rate", "degraded_rate":
+			return fmt.Sprintf("%.2f%%", x*100)
+		default:
+			return fmt.Sprintf("%.1f", x)
+		}
+	}
+	return fmt.Sprintf("%s = %s, want %c %s",
+		v.SLO.Metric, format(v.Actual), v.SLO.Op, format(v.SLO.Threshold))
+}
+
+// CheckSLOs evaluates every assertion against r and returns the
+// violations (empty means all SLOs hold).
+func CheckSLOs(r *Result, slos []SLO) []Violation {
+	var out []Violation
+	for _, s := range slos {
+		actual := s.value(r)
+		ok := actual < s.Threshold
+		if s.Op == '>' {
+			ok = actual > s.Threshold
+		}
+		if !ok {
+			out = append(out, Violation{SLO: s, Actual: actual})
+		}
+	}
+	return out
+}

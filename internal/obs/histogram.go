@@ -12,9 +12,18 @@ import (
 // lands in the 100µs–5ms range, a sharded scatter-gather over a large
 // corpus in the 1–50ms range, and the top bucket catches pathological
 // stalls that should have been deadlined.
+//
+// Above 100ms the layout is denser than a pure powers-of-~2.5 ladder
+// (0.075/0.15/0.35/0.75/1.5 interleave the original bounds): the load
+// harness reports p999 from these histograms, and at million-doc corpus
+// sizes the tail lands exactly in the 100ms–2s range where the old
+// layout jumped 2.5x between bounds — too coarse for a p999 estimate to
+// mean anything. The new layout is a strict superset of the old one, so
+// Prometheus series recorded at the old le= bounds keep their meaning
+// (TestLatencyBucketsP999Resolution pins both properties).
 var DefaultLatencyBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
-	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	0.05, 0.075, 0.1, 0.15, 0.25, 0.35, 0.5, 0.75, 1, 1.5, 2.5, 5, 10,
 }
 
 // Histogram is a fixed-bucket histogram with lock-free observation: one
@@ -58,7 +67,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	// Linear scan: the default bucket count is 16 and the slice is hot in
+	// Linear scan: the default bucket count is 21 and the slice is hot in
 	// cache; a binary search costs more in branches than it saves.
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

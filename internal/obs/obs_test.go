@@ -230,3 +230,60 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("histogram sum = %v", h.Sum())
 	}
 }
+
+// TestLatencyBucketsP999Resolution pins the bucket-layout contract the
+// load harness depends on: the default layout must remain a strict
+// superset of the pre-extension layout (so dashboards keyed on the old
+// le= bounds keep reading the same cumulative series), stay sorted and
+// duplicate-free, and keep consecutive bounds above 50ms within 2x of
+// each other so a p999 interpolated inside one bucket is a meaningful
+// estimate rather than a 2.5x-wide guess.
+func TestLatencyBucketsP999Resolution(t *testing.T) {
+	// The layout before the p999 extension — frozen, never edit.
+	legacy := []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	have := map[float64]bool{}
+	for _, b := range DefaultLatencyBuckets {
+		have[b] = true
+	}
+	for _, b := range legacy {
+		if !have[b] {
+			t.Errorf("legacy bound %g dropped from DefaultLatencyBuckets", b)
+		}
+	}
+	for i := 1; i < len(DefaultLatencyBuckets); i++ {
+		lo, hi := DefaultLatencyBuckets[i-1], DefaultLatencyBuckets[i]
+		if hi <= lo {
+			t.Errorf("buckets not strictly ascending at %d: %g then %g", i, lo, hi)
+		}
+		if lo >= 0.05 && hi/lo > 2.0 {
+			t.Errorf("tail resolution too coarse: %g -> %g is %.2fx (max 2x)", lo, hi, hi/lo)
+		}
+	}
+
+	// Exposition at the old bounds stays well-formed and cumulative.
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", DefaultLatencyBuckets)
+	for _, v := range []float64{0.0002, 0.08, 0.12, 0.3, 1.2, 3} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="0.25"} 3`,
+		`lat_seconds_bucket{le="0.5"} 4`,
+		`lat_seconds_bucket{le="2.5"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 6`,
+		"lat_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

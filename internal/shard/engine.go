@@ -29,6 +29,7 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"runtime"
 	"strconv"
 	"sync"
@@ -65,6 +66,11 @@ type Options struct {
 	// capacity (with request coalescing) on the built engine, registered
 	// against obs.Default. Use EnableCache for an isolated registry.
 	CacheBytes int64
+	// ChunkPages bounds how many pages BuildStream materializes at a
+	// time (0 means 512). Peak build working memory beyond the index
+	// itself is one chunk's pages plus their prepared documents,
+	// independent of corpus size.
+	ChunkPages int
 }
 
 // Engine is an N-way sharded semantic index. Searches are safe for
@@ -128,13 +134,58 @@ func shardFor(pageID string, n int) int {
 	return int(h.Sum32() % uint32(n))
 }
 
-// Build constructs the engine over the pages with a parallel three-phase
-// build: prepare every page's documents on a worker pool (extraction,
-// population, inference — the expensive, embarrassingly-parallel part),
-// assign global docIDs in page order (the order the monolith would use),
-// then commit each shard's documents concurrently. A nil builder gets the
-// default soccer pipeline.
+// Build constructs the engine over a fully-materialized page slice. It
+// is BuildStream over a slice source — one code path whether the corpus
+// arrives as a slice or as a stream. A nil builder gets the default
+// soccer pipeline.
 func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage, opts Options) *Engine {
+	e, err := BuildStream(b, level, &sliceSource{pages: pages}, opts)
+	if err != nil {
+		// A slice source cannot fail; an error here is a programming error.
+		panic("shard: slice build failed: " + err.Error())
+	}
+	return e
+}
+
+// PageSource streams match pages into a build. NextPage returns io.EOF
+// when the stream is exhausted; any other error aborts the build.
+// internal/corpus.Generator implements it, as does any parser pulling
+// pages off disk or the network.
+type PageSource interface {
+	NextPage() (*crawler.MatchPage, error)
+}
+
+// sliceSource adapts a materialized page slice to PageSource.
+type sliceSource struct {
+	pages []*crawler.MatchPage
+	i     int
+}
+
+func (s *sliceSource) NextPage() (*crawler.MatchPage, error) {
+	if s.i >= len(s.pages) {
+		return nil, io.EOF
+	}
+	p := s.pages[s.i]
+	s.i++
+	return p, nil
+}
+
+// BuildStream constructs the engine from a streaming page source in
+// bounded chunks: up to Options.ChunkPages pages are pulled, their
+// documents prepared on a worker pool (extraction, population,
+// inference — the expensive, embarrassingly-parallel part), global
+// docIDs assigned in arrival order (the order the monolith would use),
+// and each shard's slice committed concurrently; then the chunk is
+// dropped and the next one pulled. Build working memory beyond the
+// index itself is therefore one chunk, independent of corpus size —
+// the property that lets a million-document synthetic corpus
+// (internal/corpus) build without ever materializing the corpus.
+//
+// The produced engine is identical — document identity, statistics,
+// ranking — to Build over the same pages in the same order, because
+// chunking changes when documents are prepared but not the order global
+// docIDs are assigned or the order each shard commits.
+func BuildStream(b *semindex.Builder, level semindex.Level, src PageSource, opts Options) (*Engine, error) {
 	buildStart := time.Now()
 	if b == nil {
 		b = semindex.NewBuilder()
@@ -154,11 +205,50 @@ func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage
 		e.shards[s] = &semindex.SemanticIndex{Level: level, Index: index.New(b.Analyzer)}
 	}
 
-	// Phase 1: prepare per-page documents in parallel.
+	chunk := opts.ChunkPages
+	if chunk <= 0 {
+		chunk = 512
+	}
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	buf := make([]*crawler.MatchPage, 0, chunk)
+	for {
+		page, err := src.NextPage()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, page)
+		if len(buf) == chunk {
+			e.commitChunk(b, level, buf, workers)
+			buf = buf[:0]
+		}
+	}
+	e.commitChunk(b, level, buf, workers)
+
+	e.exchangeStats()
+	if opts.CacheBytes > 0 {
+		e.cache = qcache.New(opts.CacheBytes, 0, obs.Default)
+		e.flight = qcache.NewGroup(obs.Default)
+	}
+	e.met.build.ObserveDuration(time.Since(buildStart))
+	return e, nil
+}
+
+// commitChunk runs the three build phases over one chunk of pages.
+// Only called before the engine serves traffic, so no locking.
+func (e *Engine) commitChunk(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage, workers int) {
+	if len(pages) == 0 {
+		return
+	}
+	n := len(e.shards)
+
+	// Phase 1: prepare per-page documents in parallel.
 	docsByPage := make([][]*index.Document, len(pages))
 	if workers <= 1 || len(pages) < 2 {
 		for i, page := range pages {
@@ -207,14 +297,6 @@ func Build(b *semindex.Builder, level semindex.Level, pages []*crawler.MatchPage
 		}(s)
 	}
 	wg.Wait()
-
-	e.exchangeStats()
-	if opts.CacheBytes > 0 {
-		e.cache = qcache.New(opts.CacheBytes, 0, obs.Default)
-		e.flight = qcache.NewGroup(obs.Default)
-	}
-	e.met.build.ObserveDuration(time.Since(buildStart))
-	return e
 }
 
 // EnableCache installs (maxBytes > 0) or removes (maxBytes <= 0) the

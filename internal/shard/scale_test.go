@@ -1,0 +1,111 @@
+// Scale-truth integration test: the streaming corpus generator, the
+// chunked sharded build, the query cache and the closed-loop load
+// harness all running against each other at 10k-document scale, under
+// the race detector in CI. It lives in an external test package because
+// it wires internal/loadgen (which imports shard) back onto the engine.
+package shard_test
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/crawler"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/semindex"
+	"repro/internal/shard"
+)
+
+// TestCacheInvalidationUnderLoadAt10k races a full Zipfian query workload
+// against live ingest on a 10k-document engine: every cached answer
+// produced while epochs advance must still be safe, and once ingest
+// quiesces the cached path must agree byte-for-byte with a forced-cold
+// scatter — the epoch invalidation contract at a scale where stale
+// entries would actually surface.
+func TestCacheInvalidationUnderLoadAt10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 10k-doc engine")
+	}
+	g := corpus.New(corpus.Spec{TargetDocs: 10_000, Seed: 21})
+	eng, err := shard.BuildStream(nil, semindex.FullInf, g, shard.Options{
+		Shards:     4,
+		CacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatalf("BuildStream: %v", err)
+	}
+	eng.SetMetrics(obs.NewRegistry())
+
+	// Ingest pages from the same universe (fresh seed, no fixtures) so the
+	// hot query vocabulary keeps matching the incoming documents.
+	ingest := corpus.New(corpus.Spec{TargetDocs: 3_000, Seed: 22, NoCoverage: true})
+	var pages []*crawler.MatchPage
+	for {
+		p, err := ingest.NextPage()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextPage: %v", err)
+		}
+		pages = append(pages, p)
+	}
+
+	queries := loadgen.GenerateQueries(loadgen.VocabFromUniverse(g.Universe()), nil, 200, 23)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range pages {
+			eng.AddPage(p)
+		}
+	}()
+	epochBefore := eng.Epoch()
+	res, err := loadgen.Run(context.Background(), &loadgen.EngineTarget{Eng: eng}, loadgen.Config{
+		Workers:  8,
+		Requests: 1_500,
+		Warmup:   100,
+		Seed:     24,
+		Queries:  queries,
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors during concurrent load", res.Errors)
+	}
+	if eng.Epoch() == epochBefore {
+		t.Fatalf("ingest never advanced the epoch — the test raced nothing")
+	}
+
+	// Quiesced: every cached answer must be byte-identical to a cold
+	// scatter over the final corpus. A stale (pre-ingest) entry surviving
+	// epoch invalidation would differ on any query the new pages match.
+	ctx := context.Background()
+	for _, q := range queries {
+		if q.Class == loadgen.ClassSuggest {
+			continue
+		}
+		warm, err := eng.Search(ctx, q.Text, shard.SearchOptions{Limit: 10})
+		if err != nil {
+			t.Fatalf("%q: %v", q.Text, err)
+		}
+		cold, err := eng.Search(ctx, q.Text, shard.SearchOptions{Limit: 10, NoCache: true})
+		if err != nil {
+			t.Fatalf("%q: %v", q.Text, err)
+		}
+		if len(warm.Hits) != len(cold.Hits) {
+			t.Fatalf("%q: cached %d hits vs cold %d", q.Text, len(warm.Hits), len(cold.Hits))
+		}
+		for i := range warm.Hits {
+			if warm.Hits[i].DocID != cold.Hits[i].DocID || warm.Hits[i].Score != cold.Hits[i].Score {
+				t.Fatalf("%q hit %d: cached (%d, %g) vs cold (%d, %g)", q.Text, i,
+					warm.Hits[i].DocID, warm.Hits[i].Score, cold.Hits[i].DocID, cold.Hits[i].Score)
+			}
+		}
+	}
+}

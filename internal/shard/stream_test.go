@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/eval"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+)
+
+// TestBuildStreamEquivalentToBuild pins the streaming build contract:
+// chunked streaming over the same pages in the same order produces an
+// engine identical to the slice build — document identity, statistics,
+// and ranking — for every query in the paper mix. A tiny chunk size
+// forces many flushes so the chunk boundary logic is actually exercised.
+func TestBuildStreamEquivalentToBuild(t *testing.T) {
+	cfg := soccer.DefaultConfig()
+	cfg.Matches = 12
+	pages := crawler.PagesFromCorpus(soccer.Generate(cfg))
+
+	slice := Build(nil, semindex.FullInf, pages, Options{Shards: 4})
+	streamed, err := BuildStream(nil, semindex.FullInf, &sliceSource{pages: pages},
+		Options{Shards: 4, ChunkPages: 3})
+	if err != nil {
+		t.Fatalf("BuildStream: %v", err)
+	}
+
+	if slice.NumDocs() != streamed.NumDocs() {
+		t.Fatalf("doc counts differ: %d vs %d", slice.NumDocs(), streamed.NumDocs())
+	}
+	for _, q := range eval.PaperQueries() {
+		a := searchN(slice, q.Keywords, 20)
+		b := searchN(streamed, q.Keywords, 20)
+		if len(a) != len(b) {
+			t.Fatalf("%s: hit counts differ: %d vs %d", q.ID, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID || a[i].Score != b[i].Score {
+				t.Fatalf("%s hit %d: slice (%d, %g) vs streamed (%d, %g)",
+					q.ID, i, a[i].DocID, a[i].Score, b[i].DocID, b[i].Score)
+			}
+		}
+	}
+}
+
+// failingSource errors after a few pages; the build must surface the
+// error instead of committing a truncated engine.
+type failingSource struct {
+	pages []*crawler.MatchPage
+	i     int
+}
+
+func (s *failingSource) NextPage() (*crawler.MatchPage, error) {
+	if s.i >= len(s.pages) {
+		return nil, fmt.Errorf("page source: connection reset")
+	}
+	p := s.pages[s.i]
+	s.i++
+	return p, nil
+}
+
+func TestBuildStreamPropagatesSourceError(t *testing.T) {
+	cfg := soccer.DefaultConfig()
+	cfg.Matches = 3
+	pages := crawler.PagesFromCorpus(soccer.Generate(cfg))
+	_, err := BuildStream(nil, semindex.Trad, &failingSource{pages: pages}, Options{Shards: 2})
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("want the source error, got %v", err)
+	}
+}

@@ -50,26 +50,12 @@ func Generate(cfg Config) *Corpus {
 	c := &Corpus{Teams: teams}
 	day := 0
 	for i := 0; i < cfg.Matches; i++ {
+		// Draw order (teams before date) is load-bearing: it pins the rng
+		// stream, and with it the byte-exact default corpus the evaluation
+		// tables are measured against.
+		covered := cfg.PaperCoverage && cfg.Matches >= 2 && i < coverageFixtures
 		var home, away *Team
-		var forced []forcedEvent
-		if cfg.PaperCoverage && i == 0 && cfg.Matches >= 2 {
-			home, away = byName["Chelsea"], byName["Barcelona"]
-			forced = []forcedEvent{
-				{KindGoal, "Messi", ""},
-				{KindFoul, "Alex", "Henry"},
-				{KindYellowCard, "Alex", ""},
-				{KindFoul, "Daniel", "Florent"},
-				{KindFoul, "Florent", "Daniel"},
-				{KindOffside, "Henry", ""},
-				{KindSave, "Valdes", "Drogba"},
-			}
-		} else if cfg.PaperCoverage && i == 1 && cfg.Matches >= 2 {
-			home, away = byName["Real Madrid"], byName["Manchester United"]
-			forced = []forcedEvent{
-				{KindGoal, "Rooney", ""},
-				{KindOffside, "Ronaldo", ""},
-			}
-		} else {
+		if !covered {
 			hi := rng.Intn(len(teams))
 			ai := rng.Intn(len(teams) - 1)
 			if ai >= hi {
@@ -79,9 +65,66 @@ func Generate(cfg Config) *Corpus {
 		}
 		day += rng.Intn(3) + 1
 		date := fmt.Sprintf("2009-%02d-%02d", 3+day/28, 1+day%28)
-		c.Matches = append(c.Matches, generateMatch(rng, home, away, date, forced))
+		if covered {
+			if m, ok := GenerateCoverageMatch(rng, byName, i, date); ok {
+				c.Matches = append(c.Matches, m)
+				continue
+			}
+		}
+		c.Matches = append(c.Matches, GenerateMatch(rng, home, away, date))
 	}
 	return c
+}
+
+// coverageFixtures is the number of forced fixtures GenerateCoverageMatch
+// knows about.
+const coverageFixtures = 2
+
+// GenerateMatch simulates one match between home and away on the given
+// date, drawing every event from rng. It is the streaming per-match hook:
+// internal/corpus calls it once per emitted page so corpus generation
+// never has to materialize more than one match at a time.
+func GenerateMatch(rng *rand.Rand, home, away *Team, date string) *Match {
+	return generateMatch(rng, home, away, date, nil)
+}
+
+// GenerateCoverageMatch produces the forced paper-coverage fixture for
+// corpus slot i, or ok=false when slot i carries no fixture. Slot 0 is
+// Chelsea-Barcelona with the Table 3 / Table 6 query events injected
+// (a Messi goal, the Alex yellow card, the Henry offside, the
+// Daniel/Florent fouls, a Valdes save); slot 1 is Real Madrid-Manchester
+// United with the Rooney goal and Ronaldo offside. byName must resolve
+// those four squad names (BuildTeams provides them). Both Generate and
+// the streaming generator route their first two matches through here, so
+// every evaluation query keeps a non-empty relevant set at any corpus
+// scale.
+func GenerateCoverageMatch(rng *rand.Rand, byName map[string]*Team, i int, date string) (*Match, bool) {
+	switch i {
+	case 0:
+		home, away := byName["Chelsea"], byName["Barcelona"]
+		if home == nil || away == nil {
+			return nil, false
+		}
+		return generateMatch(rng, home, away, date, []forcedEvent{
+			{KindGoal, "Messi", ""},
+			{KindFoul, "Alex", "Henry"},
+			{KindYellowCard, "Alex", ""},
+			{KindFoul, "Daniel", "Florent"},
+			{KindFoul, "Florent", "Daniel"},
+			{KindOffside, "Henry", ""},
+			{KindSave, "Valdes", "Drogba"},
+		}), true
+	case 1:
+		home, away := byName["Real Madrid"], byName["Manchester United"]
+		if home == nil || away == nil {
+			return nil, false
+		}
+		return generateMatch(rng, home, away, date, []forcedEvent{
+			{KindGoal, "Rooney", ""},
+			{KindOffside, "Ronaldo", ""},
+		}), true
+	}
+	return nil, false
 }
 
 // forcedEvent is a query-coverage event injected by PaperCoverage.

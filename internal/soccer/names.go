@@ -127,6 +127,11 @@ func shortName(full string) string {
 	return last
 }
 
+// LineupPositions returns the position layout every generated lineup
+// follows — the hook internal/corpus uses to synthesize squads with the
+// same position taxonomy the ontology classifies.
+func LineupPositions() [11]string { return lineupPositions }
+
 // BuildTeams instantiates the fixed squads.
 func BuildTeams() []*Team {
 	teams := make([]*Team, len(squadSpecs))
