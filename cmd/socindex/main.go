@@ -6,7 +6,13 @@
 //	socindex -level FULL_INF -save idx.bin   persist the built index
 //	socindex -level FULL_INF -shards 4       parallel sharded build
 //	socindex -level FULL_INF -shards 4 -save idx.bin
-//	                                         persist idx.bin.shard000 ... 003
+//	                                         persist a manifest-anchored snapshot
+//	socindex -verify idx.bin                 fsck a saved snapshot: manifest,
+//	                                         per-shard checksums, WAL tail
+//
+// -verify exits 0 only when recovery from the snapshot would be
+// complete and loss-free; a damaged or unverifiable (legacy) snapshot
+// exits 1 with a per-file report.
 package main
 
 import (
@@ -27,7 +33,17 @@ func main() {
 	level := fs.String("level", "", "build only this level (TRAD, BASIC_EXT, FULL_EXT, FULL_INF, PHR_EXP)")
 	save := fs.String("save", "", "save the (single) built index to this file")
 	shards := fs.Int("shards", 0, "build an N-way sharded engine instead of a monolithic index")
+	verify := fs.String("verify", "", "verify a saved sharded snapshot at this base and exit (fsck)")
 	fs.Parse(os.Args[1:])
+
+	if *verify != "" {
+		rep := shard.Fsck(*verify)
+		fmt.Print(rep.String())
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	pages, _, err := cf.LoadPages()
 	if err != nil {
@@ -48,16 +64,16 @@ func main() {
 				if err := eng.Save(*save); err != nil {
 					cli.Fatal(err)
 				}
-				var total int64
-				for i := 0; i < eng.NumShards(); i++ {
-					fi, err := os.Stat(shard.ShardPath(*save, i))
-					if err != nil {
-						cli.Fatal(err)
-					}
-					total += fi.Size()
+				rep := shard.Fsck(*save)
+				if !rep.OK() {
+					cli.Fatal(fmt.Errorf("snapshot failed verification after save:\n%s", rep))
 				}
-				fmt.Printf("saved %d shard files to %s.shard* (%d bytes)\n",
-					eng.NumShards(), *save, total)
+				var total int64
+				for _, f := range rep.Files {
+					total += f.Size
+				}
+				fmt.Printf("saved %d shard file(s) + manifest to %s.* (%d payload bytes, generation %d)\n",
+					len(rep.Files), *save, total, rep.Generation)
 			}
 			continue
 		}

@@ -9,8 +9,10 @@
 //	GET /search?q=messi+barcelona+goal&n=10   legacy JSON results with snippets
 //	GET /related?doc=3                        legacy related documents
 //	GET /                                      a minimal HTML search page
+//	POST /v1/ingest                            ingest one crawled match page (sharded engine)
 //	GET /healthz                               liveness (always ok while up)
-//	GET /readyz                                readiness (503 until the index is loaded)
+//	GET /readyz                                readiness (503 until the index is loaded;
+//	                                           names quarantined shards when degraded)
 //	GET /metrics                               Prometheus text-format metrics
 //	GET /debug/pprof/*                         profiling endpoints (only with -pprof)
 //
@@ -32,12 +34,23 @@
 //	                                           misses the deadline is dropped
 //	                                           from the merge and the response
 //	                                           is marked degraded
+//	socserve -addr :8090 -shards 4 -index idx.bin -wal
+//	                                           crash-safe ingest: every
+//	                                           /v1/ingest page is WAL-appended
+//	                                           before it is acknowledged and
+//	                                           replayed on the next start
+//	socserve ... -wal -wal-sync 100ms          amortized fsync (-wal-sync
+//	                                           always|off|<interval>)
 //
 // The listener comes up immediately and reports readiness once the index
 // is loaded, so orchestrators can distinguish "starting" from "dead". It
 // is a fully-configured http.Server (header/read/write timeouts) and shuts
 // down gracefully on SIGINT/SIGTERM, draining in-flight searches before
-// exiting.
+// exiting. With -wal the drain also checkpoints: the engine is saved back
+// to the -index base (folding the log into the snapshot) and the WAL is
+// rotated, so the next start recovers instantly instead of replaying. A
+// degraded engine refuses the checkpoint — the quarantined snapshot stays
+// on disk for repair instead of being overwritten by a partial one.
 package main
 
 import (
@@ -63,6 +76,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/semindex"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // maxResults caps the n query parameter: user input never reaches the
@@ -133,7 +147,17 @@ func main() {
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowQuery := fs.Duration("slow-query", 0, "log requests slower than this, with their per-shard trace (0 = off)")
 	accessLog := fs.Bool("access-log", false, "log every request with its trace ID to stdout")
+	walOn := fs.Bool("wal", false, "write-ahead log ingested pages next to -index and replay them on start (requires -shards and -index)")
+	walSync := fs.String("wal-sync", "always", `WAL fsync policy: "always", "off", or a flush interval like "100ms"`)
 	fs.Parse(os.Args[1:])
+
+	walOpts, err := parseWALSync(*walSync)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if *walOn && (*shards == 0 || *indexFile == "") {
+		cli.Fatal(errors.New("-wal requires -shards and -index: the log lives next to the snapshot it extends"))
+	}
 
 	h := NewHandler(nil)
 	h.ShardTimeout = *shardTimeout
@@ -155,18 +179,75 @@ func main() {
 		cacheBytes = 0
 	}
 
+	// eng holds the sharded engine once loaded, for the shutdown
+	// checkpoint; nil for monolithic shapes or while still loading.
+	var eng atomic.Pointer[shard.Engine]
 	go func() {
 		s, desc, err := loadSearcher(&cf, *indexFile, *shards, cacheBytes)
 		if err != nil {
 			cli.Fatal(err)
 		}
+		if e, ok := s.(*shard.Engine); ok {
+			if *walOn {
+				if err := e.AttachWAL(*indexFile, walOpts); err != nil {
+					cli.Fatal(err)
+				}
+				rep := e.LoadReport()
+				if rep.WALReplayed > 0 || rep.WALTorn {
+					fmt.Printf("wal: replayed %d record(s), torn tail: %v\n", rep.WALReplayed, rep.WALTorn)
+				}
+			}
+			if q := e.Quarantined(); len(q) > 0 {
+				fmt.Printf("WARNING: serving degraded, shards %v quarantined at load\n", q)
+			}
+			eng.Store(e)
+		}
 		h.SetSearcher(s)
 		fmt.Printf("serving %s on %s\n", desc, *addr)
 	}()
 
-	if err := serve(*addr, h); err != nil {
+	checkpoint := func() {
+		e := eng.Load()
+		if e == nil || !*walOn {
+			return
+		}
+		// The drain is the last chance to fold the WAL into the snapshot;
+		// a degraded engine refuses (ErrDegraded) so a partial index never
+		// overwrites the repairable one, and its WAL stays for replay.
+		if err := e.Save(*indexFile); err != nil {
+			if errors.Is(err, shard.ErrDegraded) {
+				fmt.Printf("skipping shutdown checkpoint: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "shutdown checkpoint failed: %v\n", err)
+			}
+		} else {
+			fmt.Printf("checkpointed %s at generation %d\n", *indexFile, e.Generation())
+		}
+		if err := e.CloseWAL(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing wal: %v\n", err)
+		}
+	}
+
+	if err := serve(*addr, h, checkpoint); err != nil {
 		cli.Fatal(err)
 	}
+}
+
+// parseWALSync maps the -wal-sync flag to a WAL policy: "always" fsyncs
+// per append, "off"/"never" leaves durability to the page cache, and a
+// duration amortizes fsyncs over that interval.
+func parseWALSync(s string) (wal.Options, error) {
+	switch s {
+	case "always", "":
+		return wal.Options{Policy: wal.SyncAlways}, nil
+	case "off", "never":
+		return wal.Options{Policy: wal.SyncNever}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return wal.Options{}, fmt.Errorf(`-wal-sync must be "always", "off" or a positive duration, not %q`, s)
+	}
+	return wal.Options{Policy: wal.SyncInterval, Interval: d}, nil
 }
 
 // loadSearcher builds or loads the configured index shape and describes
@@ -182,6 +263,22 @@ func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int, cacheBytes 
 	}
 	switch {
 	case shards > 0 && indexFile != "":
+		if _, err := os.Stat(shard.ManifestPath(indexFile)); os.IsNotExist(err) {
+			if _, err := os.Stat(shard.ShardPath(indexFile, 0)); os.IsNotExist(err) {
+				// First run: nothing saved at the base yet. Build from the
+				// corpus and checkpoint immediately so a WAL has a snapshot
+				// generation to anchor to.
+				pages, _, err := cf.LoadPages()
+				if err != nil {
+					return nil, "", err
+				}
+				eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: shards, CacheBytes: cacheBytes})
+				if err := eng.Save(indexFile); err != nil {
+					return nil, "", err
+				}
+				return eng, describe(eng) + " [bootstrapped]", nil
+			}
+		}
 		eng, err := shard.Load(indexFile, nil)
 		if err != nil {
 			return nil, "", err
@@ -217,8 +314,10 @@ func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int, cacheBytes 
 }
 
 // serve runs a configured http.Server until SIGINT/SIGTERM, then drains
-// in-flight requests through a bounded graceful shutdown.
-func serve(addr string, h http.Handler) error {
+// in-flight requests through a bounded graceful shutdown. drain runs
+// after the listener has stopped accepting and in-flight requests have
+// finished — the quiesced moment the shutdown checkpoint needs.
+func serve(addr string, h http.Handler, drain func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -243,6 +342,9 @@ func serve(addr string, h http.Handler) error {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
+	}
+	if drain != nil {
+		drain()
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -436,9 +538,20 @@ func NewHandler(s searcher) *Handler {
 	})
 
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if _, ok := h.ready(); !ok {
+		s, ok := h.ready()
+		if !ok {
 			http.Error(w, "index loading", http.StatusServiceUnavailable)
 			return
+		}
+		// An engine that quarantined shards at load still serves — every
+		// intact shard answers — but orchestrators and operators need the
+		// loss visible where they already look.
+		if qs, ok := s.(interface{ Quarantined() []int }); ok {
+			if q := qs.Quarantined(); len(q) > 0 {
+				w.Header().Set("X-Search-Degraded", "true")
+				fmt.Fprintf(w, "ready (degraded: shards %s quarantined)\n", intsCSV(q))
+				return
+			}
 		}
 		fmt.Fprintln(w, "ready")
 	})

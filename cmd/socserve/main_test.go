@@ -366,8 +366,9 @@ func TestGracefulServe(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
+	drained := make(chan struct{})
 	done := make(chan error, 1)
-	go func() { done <- serve(addr, NewHandler(si)) }()
+	go func() { done <- serve(addr, NewHandler(si), func() { close(drained) }) }()
 	var resp *http.Response
 	for i := 0; i < 100; i++ {
 		resp, err = http.Get("http://" + addr + "/healthz")
@@ -394,5 +395,10 @@ func TestGracefulServe(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not shut down on SIGTERM")
+	}
+	select {
+	case <-drained:
+	default:
+		t.Error("drain hook did not run during shutdown")
 	}
 }

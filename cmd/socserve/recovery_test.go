@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/semindex"
+	"repro/internal/shard"
+	"repro/internal/soccer"
+	"repro/internal/wal"
+)
+
+// recoveryPages is a small crawled corpus for the persistence-facing
+// handler tests.
+func recoveryPages(t *testing.T) []*crawler.MatchPage {
+	t.Helper()
+	c := soccer.Generate(soccer.Config{Matches: 3, Seed: 42, NarrationsPerMatch: 20, PaperCoverage: true})
+	return crawler.PagesFromCorpus(c)
+}
+
+// TestReadyzDegraded corrupts one shard file of a saved snapshot and
+// asserts the handler's readiness endpoint names the quarantined shard:
+// still 200 — the engine serves — but visibly degraded.
+func TestReadyzDegraded(t *testing.T) {
+	pages := recoveryPages(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: 2})
+	if err := eng.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(base + ".g*.shard*")
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no shard files saved: %v", err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	degraded, err := shard.Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(degraded))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("degraded readyz status %d, want 200 (the engine still serves)", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "degraded") || !strings.Contains(string(body), "quarantined") {
+		t.Errorf("degraded readyz body %q does not name the loss", body)
+	}
+	if resp.Header.Get("X-Search-Degraded") != "true" {
+		t.Error("degraded readyz missing X-Search-Degraded header")
+	}
+
+	// A search against the degraded engine carries the same surface.
+	sresp, err := srv.Client().Get(srv.URL + "/v1/search?q=goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.Header.Get("X-Search-Degraded") != "true" {
+		t.Error("degraded search answer missing X-Search-Degraded header")
+	}
+}
+
+// TestReadyzHealthyEngine guards the inverse: a cleanly loaded engine
+// reports plain readiness.
+func TestReadyzHealthyEngine(t *testing.T) {
+	pages := recoveryPages(t)
+	eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: 2})
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ready" {
+		t.Errorf("healthy readyz: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestV1IngestDurableAcrossRestart drives the WAL path end to end over
+// HTTP: snapshot two pages, ingest the third through POST /v1/ingest
+// with a WAL attached, kill the handle without any checkpoint, and
+// require a reload to recover the ingested page from the log alone.
+func TestV1IngestDurableAcrossRestart(t *testing.T) {
+	pages := recoveryPages(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	eng := shard.Build(nil, semindex.FullInf, pages[:2], shard.Options{Shards: 2})
+	if err := eng.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachWAL(base, wal.Options{Policy: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+
+	body, err := json.Marshal(pages[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack v1IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || ack.ID != pages[2].ID {
+		t.Fatalf("ingest ack: status %d, %+v", resp.StatusCode, ack)
+	}
+	if ack.Docs <= shard.Build(nil, semindex.FullInf, pages[:2], shard.Options{Shards: 2}).NumDocs() {
+		t.Fatalf("ingest did not grow the index: %d docs", ack.Docs)
+	}
+
+	// Crash: no Save, no CloseWAL sync beyond the per-append fsync.
+	back, err := shard.Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := back.LoadReport()
+	if rep.WALReplayed != 1 {
+		t.Fatalf("recovery replayed %d records, want the 1 acknowledged ingest", rep.WALReplayed)
+	}
+	want := shard.Build(nil, semindex.FullInf, pages[:3], shard.Options{Shards: 2})
+	if back.NumDocs() != want.NumDocs() {
+		t.Fatalf("recovered %d docs, want %d", back.NumDocs(), want.NumDocs())
+	}
+}
+
+// TestV1IngestValidation covers the endpoint's rejection surface.
+func TestV1IngestValidation(t *testing.T) {
+	pages := recoveryPages(t)
+	eng := shard.Build(nil, semindex.FullInf, pages, shard.Options{Shards: 2})
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+
+	post := func(body string) int {
+		resp, err := srv.Client().Post(srv.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", code)
+	}
+	if code := post(`{"Home":"A"}`); code != http.StatusBadRequest {
+		t.Errorf("missing id: status %d", code)
+	}
+	if code := post(`{"ID":"x","Bogus":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET ingest: status %d", resp.StatusCode)
+	}
+
+	// The monolithic index cannot ingest incrementally.
+	mono := semindex.NewBuilder().Build(semindex.FullInf, pages)
+	msrv := httptest.NewServer(NewHandler(mono))
+	defer msrv.Close()
+	mresp, err := msrv.Client().Post(msrv.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte(`{"ID":"x"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("monolith ingest: status %d", mresp.StatusCode)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/crawler"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/semindex"
@@ -59,6 +60,27 @@ type v1SuggestResponse struct {
 	Query      string `json:"query"`
 	TraceID    string `json:"traceId"`
 	DidYouMean string `json:"didYouMean"`
+}
+
+// v1IngestResponse acknowledges one ingested page. When the serving
+// engine has a WAL attached, a 200 means the page is durable: it was
+// appended (and per policy fsynced) before the index mutated.
+type v1IngestResponse struct {
+	ID      string `json:"id"`
+	TraceID string `json:"traceId"`
+	// Docs is the engine's document count after the ingest.
+	Docs int `json:"docs"`
+}
+
+// v1MaxIngestBytes bounds an ingest request body (4 MiB — an order of
+// magnitude above any real match page).
+const v1MaxIngestBytes = 4 << 20
+
+// ingester is the incremental-ingest surface: the sharded engine
+// implements it, the monolithic index does not.
+type ingester interface {
+	AddPage(page *crawler.MatchPage) error
+	NumDocs() int
 }
 
 // parseV1Limit validates the limit parameter: absent defaults to 10,
@@ -189,6 +211,46 @@ func (h *Handler) registerV1(hl index.Highlighter) {
 			Total:  len(hits),
 			Hits:   v1Results(hits, "", hl),
 		}
+		if tr := obs.TraceFrom(r.Context()); tr != nil {
+			resp.TraceID = tr.ID
+		}
+		writeV1(w, resp)
+	})
+
+	h.mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a crawler.MatchPage JSON body", http.StatusMethodNotAllowed)
+			return
+		}
+		s, ok := h.ready()
+		if !ok {
+			http.Error(w, "index loading", http.StatusServiceUnavailable)
+			return
+		}
+		ing, ok := s.(ingester)
+		if !ok {
+			http.Error(w, "this index shape does not ingest incrementally (serve a sharded engine)", http.StatusNotImplemented)
+			return
+		}
+		var page crawler.MatchPage
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, v1MaxIngestBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&page); err != nil {
+			http.Error(w, fmt.Sprintf("bad page: %v", err), http.StatusBadRequest)
+			return
+		}
+		if page.ID == "" {
+			http.Error(w, "bad page: missing id", http.StatusBadRequest)
+			return
+		}
+		// AddPage returns only after the page is WAL-durable (when a log
+		// is attached), so this response is the acknowledgement the
+		// crash-recovery guarantee is stated over.
+		if err := ing.AddPage(&page); err != nil {
+			http.Error(w, fmt.Sprintf("ingest failed: %v", err), http.StatusInternalServerError)
+			return
+		}
+		resp := v1IngestResponse{ID: page.ID, Docs: ing.NumDocs()}
 		if tr := obs.TraceFrom(r.Context()); tr != nil {
 			resp.TraceID = tr.ID
 		}

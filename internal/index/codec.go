@@ -105,8 +105,26 @@ func (ix *Index) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
+// capHint bounds speculative allocation from an untrusted length
+// prefix: a corrupt u32 can claim 2^32-1 elements, so slices and maps
+// start at min(n, limit) capacity and grow only as elements actually
+// parse — allocation stays proportional to bytes read, and a lying
+// prefix dies on a read error instead of an OOM.
+func capHint(n uint32, limit int) int {
+	if int64(n) < int64(limit) {
+		return int(n)
+	}
+	return limit
+}
+
 // Decode deserializes an index written by Encode. The analyzer must
 // match the one used at build time.
+//
+// The input is untrusted: every length prefix is bounded before use,
+// allocation is proportional to bytes actually read (see capHint), and
+// structural violations — counts past plausibility caps, posting or
+// document IDs outside the stored document range — return errors.
+// Decode never panics on corrupt input (FuzzDecode enforces it).
 func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -133,30 +151,38 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 	if numDocs > 1<<28 {
 		return nil, fmt.Errorf("index: implausible doc count %d", numDocs)
 	}
-	ix.docs = make([]*Document, numDocs)
-	for i := range ix.docs {
+	ix.docs = make([]*Document, 0, capHint(numDocs, 1<<16))
+	for i := uint32(0); i < numDocs; i++ {
 		nf, err := readU32(br)
 		if err != nil {
 			return nil, err
 		}
-		d := &Document{Fields: make([]Field, nf)}
-		for j := range d.Fields {
-			if d.Fields[j].Name, err = readString(br); err != nil {
-				return nil, err
-			}
-			if d.Fields[j].Text, err = readString(br); err != nil {
-				return nil, err
-			}
-			if d.Fields[j].Boost, err = readF64(br); err != nil {
-				return nil, err
-			}
+		if nf > 1<<16 {
+			return nil, fmt.Errorf("index: implausible field count %d on doc %d", nf, i)
 		}
-		ix.docs[i] = d
+		d := &Document{Fields: make([]Field, 0, capHint(nf, 256))}
+		for j := uint32(0); j < nf; j++ {
+			var f Field
+			if f.Name, err = readString(br); err != nil {
+				return nil, err
+			}
+			if f.Text, err = readString(br); err != nil {
+				return nil, err
+			}
+			if f.Boost, err = readF64(br); err != nil {
+				return nil, err
+			}
+			d.Fields = append(d.Fields, f)
+		}
+		ix.docs = append(ix.docs, d)
 	}
 
 	numFields, err := readU32(br)
 	if err != nil {
 		return nil, err
+	}
+	if numFields > 1<<16 {
+		return nil, fmt.Errorf("index: implausible field count %d", numFields)
 	}
 	for i := uint32(0); i < numFields; i++ {
 		name, err := readString(br)
@@ -184,11 +210,19 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
-			pl := make([]Posting, numPostings)
-			for p := range pl {
+			if numPostings > numDocs {
+				// A term cannot appear in more documents than exist.
+				return nil, fmt.Errorf("index: term %q claims %d postings over %d docs",
+					term, numPostings, numDocs)
+			}
+			pl := make([]Posting, 0, capHint(numPostings, 1<<16))
+			for p := uint32(0); p < numPostings; p++ {
 				docID, err := readU32(br)
 				if err != nil {
 					return nil, err
+				}
+				if docID >= numDocs {
+					return nil, fmt.Errorf("index: posting references doc %d of %d", docID, numDocs)
 				}
 				boost, err := readF64(br)
 				if err != nil {
@@ -201,15 +235,15 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 				if numPos > 1<<24 {
 					return nil, fmt.Errorf("index: implausible position count %d", numPos)
 				}
-				positions := make([]int, numPos)
-				for k := range positions {
+				positions := make([]int, 0, capHint(numPos, 1<<12))
+				for k := uint32(0); k < numPos; k++ {
 					v, err := readU32(br)
 					if err != nil {
 						return nil, err
 					}
-					positions[k] = int(v)
+					positions = append(positions, int(v))
 				}
-				pl[p] = Posting{DocID: int(docID), Boost: boost, Positions: positions}
+				pl = append(pl, Posting{DocID: int(docID), Boost: boost, Positions: positions})
 			}
 			fi.postings[term] = pl
 		}

@@ -1,0 +1,274 @@
+package shard
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/eval"
+	"repro/internal/semindex"
+	"repro/internal/soccer"
+	"repro/internal/wal"
+)
+
+// crashCorpus is a deliberately small corpus so one ingest page is a
+// small WAL record and the every-byte truncation sweep stays fast.
+// PaperCoverage keeps the paper's entities present so the paper query
+// mix still ranks real hits. The pages ingested through the WAL are
+// trimmed further (trimPage) — the sweep's iteration count is the
+// record's byte length.
+func crashCorpus(t *testing.T) []*crawler.MatchPage {
+	t.Helper()
+	c := soccer.Generate(soccer.Config{Matches: 4, Seed: 7, NarrationsPerMatch: 5, PaperCoverage: true})
+	pages := crawler.PagesFromCorpus(c)
+	if len(pages) < 4 {
+		t.Fatalf("crash corpus has %d pages, need 4", len(pages))
+	}
+	out := append([]*crawler.MatchPage(nil), pages[:4]...)
+	out[2] = trimPage(pages[2])
+	out[3] = trimPage(pages[3])
+	return out
+}
+
+// trimPage shrinks a page to a handful of lineup rows and narrations so
+// its JSON WAL record is ~1KB instead of ~11KB. The reference engines
+// ingest the same trimmed page, so ranking identity is unaffected.
+func trimPage(p *crawler.MatchPage) *crawler.MatchPage {
+	q := *p
+	q.Lineups = make(map[string][]crawler.PlayerLine, len(p.Lineups))
+	for team, players := range p.Lineups {
+		if len(players) > 3 {
+			players = players[:3]
+		}
+		q.Lineups[team] = players
+	}
+	if len(q.Goals) > 1 {
+		q.Goals = q.Goals[:1]
+	}
+	q.Subs = nil
+	if len(q.Narrations) > 2 {
+		q.Narrations = q.Narrations[:2]
+	}
+	return &q
+}
+
+// copySnapshot clones every file of a snapshot base (manifest, shard
+// files, WAL) into dstDir under the same basenames, returning the new
+// base path. Each truncation experiment recovers from its own clone so
+// recovery's own truncation cannot leak between experiments.
+func copySnapshot(t *testing.T, base, dstDir string) string {
+	t.Helper()
+	srcDir := filepath.Dir(base)
+	prefix := filepath.Base(base)
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if !strings.HasPrefix(ent.Name(), prefix) {
+			continue
+		}
+		src, err := os.Open(filepath.Join(srcDir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := os.Create(filepath.Join(dstDir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		src.Close()
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dstDir, prefix)
+}
+
+// TestCrashRecoveryEveryTruncationOffset is the kill-at-any-point
+// harness: snapshot two pages, WAL-append two more, then simulate a
+// crash at every byte offset of the log — inside the header, inside
+// each record, and at every boundary — and require recovery to land on
+// exactly the acknowledged prefix, with rankings over the paper query
+// mix identical to an engine built from those pages directly.
+func TestCrashRecoveryEveryTruncationOffset(t *testing.T) {
+	pages := crashCorpus(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "idx.bin")
+
+	e := Build(nil, semindex.FullInf, pages[:2], Options{Shards: 3})
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AttachWAL(base, wal.Options{Policy: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	walPath := WALPath(base)
+	size := func() int64 {
+		st, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	// boundaries[k] is the log size once k records are fully on disk.
+	boundaries := []int64{size()}
+	for _, p := range pages[2:4] {
+		if err := e.AddPage(p); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, size())
+	}
+	if err := e.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference engines: what recovery must be byte-identical to when
+	// 0, 1 or 2 of the WAL records survive. Their rankings are computed
+	// once; the sweep compares every recovery against them.
+	queries := eval.PaperQueries()
+	wantDocs := make([]int, 3)
+	wantHits := make([][][]semindex.Hit, 3)
+	for k := 0; k <= 2; k++ {
+		ref := Build(nil, semindex.FullInf, pages[:2+k], Options{Shards: 3})
+		wantDocs[k] = ref.NumDocs()
+		wantHits[k] = make([][]semindex.Hit, len(queries))
+		for qi, q := range queries {
+			wantHits[k][qi] = searchN(ref, q.Keywords, 10)
+		}
+	}
+
+	recovered := func(cut int64) int {
+		n := 0
+		for _, b := range boundaries[1:] {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	atBoundary := func(cut int64) bool {
+		if cut == 0 {
+			return true // no file bytes at all: clean empty log
+		}
+		for _, b := range boundaries {
+			if cut == b {
+				return true
+			}
+		}
+		return false
+	}
+
+	total := boundaries[len(boundaries)-1]
+	t.Logf("sweeping %d truncation offsets (%d-record log)", total+1, len(boundaries)-1)
+	for cut := int64(0); cut <= total; cut++ {
+		scratch := t.TempDir()
+		cutBase := copySnapshot(t, base, scratch)
+		if err := os.Truncate(WALPath(cutBase), cut); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(cutBase, nil)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		k := recovered(cut)
+		rep := got.LoadReport()
+		if rep.WALReplayed != k {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, rep.WALReplayed, k)
+		}
+		if wantTorn := !atBoundary(cut); rep.WALTorn != wantTorn {
+			t.Fatalf("cut %d: WALTorn = %v, want %v", cut, rep.WALTorn, wantTorn)
+		}
+		if got.NumDocs() != wantDocs[k] {
+			t.Fatalf("cut %d: %d docs, want %d", cut, got.NumDocs(), wantDocs[k])
+		}
+		for qi, q := range queries {
+			assertSameHits(t, q.ID, searchN(got, q.Keywords, 10), wantHits[k][qi])
+			if t.Failed() {
+				t.Fatalf("cut %d: recovered ranking diverged on %s", cut, q.ID)
+			}
+		}
+		// Recovery must leave the log appendable: the next ingest and
+		// checkpoint have to succeed on the truncated lineage.
+		if err := got.AttachWAL(cutBase, wal.Options{Policy: wal.SyncNever}); err != nil {
+			t.Fatalf("cut %d: reattach: %v", cut, err)
+		}
+		if err := got.CloseWAL(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestCrashBeforeManifestKeepsOldSnapshot simulates a crash between the
+// shard-file renames and the manifest commit: the next generation's
+// shard files sit fully written in the directory, but the manifest
+// still names the previous generation. Load must serve the old snapshot
+// untouched — the manifest is the commit point, and generation-stamped
+// filenames guarantee the half-finished save never overwrote its files.
+func TestCrashBeforeManifestKeepsOldSnapshot(t *testing.T) {
+	pages := crashCorpus(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "idx.bin")
+
+	e := Build(nil, semindex.FullInf, pages[:3], Options{Shards: 3})
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the next checkpoint to completion in a scratch clone, then
+	// copy only its new shard files back — exactly the bytes a crash
+	// right before the manifest rename would have left behind.
+	scratch := t.TempDir()
+	scratchBase := copySnapshot(t, base, scratch)
+	e2, err := Load(scratchBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.AddPage(pages[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Save(scratchBase); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(scratchBase + ".g*.shard*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := 0
+	for _, name := range names {
+		if _, err := os.Stat(filepath.Join(dir, filepath.Base(name))); err == nil {
+			continue // generation 1 file, already present
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(name)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		copied++
+	}
+	if copied == 0 {
+		t.Fatal("second save produced no new generation files")
+	}
+
+	got, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LoadReport().Generation != 1 || got.NumDocs() != e.NumDocs() {
+		t.Fatalf("recovered generation %d with %d docs, want generation 1 with %d",
+			got.LoadReport().Generation, got.NumDocs(), e.NumDocs())
+	}
+	if len(got.Quarantined()) != 0 {
+		t.Fatalf("old snapshot quarantined %v after unmanifested new files appeared", got.Quarantined())
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID, searchN(got, q.Keywords, 10), searchN(e, q.Keywords, 10))
+	}
+}

@@ -27,6 +27,7 @@
 package shard
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/semindex"
+	"repro/internal/wal"
 )
 
 // MetaGID is the stored-only document field carrying the global docID
@@ -114,6 +116,49 @@ type Engine struct {
 	// goroutine with the shard index — the fault-injection hook degraded
 	// serving is tested through. Install before serving traffic.
 	stall func(shard int)
+
+	// gen is the snapshot generation the engine's state extends: 0 for
+	// a fresh build, the manifest's generation after Load, bumped by
+	// every Save. It anchors the ingest WAL to its snapshot.
+	gen uint64
+	// wal, when attached, receives every AddPage batch before memory
+	// mutates (see AttachWAL); Save rotates it at checkpoint.
+	wal *wal.Log
+	// quarantined lists shard slots Load replaced with empty
+	// placeholders after their snapshot files failed verification. A
+	// non-empty list means the engine serves degraded: every
+	// SearchReport names these shards as missing.
+	quarantined []int
+	// loadRep records how the last Load recovered (zero for built
+	// engines).
+	loadRep LoadReport
+}
+
+// Generation returns the snapshot generation the engine extends: 0 for
+// a fresh build, advanced by every Save.
+func (e *Engine) Generation() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
+}
+
+// Quarantined lists the shard slots serving as empty placeholders for
+// snapshot files Load rejected. Empty means the engine is complete;
+// non-empty means degraded serving (surfaced in every SearchReport and
+// socserve's /readyz).
+func (e *Engine) Quarantined() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]int(nil), e.quarantined...)
+}
+
+// LoadReport describes the recovery that produced this engine: its
+// generation, quarantined shards, and the WAL tail replayed. The zero
+// report means the engine was built, not loaded.
+func (e *Engine) LoadReport() LoadReport {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.loadRep
 }
 
 // SetStall installs a per-shard delay hook called at the start of every
@@ -367,14 +412,48 @@ func (e *Engine) mergeAndInstall() {
 // extended and re-profiled; every other shard's inverted index is
 // untouched. The global statistics are re-merged so rankings stay
 // consistent with a from-scratch build over the enlarged corpus.
-func (e *Engine) AddPage(page *crawler.MatchPage) {
+//
+// With a WAL attached (AttachWAL), the page is appended to the log —
+// and, under wal.SyncAlways, fsynced — before a single byte of memory
+// mutates, so a nil return means the ingest survives an immediate
+// kill -9: Load replays it from the log. A WAL append failure leaves
+// the engine untouched and is returned; without a WAL, AddPage cannot
+// fail.
+func (e *Engine) AddPage(page *crawler.MatchPage) error {
 	start := time.Now()
 	docs := e.builder.PageDocuments(e.level, page)
 	s := shardFor(page.ID, len(e.shards))
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.wal != nil {
+		rec, err := json.Marshal(page)
+		if err != nil {
+			return fmt.Errorf("shard: encoding WAL record: %w", err)
+		}
+		if err := e.wal.Append(rec); err != nil {
+			return fmt.Errorf("shard: WAL append: %w", err)
+		}
+	}
 	defer func() { e.met.ingest.ObserveDuration(time.Since(start)) }()
+	e.ingestDocsLocked(s, docs)
+	return nil
+}
+
+// applyPage is AddPage without the WAL append — the replay path: the
+// record being applied is already durable in the log.
+func (e *Engine) applyPage(page *crawler.MatchPage) {
+	docs := e.builder.PageDocuments(e.level, page)
+	s := shardFor(page.ID, len(e.shards))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ingestDocsLocked(s, docs)
+}
+
+// ingestDocsLocked commits prepared documents to their shard, assigns
+// global IDs in arrival order, and re-exchanges statistics. Write lock
+// required.
+func (e *Engine) ingestDocsLocked(s int, docs []*index.Document) {
 	for _, d := range docs {
 		gid := len(e.byGID)
 		d.Add(MetaGID, strconv.Itoa(gid))
@@ -413,7 +492,9 @@ func (e *Engine) NumDocs() int {
 	return len(e.byGID)
 }
 
-// Doc returns the stored document for a global docID.
+// Doc returns the stored document for a global docID, or nil for an
+// unknown ID — including IDs lost to a quarantined shard, whose holes
+// in the ID space are preserved rather than renumbered.
 func (e *Engine) Doc(gid int) *index.Document {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -421,6 +502,9 @@ func (e *Engine) Doc(gid int) *index.Document {
 		return nil
 	}
 	ref := e.byGID[gid]
+	if ref.shard < 0 {
+		return nil
+	}
 	return e.shards[ref.shard].Index.Doc(ref.local)
 }
 

@@ -23,6 +23,9 @@ const (
 	// speedup claim is measured from. Bypass calls land only in
 	// metricSearchSec.
 	metricCacheSearch = "shard_engine_cache_search_seconds"
+	// metricQuarantined counts shard snapshot files Load rejected and
+	// quarantined — any nonzero value means an engine started degraded.
+	metricQuarantined = "shard_engine_quarantined_shards_total"
 )
 
 // engineMetrics holds the engine's resolved metric handles. Handles are
@@ -47,6 +50,8 @@ type engineMetrics struct {
 	// path, split by outcome (coalesced calls ride the leader's miss).
 	cacheHit  *obs.Histogram
 	cacheMiss *obs.Histogram
+	// quarantined counts corrupt snapshot files rejected at load.
+	quarantined *obs.Counter
 }
 
 // newEngineMetrics resolves the engine's series in r (nil r means no-ops).
@@ -59,6 +64,7 @@ func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
 	r.Help(metricIngestSec, "Incremental AddPage duration.")
 	r.Help(metricShardSearch, "Per-shard search latency.")
 	r.Help(metricCacheSearch, "Whole-call latency on the cached path, by outcome.")
+	r.Help(metricQuarantined, "Corrupt shard snapshot files quarantined at load.")
 	m := &engineMetrics{
 		searches:  r.Counter(metricSearches),
 		degraded:  r.Counter(metricDegraded),
@@ -67,8 +73,9 @@ func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
 		build:     r.Histogram(metricBuildSec, nil),
 		ingest:    r.Histogram(metricIngestSec, nil),
 		perShard:  make([]*obs.Histogram, shards),
-		cacheHit:  r.Histogram(metricCacheSearch, nil, obs.L("result", "hit")),
-		cacheMiss: r.Histogram(metricCacheSearch, nil, obs.L("result", "miss")),
+		cacheHit:    r.Histogram(metricCacheSearch, nil, obs.L("result", "hit")),
+		cacheMiss:   r.Histogram(metricCacheSearch, nil, obs.L("result", "miss")),
+		quarantined: r.Counter(metricQuarantined),
 	}
 	for i := range m.perShard {
 		m.perShard[i] = r.Histogram(metricShardSearch, nil, obs.L("shard", strconv.Itoa(i)))

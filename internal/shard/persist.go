@@ -1,51 +1,420 @@
 package shard
 
-import (
-	"fmt"
-	"os"
-	"strconv"
+// Crash-safe persistence for the sharded engine. Three cooperating
+// pieces give the kill-at-any-point guarantee:
+//
+//   - Shard snapshots: each shard's codec stream rides inside a
+//     versioned envelope with a CRC32 trailer, written tmp + fsync +
+//     rename so a crash never tears a live file.
+//   - The manifest (manifest.go): the commit point naming every shard
+//     file with its size and checksum, committed last. Load reads only
+//     what the manifest names — stale shard files from an earlier,
+//     wider save are invisible, fixing the read-until-missing bug where
+//     a shrink-then-reload resurrected orphan shards.
+//   - The ingest WAL (internal/wal): AddPage batches appended before
+//     memory mutates, replayed on Load past the manifest's generation,
+//     rotated on Save.
+//
+// Corruption degrades instead of killing the service: a shard that
+// fails verification is quarantined (renamed *.corrupt) and replaced by
+// an empty placeholder, the engine starts degraded with the loss named
+// in every SearchReport, and Fsck/socindex -verify audits a snapshot
+// offline without mutating it.
 
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/crawler"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/semindex"
+	"repro/internal/wal"
 )
 
-// ShardPath names the file one shard persists to: "<base>.shard000",
-// "<base>.shard001", ... next to the monolithic "<base>".
+// Snapshot envelope: magic, version, payload (the semindex codec
+// stream), then a trailer of payload length and CRC32. The trailer
+// length cross-checks the file size so truncation is caught even when
+// the missing suffix would still CRC (it cannot, but belt and braces).
+const (
+	snapMagic      = "SSNP"
+	snapVersion    = 1
+	snapHeaderLen  = 4 + 4
+	snapTrailerLen = 8 + 4
+)
+
+// ShardPath names the legacy (pre-manifest) file of one shard:
+// "<base>.shard000", "<base>.shard001", ... Current saves use
+// generation-stamped names (shardGenPath) so a checkpoint never
+// overwrites the files the previous manifest still names; this helper
+// remains for loading and auditing the legacy layout.
 func ShardPath(base string, i int) string {
 	return fmt.Sprintf("%s.shard%03d", base, i)
 }
 
-// Save persists every shard through the existing semindex codec, one file
-// per shard. Global document identity rides inside each file as the
-// stored MetaGID field, and the statistics exchange is re-run at load
-// time, so no side manifest is needed.
+// shardGenPath names one shard file of one snapshot generation:
+// "<base>.g000002.shard001". Stamping the generation into the name is
+// what makes Save crash-safe end to end — the new generation's files
+// land under fresh names, so a crash after the renames but before the
+// manifest commit leaves the old manifest's files untouched and the old
+// snapshot fully recoverable.
+func shardGenPath(base string, gen uint64, i int) string {
+	return fmt.Sprintf("%s.g%06d.shard%03d", base, gen, i)
+}
+
+// Save checkpoints the engine atomically. Every shard is written to a
+// temporary file, fsynced and renamed into place; the manifest — the
+// commit point — is written last the same way. Only then does the
+// attached WAL (if any) rotate to the new generation and stale shard
+// files from an earlier, wider save get removed. A crash at any instant
+// therefore leaves either the previous snapshot (plus its still-valid
+// WAL) or the new one — never a torn mix.
+//
+// Save refuses to checkpoint a degraded engine (ErrDegraded): writing a
+// clean manifest over quarantined shards would make the data loss
+// permanent and invisible.
 func (e *Engine) Save(base string) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.quarantined) > 0 {
+		return fmt.Errorf("%w: shards %v", ErrDegraded, e.quarantined)
+	}
+	newGen := e.gen + 1
+	m := &manifest{Generation: newGen, Level: e.level}
+	if e.wal != nil {
+		m.WAL = filepath.Base(WALPath(base))
+	}
 	for i, sh := range e.shards {
-		f, err := os.Create(ShardPath(base, i))
+		path := shardGenPath(base, newGen, i)
+		size, sum, err := writeShardFile(path, sh.Save)
 		if err != nil {
-			return fmt.Errorf("shard: %w", err)
-		}
-		if err := sh.Save(f); err != nil {
-			f.Close()
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+		m.Files = append(m.Files, manifestEntry{Name: filepath.Base(path), Size: size, CRC: sum})
+	}
+	// The renames above must be durable before the manifest can name
+	// their targets.
+	if err := syncDir(filepath.Dir(ManifestPath(base))); err != nil {
+		return err
+	}
+	if err := writeManifest(base, m); err != nil {
+		return err
+	}
+	e.gen = newGen
+	if e.wal != nil {
+		// Every record in the log is folded into the snapshot just
+		// committed; start the next generation's log.
+		if err := e.wal.Rotate(newGen); err != nil {
+			return fmt.Errorf("shard: rotating WAL: %w", err)
 		}
 	}
+	removeStaleSnapshotFiles(base, m)
 	return nil
 }
 
-// Load reconstructs an engine from files written by Save, reading
-// "<base>.shard000" onward until the sequence ends. The analyzer must
-// match the build-time one (nil = StandardAnalyzer). The global docID
-// mapping is rebuilt from the stored MetaGID fields and the statistics
-// exchange is repeated, so a loaded engine ranks identically to the
-// in-memory engine that was saved — and to the monolithic index.
+// writeShardFile writes one enveloped, checksummed shard snapshot via
+// tmp + fsync + rename, returning the final file size and payload CRC.
+func writeShardFile(path string, save func(io.Writer) error) (int64, uint32, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [snapHeaderLen]byte
+	copy(hdr[:4], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], snapVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	crc := crc32.NewIEEE()
+	cw := &countingWriter{}
+	if err := save(io.MultiWriter(bw, crc, cw)); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	var trailer [snapTrailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], uint64(cw.n))
+	sum := crc.Sum32()
+	binary.LittleEndian.PutUint32(trailer[8:12], sum)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, err
+	}
+	return snapHeaderLen + cw.n + snapTrailerLen, sum, nil
+}
+
+// countingWriter counts payload bytes for the envelope trailer.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// readShardFile verifies one snapshot file against its envelope and
+// manifest entry and decodes it. Every mismatch — size, magic, version,
+// trailer, CRC — wraps ErrSnapshotCorrupt; the caller quarantines.
+func readShardFile(path string, analyzer index.Analyzer, want manifestEntry) (*semindex.SemanticIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if st.Size() != want.Size {
+		return nil, fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), want.Size)
+	}
+	payloadLen, err := verifyEnvelope(f, st.Size(), want.CRC, false)
+	if err != nil {
+		return nil, err
+	}
+	// Decode while checksumming: the codec is defensive against corrupt
+	// bytes (it errors, never panics), and the CRC verdict lands before
+	// the decoded index is trusted.
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(io.NewSectionReader(f, snapHeaderLen, payloadLen), crc)
+	si, err := semindex.Load(tee, analyzer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	// Drain whatever the decoder's buffering left unread so the CRC
+	// covers the whole payload.
+	if _, err := io.Copy(io.Discard, tee); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if got := crc.Sum32(); got != want.CRC {
+		return nil, fmt.Errorf("%w: payload CRC %08x, manifest says %08x", ErrSnapshotCorrupt, got, want.CRC)
+	}
+	return si, nil
+}
+
+// verifyEnvelope checks header magic/version and the trailer's length
+// and CRC fields against the file size (and wantCRC), returning the
+// payload length. With sumPayload it also streams the payload through
+// CRC32 — the decode-free integrity pass Fsck uses.
+func verifyEnvelope(f *os.File, size int64, wantCRC uint32, sumPayload bool) (int64, error) {
+	if size < snapHeaderLen+snapTrailerLen {
+		return 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
+	}
+	var hdr [snapHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if string(hdr[:4]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapVersion {
+		return 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrSnapshotCorrupt, v)
+	}
+	var trailer [snapTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], size-snapTrailerLen); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	payloadLen := int64(binary.LittleEndian.Uint64(trailer[0:8]))
+	if payloadLen != size-snapHeaderLen-snapTrailerLen {
+		return 0, fmt.Errorf("%w: trailer claims %d payload bytes, file holds %d",
+			ErrSnapshotCorrupt, payloadLen, size-snapHeaderLen-snapTrailerLen)
+	}
+	trailerCRC := binary.LittleEndian.Uint32(trailer[8:12])
+	if trailerCRC != wantCRC {
+		return 0, fmt.Errorf("%w: trailer CRC %08x, manifest says %08x", ErrSnapshotCorrupt, trailerCRC, wantCRC)
+	}
+	if sumPayload {
+		crc := crc32.NewIEEE()
+		if _, err := io.Copy(crc, io.NewSectionReader(f, snapHeaderLen, payloadLen)); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		if got := crc.Sum32(); got != wantCRC {
+			return 0, fmt.Errorf("%w: payload CRC %08x, manifest says %08x", ErrSnapshotCorrupt, got, wantCRC)
+		}
+	}
+	return payloadLen, nil
+}
+
+// removeStaleSnapshotFiles deletes every shard file the just-committed
+// manifest does not name: prior generations, legacy numbered files, and
+// leftover *.tmp debris. Runs strictly after the manifest commit, so a
+// crash before it leaves the previous snapshot whole. Best-effort: Load
+// ignores unmanifested files anyway, this just reclaims the space.
+func removeStaleSnapshotFiles(base string, m *manifest) {
+	live := make(map[string]bool, len(m.Files))
+	for _, mf := range m.Files {
+		live[mf.Name] = true
+	}
+	dir := filepath.Dir(base)
+	for _, pattern := range []string{base + ".g*.shard*", base + ".shard*"} {
+		names, err := filepath.Glob(pattern)
+		if err != nil {
+			continue
+		}
+		for _, name := range names {
+			// Quarantined files are operator evidence, not debris.
+			if strings.HasSuffix(name, ".corrupt") || live[filepath.Base(name)] {
+				continue
+			}
+			os.Remove(filepath.Join(dir, filepath.Base(name)))
+		}
+	}
+	os.Remove(ManifestPath(base) + ".tmp")
+}
+
+// QuarantinedShard names one snapshot file Load rejected.
+type QuarantinedShard struct {
+	// Shard is the shard index the file held.
+	Shard int
+	// File is the quarantined filename (after the *.corrupt rename).
+	File string
+	// Err is the verification failure, wrapping ErrSnapshotCorrupt.
+	Err error
+}
+
+// LoadReport describes how a recovery went: the generation restored,
+// what was quarantined, and how much WAL tail was replayed.
+type LoadReport struct {
+	// Generation is the manifest generation the snapshot restored.
+	Generation uint64
+	// Legacy is true when no manifest existed and the pre-manifest
+	// read-until-missing layout was loaded (no checksums, no WAL).
+	Legacy bool
+	// Quarantined lists the shard files that failed verification and
+	// were replaced by empty placeholders. Non-empty means the engine
+	// serves degraded.
+	Quarantined []QuarantinedShard
+	// WALReplayed counts ingest records re-applied from the WAL tail.
+	WALReplayed int
+	// WALTorn is true when the WAL ended mid-record (the expected crash
+	// artifact) and the tear was truncated away.
+	WALTorn bool
+	// WALGenMismatch is true when a WAL existed but belonged to another
+	// snapshot generation and was skipped.
+	WALGenMismatch bool
+}
+
+// Load reconstructs an engine from a Save checkpoint: the manifest is
+// read and checksum-verified, each named shard file is verified and
+// decoded, and the ingest WAL tail past the manifest's generation is
+// replayed (truncating at the first torn record), so the result is
+// byte-identical — documents, statistics, rankings — to the engine that
+// was saved plus every acknowledged AddPage since.
+//
+// Corrupt pieces degrade instead of failing where possible: a shard
+// file that fails verification is quarantined (renamed *.corrupt) and
+// the engine starts without it, serving every remaining shard and
+// naming the loss in LoadReport and every SearchReport. A corrupt
+// manifest, a WAL record that will not decode, or a snapshot with no
+// intact shard at all is unrecoverable and returns a typed error
+// (ErrManifestCorrupt, ErrWALCorrupt, ErrSnapshotCorrupt).
+//
+// Bases saved before the manifest format load through the legacy
+// read-until-missing path, without integrity checks.
 func Load(base string, analyzer index.Analyzer) (*Engine, error) {
+	m, err := readManifest(base)
+	if os.IsNotExist(err) {
+		return loadLegacy(base, analyzer)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(base)
+	rep := LoadReport{Generation: m.Generation}
+	shards := make([]*semindex.SemanticIndex, len(m.Files))
+	var quarantined []int
+	intact := 0
+	for i, mf := range m.Files {
+		path := filepath.Join(dir, mf.Name)
+		si, err := readShardFile(path, analyzer, mf)
+		if err == nil && si.Level != m.Level {
+			err = fmt.Errorf("%w: level %s, manifest says %s", ErrSnapshotCorrupt, si.Level, m.Level)
+		}
+		if err != nil {
+			name := quarantine(path)
+			quarantined = append(quarantined, i)
+			rep.Quarantined = append(rep.Quarantined, QuarantinedShard{Shard: i, File: name, Err: err})
+			shards[i] = &semindex.SemanticIndex{Level: m.Level, Index: index.New(analyzer)}
+			continue
+		}
+		shards[i] = si
+		intact++
+	}
+	if intact == 0 {
+		return nil, fmt.Errorf("%w: no intact shard among %d at %s", ErrSnapshotCorrupt, len(m.Files), base)
+	}
+	e, err := fromShards(shards, quarantined)
+	if err != nil {
+		return nil, err
+	}
+	e.gen = m.Generation
+	e.met.quarantined.Add(uint64(len(quarantined)))
+
+	// Replay the ingest log whether or not the manifest names it: a WAL
+	// attached after the snapshot was saved is exactly as authoritative
+	// as one that existed at save time, and the generation gate already
+	// rejects logs from another snapshot lineage. A missing file is an
+	// empty log.
+	res, err := wal.Replay(WALPath(base), m.Generation, obs.Default, func(rec []byte) error {
+		var page crawler.MatchPage
+		if err := json.Unmarshal(rec, &page); err != nil {
+			return fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+		}
+		e.applyPage(&page)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.WALReplayed = res.Records
+	rep.WALTorn = res.Torn
+	rep.WALGenMismatch = res.GenMismatch
+	e.loadRep = rep
+	return e, nil
+}
+
+// quarantine moves a rejected snapshot file aside so the next Save (or
+// an operator) cannot mistake it for live data, returning the name it
+// ended up under. Best-effort: when the rename fails the original name
+// is returned and Load simply ignores the file.
+func quarantine(path string) string {
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		return filepath.Base(path)
+	}
+	return filepath.Base(dst)
+}
+
+// loadLegacy reads the pre-manifest layout: "<base>.shard000" onward
+// until the sequence ends. No integrity verification is possible — the
+// format carried no checksums — so this path exists only to load
+// snapshots written before the manifest format.
+func loadLegacy(base string, analyzer index.Analyzer) (*Engine, error) {
 	var shards []*semindex.SemanticIndex
 	for i := 0; ; i++ {
 		f, err := os.Open(ShardPath(base, i))
@@ -63,46 +432,269 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 		shards = append(shards, si)
 	}
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("shard: no shard files at %s", ShardPath(base, 0))
+		return nil, fmt.Errorf("shard: no manifest and no shard files at %s", base)
 	}
-	return fromShards(shards)
+	e, err := fromShards(shards, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.loadRep = LoadReport{Legacy: true}
+	return e, nil
 }
 
 // fromShards assembles an engine around already-loaded shard indices.
-func fromShards(shards []*semindex.SemanticIndex) (*Engine, error) {
+// quarantined lists shard slots holding empty placeholders for files
+// Load rejected; with quarantined slots the global docID space keeps
+// the holes the lost documents occupied (Doc returns nil for them)
+// instead of silently renumbering the survivors.
+func fromShards(shards []*semindex.SemanticIndex, quarantined []int) (*Engine, error) {
 	e := &Engine{
-		level:   shards[0].Level,
-		builder: semindex.NewBuilder(),
-		shards:  shards,
-		gids:    make([][]int, len(shards)),
-		met:     newEngineMetrics(obs.Default, len(shards)),
+		level:       shards[0].Level,
+		builder:     semindex.NewBuilder(),
+		shards:      shards,
+		gids:        make([][]int, len(shards)),
+		met:         newEngineMetrics(obs.Default, len(shards)),
+		quarantined: append([]int(nil), quarantined...),
 	}
+	sort.Ints(e.quarantined)
 	total := 0
-	for _, sh := range shards {
+	maxGID := -1
+	parsed := make([][]int, len(shards))
+	for s, sh := range shards {
 		if sh.Level != e.level {
 			return nil, fmt.Errorf("shard: mixed levels %s and %s", e.level, sh.Level)
 		}
-		total += sh.Index.NumDocs()
-	}
-	e.byGID = make([]docRef, total)
-	seen := make([]bool, total)
-	for s, sh := range shards {
 		n := sh.Index.NumDocs()
-		e.gids[s] = make([]int, n)
+		total += n
+		parsed[s] = make([]int, n)
 		for local := 0; local < n; local++ {
 			gid, err := strconv.Atoi(sh.Index.Doc(local).Get(MetaGID))
-			if err != nil || gid < 0 || gid >= total {
+			if err != nil || gid < 0 {
 				return nil, fmt.Errorf("shard %d doc %d: bad global id %q",
 					s, local, sh.Index.Doc(local).Get(MetaGID))
 			}
+			parsed[s][local] = gid
+			if gid > maxGID {
+				maxGID = gid
+			}
+		}
+	}
+	if len(e.quarantined) == 0 && maxGID >= total {
+		// A complete snapshot must use exactly the IDs 0..total-1; a
+		// larger ID means a document went missing without a quarantine
+		// to explain it.
+		return nil, fmt.Errorf("shard: global id %d outside %d documents", maxGID, total)
+	}
+	if maxGID+1 > total {
+		total = maxGID + 1
+	}
+	e.byGID = make([]docRef, total)
+	for i := range e.byGID {
+		e.byGID[i] = docRef{shard: -1}
+	}
+	seen := make([]bool, total)
+	for s := range shards {
+		e.gids[s] = parsed[s]
+		for local, gid := range parsed[s] {
 			if seen[gid] {
 				return nil, fmt.Errorf("shard %d doc %d: duplicate global id %d", s, local, gid)
 			}
 			seen[gid] = true
-			e.gids[s][local] = gid
 			e.byGID[gid] = docRef{shard: s, local: local}
 		}
 	}
 	e.exchangeStats()
 	return e, nil
+}
+
+// AttachWAL opens (or creates) the ingest write-ahead log for base and
+// arms AddPage's append-before-mutate path. Call after Load — the log
+// then continues right after the records Load just replayed — or after
+// Build+Save for a fresh engine. A log left by another snapshot
+// generation is reset, since its records belong to a different lineage.
+func (e *Engine) AttachWAL(base string, opts wal.Options) error {
+	if opts.Registry == nil {
+		opts.Registry = obs.Default
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal != nil {
+		return errors.New("shard: WAL already attached")
+	}
+	l, err := wal.Open(WALPath(base), e.gen, opts)
+	if err != nil {
+		return err
+	}
+	e.wal = l
+	return nil
+}
+
+// CloseWAL syncs and detaches the ingest log (no-op when none is
+// attached). Call on shutdown after the final checkpoint.
+func (e *Engine) CloseWAL() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal == nil {
+		return nil
+	}
+	err := e.wal.Close()
+	e.wal = nil
+	return err
+}
+
+// FsckFile is one file's verdict in an Fsck report.
+type FsckFile struct {
+	Name string
+	Size int64
+	CRC  uint32
+	OK   bool
+	// Detail explains a failed verdict.
+	Detail string
+}
+
+// FsckReport is the offline integrity audit of one snapshot base:
+// manifest, every named shard file, and the WAL. Read-only — unlike
+// Load it neither quarantines nor truncates.
+type FsckReport struct {
+	Base       string
+	Generation uint64
+	Level      string
+	Legacy     bool
+	Files      []FsckFile
+	WAL        string
+	WALRecords int
+	WALTorn    bool
+	WALGenOK   bool
+	WALDetail  string
+	// Errs collects base-level problems (corrupt manifest, nothing to
+	// verify). Empty Errs plus all-OK files and an un-torn WAL means
+	// the snapshot recovers completely.
+	Errs []string
+}
+
+// OK reports whether recovery from this snapshot would be complete: no
+// base errors, every file intact, no WAL tear. A legacy layout is never
+// OK — it carries no checksums, so nothing can be attested.
+func (r *FsckReport) OK() bool {
+	if len(r.Errs) > 0 || r.WALTorn || r.Legacy {
+		return false
+	}
+	for _, f := range r.Files {
+		if !f.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the fsck verdicts, one line per artifact.
+func (r *FsckReport) String() string {
+	out := fmt.Sprintf("fsck %s: generation %d, level %s, %d shard file(s)\n",
+		r.Base, r.Generation, r.Level, len(r.Files))
+	if r.Legacy {
+		out += "  manifest: MISSING (legacy layout, no integrity metadata)\n"
+	}
+	for _, f := range r.Files {
+		if f.OK {
+			out += fmt.Sprintf("  %-28s OK   %9d bytes crc32 %08x\n", f.Name, f.Size, f.CRC)
+		} else {
+			out += fmt.Sprintf("  %-28s BAD  %s\n", f.Name, f.Detail)
+		}
+	}
+	if r.WAL != "" {
+		state := "clean"
+		if r.WALTorn {
+			state = "TORN TAIL (recovery truncates here)"
+		}
+		if !r.WALGenOK {
+			state = "stale generation (ignored by recovery)"
+		}
+		out += fmt.Sprintf("  %-28s %d record(s), %s\n", r.WAL, r.WALRecords, state)
+		if r.WALDetail != "" {
+			out += fmt.Sprintf("    %s\n", r.WALDetail)
+		}
+	}
+	for _, e := range r.Errs {
+		out += fmt.Sprintf("  ERROR: %s\n", e)
+	}
+	switch {
+	case r.OK():
+		out += "  verdict: OK — recovery is complete and loss-free\n"
+	case r.Legacy && len(r.Errs) == 0:
+		out += "  verdict: UNVERIFIABLE — legacy layout carries no checksums; re-save to upgrade\n"
+	default:
+		out += "  verdict: DAMAGED — recovery will degrade or truncate\n"
+	}
+	return out
+}
+
+// Fsck audits a snapshot base offline: manifest checksum, every shard
+// file's envelope and payload CRC, and the WAL's record chain. It never
+// mutates anything, so it is safe against a base another process
+// serves from.
+func Fsck(base string) *FsckReport {
+	rep := &FsckReport{Base: base}
+	m, err := readManifest(base)
+	if os.IsNotExist(err) {
+		rep.Legacy = true
+		for i := 0; ; i++ {
+			st, err := os.Stat(ShardPath(base, i))
+			if err != nil {
+				break
+			}
+			rep.Files = append(rep.Files, FsckFile{
+				Name: filepath.Base(ShardPath(base, i)), Size: st.Size(),
+				OK: true, Detail: "unverifiable (no checksums in legacy layout)",
+			})
+		}
+		if len(rep.Files) == 0 {
+			rep.Errs = append(rep.Errs, "no manifest and no shard files")
+		}
+		return rep
+	}
+	if err != nil {
+		rep.Errs = append(rep.Errs, err.Error())
+		return rep
+	}
+	rep.Generation = m.Generation
+	rep.Level = string(m.Level)
+	dir := filepath.Dir(base)
+	for _, mf := range m.Files {
+		ff := FsckFile{Name: mf.Name, Size: mf.Size, CRC: mf.CRC}
+		f, err := os.Open(filepath.Join(dir, mf.Name))
+		if err != nil {
+			ff.Detail = err.Error()
+			rep.Files = append(rep.Files, ff)
+			continue
+		}
+		st, err := f.Stat()
+		if err == nil && st.Size() != mf.Size {
+			err = fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), mf.Size)
+		}
+		if err == nil {
+			_, err = verifyEnvelope(f, st.Size(), mf.CRC, true)
+		}
+		f.Close()
+		if err != nil {
+			ff.Detail = err.Error()
+		} else {
+			ff.OK = true
+		}
+		rep.Files = append(rep.Files, ff)
+	}
+	// Audit the ingest log whenever one sits next to the snapshot, named
+	// by the manifest or attached later — recovery replays it either way.
+	rep.WALGenOK = true
+	if _, err := os.Stat(WALPath(base)); err == nil {
+		rep.WAL = filepath.Base(WALPath(base))
+		res, err := wal.Scan(WALPath(base), int64(m.Generation))
+		rep.WALRecords = res.Records
+		rep.WALTorn = res.Torn
+		rep.WALGenOK = !res.GenMismatch
+		if err != nil {
+			rep.WALDetail = err.Error()
+			rep.Errs = append(rep.Errs, fmt.Sprintf("wal: %v", err))
+		}
+	}
+	return rep
 }

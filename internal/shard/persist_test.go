@@ -1,8 +1,11 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/eval"
@@ -19,10 +22,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err := e.Save(base); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
-		if _, err := os.Stat(ShardPath(base, i)); err != nil {
-			t.Fatalf("missing shard file %d: %v", i, err)
-		}
+	if _, err := os.Stat(ManifestPath(base)); err != nil {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	if rep := Fsck(base); !rep.OK() {
+		t.Fatalf("fsck after save:\n%s", rep)
 	}
 	back, err := Load(base, nil)
 	if err != nil {
@@ -46,6 +50,234 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	back.AddPage(&extraCopy)
 	if back.NumDocs() <= docsBefore {
 		t.Error("loaded engine did not ingest")
+	}
+}
+
+// TestShrinkThenReload is the stale-shard-file regression: saving a
+// narrower engine over a base that previously held a wider one must not
+// resurrect the orphaned shard files on reload. The manifest names
+// exactly the live files; the read-until-missing scan that caused the
+// bug survives only in the legacy path.
+func TestShrinkThenReload(t *testing.T) {
+	pages, _ := fixture(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	wide := Build(nil, semindex.FullInf, pages, Options{Shards: 3})
+	if err := wide.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	narrow := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
+	if err := narrow.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumShards() != 2 {
+		t.Fatalf("reloaded %d shards, want the narrower save's 2", back.NumShards())
+	}
+	if back.NumDocs() != narrow.NumDocs() {
+		t.Fatalf("reloaded %d docs, want %d", back.NumDocs(), narrow.NumDocs())
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID, searchN(back, q.Keywords, 10), searchN(narrow, q.Keywords, 10))
+	}
+}
+
+// TestLoadQuarantinesCorruptShard flips one payload byte in one shard
+// file and requires Load to keep serving: the corrupt shard is
+// quarantined (renamed *.corrupt), the engine starts degraded, every
+// search names the missing shard, lost documents read as nil, and a
+// checkpoint of the degraded engine is refused.
+func TestLoadQuarantinesCorruptShard(t *testing.T) {
+	pages, _ := fixture(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	e := Build(nil, semindex.FullInf, pages, Options{Shards: 3})
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	victim := shardGenPath(base, 1, 1)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Load(base, nil)
+	if err != nil {
+		t.Fatalf("Load failed outright on one corrupt shard: %v", err)
+	}
+	rep := back.LoadReport()
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Shard != 1 {
+		t.Fatalf("quarantined %+v, want exactly shard 1", rep.Quarantined)
+	}
+	if !errors.Is(rep.Quarantined[0].Err, ErrSnapshotCorrupt) {
+		t.Errorf("quarantine error %v does not wrap ErrSnapshotCorrupt", rep.Quarantined[0].Err)
+	}
+	if got := back.Quarantined(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Quarantined() = %v, want [1]", got)
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err != nil {
+		t.Errorf("corrupt file was not renamed aside: %v", err)
+	}
+
+	res, err := back.Search(context.Background(), "goal", SearchOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Degraded {
+		t.Error("degraded engine answered without Degraded set")
+	}
+	if len(res.Report.Missing) != 1 || res.Report.Missing[0] != 1 {
+		t.Errorf("Report.Missing = %v, want [1]", res.Report.Missing)
+	}
+
+	// The gid space keeps the holes: surviving documents stay at their
+	// monolith-equal ids, lost ones read as nil.
+	lost, survived := 0, 0
+	for gid := 0; gid < e.NumDocs(); gid++ {
+		if back.Doc(gid) == nil {
+			lost++
+		} else {
+			survived++
+		}
+	}
+	if lost == 0 || survived == 0 {
+		t.Fatalf("lost %d / survived %d docs, want both nonzero", lost, survived)
+	}
+	// Survivors keep their monolith-equal ids instead of being
+	// renumbered into the holes: the stored document at each surviving
+	// gid is the one the intact engine stored there.
+	for gid := 0; gid < e.NumDocs(); gid++ {
+		d := back.Doc(gid)
+		if d == nil {
+			continue
+		}
+		if want := e.Doc(gid); d.Get(MetaGID) != want.Get(MetaGID) || d.Get("narration") != want.Get("narration") {
+			t.Fatalf("gid %d: surviving document was renumbered", gid)
+		}
+	}
+
+	if err := back.Save(base); !errors.Is(err, ErrDegraded) {
+		t.Errorf("degraded Save returned %v, want ErrDegraded", err)
+	}
+}
+
+// TestLoadManifestCorrupt covers the unrecoverable commit-point cases:
+// a flipped manifest byte and a truncated manifest both fail with
+// ErrManifestCorrupt rather than loading something wrong.
+func TestLoadManifestCorrupt(t *testing.T) {
+	pages, _ := fixture(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	e := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ManifestPath(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutated := range map[string][]byte{
+		"bit flip":  append(append([]byte{}, data[:8]...), append([]byte{data[8] ^ 0x01}, data[9:]...)...),
+		"truncated": data[:len(data)/2],
+	} {
+		if err := os.WriteFile(ManifestPath(base), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(base, nil); !errors.Is(err, ErrManifestCorrupt) {
+			t.Errorf("%s manifest: Load returned %v, want ErrManifestCorrupt", name, err)
+		}
+	}
+}
+
+// TestLegacyLayoutLoads exercises the pre-manifest fallback: raw codec
+// streams under numbered names, no manifest. Load must still work (the
+// files predate checksums) and flag the layout in its report; Fsck must
+// call it unverifiable rather than OK.
+func TestLegacyLayoutLoads(t *testing.T) {
+	pages, _ := fixture(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	e := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
+	for i, sh := range e.shards {
+		f, err := os.Create(ShardPath(base, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.LoadReport().Legacy {
+		t.Error("legacy layout loaded without Legacy flag")
+	}
+	if back.NumDocs() != e.NumDocs() {
+		t.Fatalf("legacy load has %d docs, want %d", back.NumDocs(), e.NumDocs())
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID, searchN(back, q.Keywords, 10), searchN(e, q.Keywords, 10))
+	}
+	rep := Fsck(base)
+	if rep.OK() {
+		t.Error("fsck called a checksum-free legacy layout OK")
+	}
+	if !strings.Contains(rep.String(), "UNVERIFIABLE") {
+		t.Errorf("legacy fsck verdict:\n%s", rep)
+	}
+}
+
+// TestFsckVerdicts drives the offline audit across the intact and
+// damaged states of one base.
+func TestFsckVerdicts(t *testing.T) {
+	pages, _ := fixture(t)
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	e := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	rep := Fsck(base)
+	if !rep.OK() || !strings.Contains(rep.String(), "verdict: OK") {
+		t.Fatalf("clean snapshot fsck:\n%s", rep)
+	}
+
+	victim := shardGenPath(base, 1, 0)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-20] ^= 0x80
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep = Fsck(base)
+	if rep.OK() || !strings.Contains(rep.String(), "DAMAGED") {
+		t.Fatalf("fsck missed the flipped byte:\n%s", rep)
+	}
+	bad := 0
+	for _, f := range rep.Files {
+		if !f.OK {
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("fsck marked %d files bad, want 1:\n%s", bad, rep)
+	}
+	// Fsck is read-only: the damaged base must still load (degraded).
+	back, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Quarantined()) != 1 {
+		t.Fatalf("after fsck, Load quarantined %v", back.Quarantined())
 	}
 }
 

@@ -197,6 +197,14 @@ func (e *Engine) searchCold(ctx context.Context, query string, opts SearchOption
 	} else {
 		per = e.scatter(tr, fn)
 	}
+	if len(e.quarantined) > 0 {
+		// Degraded startup: shards quarantined at load time answer from
+		// empty placeholders, so every answer is missing their documents.
+		// Name them exactly like deadline-missed shards — one degradation
+		// surface for callers, headers and /readyz.
+		rep.Degraded = true
+		rep.Missing = mergeMissing(e.quarantined, rep.Missing)
+	}
 	hits := e.merge(tr, per, opts.Limit)
 	release()
 	if rep.Degraded {
@@ -312,10 +320,28 @@ func (e *Engine) scatter(tr *obs.Trace, fn func(*semindex.SemanticIndex) []semin
 // complete it is: a Degraded answer is correctly merged from the shards
 // that met the deadline, with the stalled ones identified.
 type SearchReport struct {
-	// Degraded is true when at least one shard missed the deadline.
+	// Degraded is true when at least one shard missed the deadline or
+	// was quarantined at load time (corrupt snapshot file).
 	Degraded bool
-	// Missing lists the shard indices whose results are absent.
+	// Missing lists the shard indices whose results are absent —
+	// deadline-missed and quarantined shards alike, sorted ascending.
 	Missing []int
+}
+
+// mergeMissing unions two ascending shard-index lists without
+// duplicates.
+func mergeMissing(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
 }
 
 // scatterDeadline fans fn out to every shard and collects results for at
@@ -434,6 +460,10 @@ func (e *Engine) Related(gid int, limit int) []semindex.Hit {
 		return nil
 	}
 	ref := e.byGID[gid]
+	if ref.shard < 0 {
+		// The source document was lost with a quarantined shard.
+		return nil
+	}
 	q := e.shards[ref.shard].Index.LikeThisQuery(ref.local, semindex.QueryBoosts, 8)
 	if q == nil {
 		return nil
