@@ -1,0 +1,103 @@
+// Codec mode: the BENCH_8.json before/after for the block-postings
+// codec. The same FULL_INF index is serialized through the legacy v1
+// layout and the v2 block layout (delta+varint postings, per-block
+// max-impact metadata, flate-compressed stored fields), recording the
+// byte sizes, the size ratio, and encode/decode wall times; the cold
+// limit-10 arm from the coldpath sweep rides along so one artifact
+// carries both acceptance gates: -min-ratio fails CI when v2 stops
+// halving the v1 footprint, -min-speedup when Block-Max pruning stops
+// paying at limit 10.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/crawler"
+	"repro/internal/index"
+	"repro/internal/semindex"
+	"repro/internal/shard"
+)
+
+// codecReport is the BENCH_8.json schema.
+type codecReport struct {
+	Config config     `json:"config"`
+	Codec  codecStats `json:"codec"`
+	// Limit10 is the cold naive-vs-pruned comparison at limit 10, over an
+	// engine whose shards carry the v2 block metadata.
+	Limit10 coldArm `json:"limit10"`
+	// SpeedupP50 echoes Limit10's speedup — the latency gate.
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// codecStats compares the two on-disk layouts over one monolithic index.
+type codecStats struct {
+	Docs    int `json:"docs"`
+	V1Bytes int `json:"v1_bytes"`
+	V2Bytes int `json:"v2_bytes"`
+	// Ratio is v1_bytes / v2_bytes — the headline size reduction and the
+	// CI floor (-min-ratio).
+	Ratio      float64 `json:"ratio"`
+	V1EncodeMs float64 `json:"v1_encode_ms"`
+	V2EncodeMs float64 `json:"v2_encode_ms"`
+	V1DecodeMs float64 `json:"v1_decode_ms"`
+	V2DecodeMs float64 `json:"v2_decode_ms"`
+}
+
+// runCodecBench serializes the corpus both ways, measures the cold
+// limit-10 arm on the sharded engine, writes the report, and enforces
+// the size and speedup floors.
+func runCodecBench(eng *shard.Engine, pages []*crawler.MatchPage, queries []string,
+	cfg config, rounds int, minRatio, minSpeedup float64, out string) {
+	si := semindex.NewBuilder().Build(semindex.FullInf, pages)
+
+	var v1, v2 bytes.Buffer
+	start := time.Now()
+	if err := si.Index.EncodeV1(&v1); err != nil {
+		cli.Fatal(err)
+	}
+	v1Enc := time.Since(start)
+	start = time.Now()
+	if err := si.Index.Encode(&v2); err != nil {
+		cli.Fatal(err)
+	}
+	v2Enc := time.Since(start)
+
+	start = time.Now()
+	if _, err := index.Decode(bytes.NewReader(v1.Bytes()), nil); err != nil {
+		cli.Fatal(err)
+	}
+	v1Dec := time.Since(start)
+	start = time.Now()
+	if _, err := index.Decode(bytes.NewReader(v2.Bytes()), nil); err != nil {
+		cli.Fatal(err)
+	}
+	v2Dec := time.Since(start)
+
+	arm10 := measureColdArm(eng, queries, cfg.Iters, rounds, 10)
+
+	rep := codecReport{
+		Config: cfg,
+		Codec: codecStats{
+			Docs:       si.Index.NumDocs(),
+			V1Bytes:    v1.Len(),
+			V2Bytes:    v2.Len(),
+			Ratio:      float64(v1.Len()) / float64(v2.Len()),
+			V1EncodeMs: float64(v1Enc.Microseconds()) / 1e3,
+			V2EncodeMs: float64(v2Enc.Microseconds()) / 1e3,
+			V1DecodeMs: float64(v1Dec.Microseconds()) / 1e3,
+			V2DecodeMs: float64(v2Dec.Microseconds()) / 1e3,
+		},
+		Limit10:    arm10,
+		SpeedupP50: arm10.SpeedupP50,
+	}
+
+	writeReport(out, rep, fmt.Sprintf("v2 %d bytes vs v1 %d (%.2fx smaller), encode %.1f/%.1fms decode %.1f/%.1fms, limit10 pruned p50 %.1fµs (%.1fx)",
+		v2.Len(), v1.Len(), rep.Codec.Ratio,
+		rep.Codec.V2EncodeMs, rep.Codec.V1EncodeMs, rep.Codec.V2DecodeMs, rep.Codec.V1DecodeMs,
+		arm10.Pruned.P50us, arm10.SpeedupP50))
+	failBelowFloor("on-disk size ratio (v1/v2)", rep.Codec.Ratio, minRatio)
+	failBelowFloor("cold-path speedup at limit 10", rep.SpeedupP50, minSpeedup)
+}

@@ -11,8 +11,12 @@
 //	                                         per-shard checksums, WAL tail
 //
 // -verify exits 0 only when recovery from the snapshot would be
-// complete and loss-free; a damaged or unverifiable (legacy) snapshot
-// exits 1 with a per-file report.
+// complete and loss-free; anything else exits 1 with a per-file report.
+// The report tells damage apart from version skew: a shard file whose
+// envelope or index codec is newer than this build (or a checksum-free
+// legacy layout) is UNVERIFIABLE — intact as far as this binary can
+// tell, readable after an upgrade — while a failed size or checksum
+// check is DAMAGED.
 package main
 
 import (

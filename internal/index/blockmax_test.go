@@ -1,0 +1,300 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildMultiBlockIndex grows a corpus large enough that common terms span
+// several posting blocks — the regime the per-term equivalence suite
+// (<=60 docs) never reaches and Block-Max skipping actually fires in.
+func buildMultiBlockIndex(tb testing.TB, rng *rand.Rand, nDocs int, vocab, fields []string) *Index {
+	tb.Helper()
+	ix := New(StandardAnalyzer{})
+	for d := 0; d < nDocs; d++ {
+		doc := new(Document)
+		for _, f := range fields {
+			if rng.Intn(5) == 0 {
+				continue
+			}
+			n := 1 + rng.Intn(12)
+			words := make([]string, n)
+			for i := range words {
+				words[i] = vocab[rng.Intn(len(vocab))]
+			}
+			boost := 0.0
+			if rng.Intn(3) == 0 {
+				boost = 0.5 + rng.Float64()*3
+			}
+			doc.Fields = append(doc.Fields, Field{Name: f, Text: strings.Join(words, " "), Boost: boost})
+		}
+		ix.Add(doc)
+	}
+	multi := false
+	for _, f := range fields {
+		if fi := ix.fields[f]; fi != nil && len(fi.blocks) > 0 {
+			multi = true
+		}
+	}
+	if !multi {
+		tb.Fatal("corpus produced no multi-block terms; the test would not exercise Block-Max")
+	}
+	return ix
+}
+
+// TestBlockMaxEquivalenceMultiBlock is the Block-Max oracle: random
+// multi-block corpora, random structured queries, both similarities,
+// every limit — and the same again after a codec v2 round trip, so the
+// metadata read back from disk prunes exactly like the metadata tracked
+// in memory. Pruned results must match the exhaustive path bit-for-bit.
+func TestBlockMaxEquivalenceMultiBlock(t *testing.T) {
+	vocab := strings.Fields("goal foul save corner pass shot keeper header")
+	fields := []string{"event", "narration"}
+	rng := rand.New(rand.NewSource(20260808))
+	for round := 0; round < 4; round++ {
+		ix := buildMultiBlockIndex(t, rng, 900+rng.Intn(400), vocab, fields)
+		if round%2 == 1 {
+			ix.SetSimilarity(BM25{})
+		}
+
+		var buf bytes.Buffer
+		if err := ix.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Decode(bytes.NewReader(buf.Bytes()), StandardAnalyzer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 1 {
+			loaded.SetSimilarity(BM25{})
+		}
+
+		for qi := 0; qi < 30; qi++ {
+			q := randomQuery(rng, vocab, fields, 2)
+			limit := []int{0, 1, 2, 5, 10, 100}[rng.Intn(6)]
+			want := ix.ExhaustiveSearch(q, limit)
+			if got := ix.Search(q, limit); !hitsEqual(got, want) {
+				t.Fatalf("round %d query %d (%#v) limit %d:\ngot:  %v\nwant: %v",
+					round, qi, q, limit, got, want)
+			}
+			if got := loaded.Search(q, limit); !hitsEqual(got, want) {
+				t.Fatalf("round %d query %d (%#v) limit %d after round trip:\ngot:  %v\nwant: %v",
+					round, qi, q, limit, got, want)
+			}
+		}
+	}
+}
+
+// TestAddMaintainsBlockBounds is the whitebox check on the incremental
+// tracking: Add must keep one metadata entry per block for multi-block
+// terms, each a valid (possibly loose) bound over its block, and no
+// entries at all for single-block terms.
+func TestAddMaintainsBlockBounds(t *testing.T) {
+	ix := New(StandardAnalyzer{})
+	rng := rand.New(rand.NewSource(7))
+	for d := 0; d < 300; d++ {
+		doc := new(Document)
+		text := "goal"
+		for i := 0; i < rng.Intn(4); i++ {
+			text += " goal"
+		}
+		if d == 150 {
+			text += " unicorn"
+		}
+		doc.AddBoosted("f", text, 0.5+rng.Float64())
+		ix.Add(doc)
+	}
+	fi := ix.fields["f"]
+	pl := fi.postings["goal"]
+	if len(pl) <= postingBlockSize {
+		t.Fatalf("term spans %d postings, need > %d", len(pl), postingBlockSize)
+	}
+	blks := fi.blocks["goal"]
+	if want := (len(pl) + postingBlockSize - 1) / postingBlockSize; len(blks) != want {
+		t.Fatalf("got %d block entries, want %d", len(blks), want)
+	}
+	for bi, blk := range blks {
+		s := bi * postingBlockSize
+		e := s + postingBlockSize
+		if e > len(pl) {
+			e = len(pl)
+		}
+		exact := fi.exactCap(pl[s:e])
+		if blk.maxFreq < exact.maxFreq || blk.minLen > exact.minLen || blk.minLen < 1 ||
+			blk.maxBoost < exact.maxBoost {
+			t.Errorf("block %d metadata %+v is not a valid bound for exact %+v", bi, blk, exact)
+		}
+	}
+	if _, ok := fi.blocks["unicorn"]; ok {
+		t.Error("single-block term carries block metadata")
+	}
+}
+
+// TestCodecV1BackCompat pins the migration story: a legacy v1 stream
+// (what every pre-v2 snapshot on disk is) must still decode, search
+// byte-identically to the index that wrote it, and prune correctly.
+func TestCodecV1BackCompat(t *testing.T) {
+	vocab := strings.Fields("goal foul save corner pass shot keeper header")
+	fields := []string{"event", "narration"}
+	rng := rand.New(rand.NewSource(42))
+	ix := buildMultiBlockIndex(t, rng, 600, vocab, fields)
+
+	var buf bytes.Buffer
+	if err := ix.EncodeV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(bytes.NewReader(buf.Bytes()), StandardAnalyzer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != ix.NumDocs() {
+		t.Fatalf("docs %d != %d", loaded.NumDocs(), ix.NumDocs())
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := randomQuery(rng, vocab, fields, 2)
+		limit := []int{0, 1, 5, 10}[rng.Intn(4)]
+		want := ix.Search(q, limit)
+		if got := loaded.Search(q, limit); !hitsEqual(got, want) {
+			t.Fatalf("query %d (%#v) limit %d:\ngot:  %v\nwant: %v", qi, q, limit, got, want)
+		}
+		checkEquiv(t, loaded, q, limit)
+	}
+}
+
+// v1 stream-building helpers for the decoder-hardening regressions.
+func v1u32(b *bytes.Buffer, v uint32)  { binary.Write(b, binary.LittleEndian, v) }
+func v1f64(b *bytes.Buffer, v float64) { binary.Write(b, binary.LittleEndian, v) }
+func v1str(b *bytes.Buffer, s string)  { v1u32(b, uint32(len(s))); b.WriteString(s) }
+
+// v1Field starts a minimal valid v1 stream — one stored doc with no
+// fields, one inverted field "f" with no terms — and hands the buffer to
+// build to append the field-length and boost tables under test.
+func v1Field(build func(b *bytes.Buffer)) []byte {
+	var b bytes.Buffer
+	b.WriteString(codecMagic)
+	v1u32(&b, CodecVersionV1)
+	v1u32(&b, 1) // one stored doc
+	v1u32(&b, 0) // with no fields
+	v1u32(&b, 1) // one inverted field
+	v1str(&b, "f")
+	v1u32(&b, 0) // no terms
+	build(&b)
+	return b.Bytes()
+}
+
+// TestDecodeRejectsStrayDocLenID is the regression for the v1 decoder
+// accepting field-length entries for documents that do not exist: the
+// stray entry inflated sumLen, skewing the average-length statistic every
+// similarity divides by. Such an entry must now be rejected like an
+// out-of-range posting.
+func TestDecodeRejectsStrayDocLenID(t *testing.T) {
+	data := v1Field(func(b *bytes.Buffer) {
+		v1u32(b, 1) // one docLen entry...
+		v1u32(b, 5) // ...for doc 5 of 1
+		v1u32(b, 3)
+		v1u32(b, 0) // no boosts
+	})
+	if _, err := Decode(bytes.NewReader(data), nil); err == nil {
+		t.Fatal("decoder accepted a field-length entry for a nonexistent doc")
+	}
+}
+
+// TestDecodeRejectsStrayBoostID is the boost-table variant of the same
+// hardening fix.
+func TestDecodeRejectsStrayBoostID(t *testing.T) {
+	data := v1Field(func(b *bytes.Buffer) {
+		v1u32(b, 0) // no docLens
+		v1u32(b, 1) // one boost entry...
+		v1u32(b, 5) // ...for doc 5 of 1
+		v1f64(b, 2.0)
+	})
+	if _, err := Decode(bytes.NewReader(data), nil); err == nil {
+		t.Fatal("decoder accepted a boost entry for a nonexistent doc")
+	}
+}
+
+// TestReadStringBoundedAlloc pins the capHint contract on strings: a
+// length prefix claiming 64 MiB backed by a 1 KiB input must fail after
+// reading what is actually there, not after a 64 MiB allocation.
+func TestReadStringBoundedAlloc(t *testing.T) {
+	data := make([]byte, 4+1024)
+	binary.LittleEndian.PutUint32(data, 1<<26)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := readString(bufio.NewReader(bytes.NewReader(data)))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("readString accepted a lying length prefix")
+	}
+	if d := after.TotalAlloc - before.TotalAlloc; d > 8<<20 {
+		t.Fatalf("readString allocated %d bytes for a %d-byte input", d, len(data))
+	}
+}
+
+// TestReadStringChunkedRoundTrip covers the multi-chunk path with an
+// honest large string.
+func TestReadStringChunkedRoundTrip(t *testing.T) {
+	want := strings.Repeat("semantic index ", 20000) // ~300 KiB, several chunks
+	var b bytes.Buffer
+	bw := bufio.NewWriter(&b)
+	writeString(bw, want)
+	bw.Flush()
+	got, err := readString(bufio.NewReader(&b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("large string corrupted in transit (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestDecodeRejectsInvalidBlockMetadata flips the first block's maxFreq
+// header to a value below the block's real maximum: pruning with it could
+// drop a true top-k document, so the decoder must treat it as corruption.
+func TestDecodeRejectsInvalidBlockMetadata(t *testing.T) {
+	ix := New(StandardAnalyzer{})
+	for d := 0; d < 200; d++ {
+		doc := new(Document)
+		doc.Add("f", "goal")
+		ix.Add(doc)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Offset of the first block header's maxFreq uvarint: magic(4),
+	// version(4), numDocs(4), numFields(4), name "f"(5), numTerms(4),
+	// term "goal"(8), numPostings(4).
+	const off = 37
+	if data[off] != 1 {
+		t.Fatalf("layout drifted: expected maxFreq uvarint 1 at offset %d, got %d", off, data[off])
+	}
+	data[off] = 0 // claim maxFreq 0 while the block holds freq-1 postings
+	if _, err := Decode(bytes.NewReader(data), StandardAnalyzer{}); err == nil {
+		t.Fatal("decoder accepted block metadata below the block's real maximum")
+	}
+}
+
+// TestCodecV2SmallerThanV1 sanity-checks the size direction on a corpus
+// with realistic redundancy; the >=2x acceptance bar is enforced by the
+// codec benchmark (BENCH_8.json) over the full paper corpus.
+func TestCodecV2SmallerThanV1(t *testing.T) {
+	vocab := strings.Fields("goal foul save corner pass shot keeper header")
+	ix := buildMultiBlockIndex(t, rand.New(rand.NewSource(9)), 500, vocab, []string{"event", "narration"})
+	var v1, v2 bytes.Buffer
+	if err := ix.EncodeV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Encode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("v2 stream (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+}

@@ -8,9 +8,45 @@ package index
 //	ix.Encode(f)             // offline builder
 //	ix, err := index.Decode(f, nil)  // query node
 //
-// Format (little-endian, length-prefixed strings):
+// Decode reads both codec versions; Encode writes the current one.
 //
-//	magic "SIDX" | version u32
+// Version 2 (current) is a block-postings layout. Posting lists are split
+// into blocks of postingBlockSize documents: docIDs are delta+varint
+// coded, per-posting frequencies and position deltas are varints, and
+// per-posting boosts collapse to a single value when the block is uniform
+// (the overwhelmingly common case — boosts are per (doc, field), so a
+// block raises them only at multi-valued-field boundaries). Every block of
+// a multi-block term is preceded by its max-impact metadata — the exact
+// (maxFreq, minLen, maxBoost) over the block, computed at encode time —
+// which the DAAT kernel turns into Block-Max WAND skipping at query time.
+// Stored document fields live in a separate flate-compressed region after
+// the postings, so the postings region can be scanned without touching
+// document text:
+//
+//	magic "SIDX" | version u32 = 2 | numDocs u32
+//	numFields u32
+//	  per field: name
+//	    numTerms u32
+//	    per term: term, numPostings u32
+//	      per block of <=postingBlockSize postings:
+//	        if numPostings > postingBlockSize:
+//	          maxFreq uvarint, minLen uvarint, maxBoost f64
+//	        docID deltas uvarint... (strictly positive; first is docID+1)
+//	        freqs uvarint... (one per posting, each >= 1)
+//	        boost flag u8: 0 | boost f64 (whole block)
+//	                       1 | boost f64 per posting
+//	        per posting: position deltas uvarint... (freq of them)
+//	    numDocLens u32, per entry (docID ascending): docID delta uvarint, len uvarint
+//	    numBoosts u32, flag u8 (when > 0):
+//	      0: docID delta uvarint per entry, then one boost f64
+//	      1: per entry: docID delta uvarint, boost f64
+//	storedLen u64 | flate stream:
+//	  per doc: numFields u32, then per field: name, text, boost f64
+//
+// Version 1 (legacy, still readable; written by EncodeV1) stores documents
+// first and postings raw:
+//
+//	magic "SIDX" | version u32 = 1
 //	numDocs u32
 //	  per doc: numFields u32, then per field: name, text, boost f64
 //	numFields u32
@@ -21,32 +57,201 @@ package index
 //	    numDocLens u32, per entry: docID u32, len u32
 //	    numBoosts u32, per entry: docID u32, boost f64
 //
-// The analyzer is not serialized: the reader must be constructed with the
+// Everything is little-endian; strings are u32-length-prefixed. The
+// analyzer is not serialized: the reader must be constructed with the
 // same analyzer configuration the writer used (the soccer pipeline always
 // uses StandardAnalyzer, and readers that disagree would disagree on query
 // analysis anyway).
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
+const codecMagic = "SIDX"
+
+// Codec versions. Decode accepts all of them; Encode writes
+// CodecVersionCurrent. The shard persistence envelope records the version
+// of the stream it wraps so fsck can tell "damaged" from "newer than me".
 const (
-	codecMagic   = "SIDX"
-	codecVersion = 1
+	// CodecVersionV1 is the legacy raw-postings layout (see EncodeV1).
+	CodecVersionV1 = 1
+	// CodecVersionCurrent is the compressed block-postings layout.
+	CodecVersionCurrent = 2
 )
 
-// Encode serializes the index. Output is deterministic for a given index.
+// Encode serializes the index in the current (block-postings) format.
+// Output is deterministic for a given index.
 func (ix *Index) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return err
 	}
-	writeU32(bw, codecVersion)
+	writeU32(bw, CodecVersionCurrent)
+	writeU32(bw, uint32(len(ix.docs)))
+
+	// Postings region, sorted for determinism.
+	names := ix.FieldNames()
+	writeU32(bw, uint32(len(names)))
+	for _, name := range names {
+		fi := ix.fields[name]
+		writeString(bw, name)
+
+		terms := make([]string, 0, len(fi.postings))
+		for t := range fi.postings {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		writeU32(bw, uint32(len(terms)))
+		for _, t := range terms {
+			writeString(bw, t)
+			pl := fi.postings[t]
+			writeU32(bw, uint32(len(pl)))
+			multi := len(pl) > postingBlockSize
+			prev := -1
+			for s := 0; s < len(pl); s += postingBlockSize {
+				e := s + postingBlockSize
+				if e > len(pl) {
+					e = len(pl)
+				}
+				prev = encodeBlock(bw, fi, pl[s:e], multi, prev)
+			}
+		}
+
+		writeU32(bw, uint32(len(fi.docLen)))
+		prev := -1
+		for _, id := range sortedKeys(fi.docLen) {
+			writeUvarint(bw, uint64(id-prev))
+			writeUvarint(bw, uint64(fi.docLen[id]))
+			prev = id
+		}
+
+		ids := make([]int, 0, len(fi.boost))
+		for id := range fi.boost {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		writeU32(bw, uint32(len(ids)))
+		if len(ids) > 0 {
+			uniform := true
+			for _, id := range ids[1:] {
+				if math.Float64bits(fi.boost[id]) != math.Float64bits(fi.boost[ids[0]]) {
+					uniform = false
+					break
+				}
+			}
+			prev := -1
+			if uniform {
+				bw.WriteByte(0)
+				for _, id := range ids {
+					writeUvarint(bw, uint64(id-prev))
+					prev = id
+				}
+				writeF64(bw, fi.boost[ids[0]])
+			} else {
+				bw.WriteByte(1)
+				for _, id := range ids {
+					writeUvarint(bw, uint64(id-prev))
+					writeF64(bw, fi.boost[id])
+					prev = id
+				}
+			}
+		}
+	}
+
+	// Stored region: compressed into memory first because the stream is
+	// length-prefixed (the decoder must know where to hand the bytes to
+	// the flate reader without trusting the flate framing itself).
+	var stored bytes.Buffer
+	zw, err := flate.NewWriter(&stored, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	sw := bufio.NewWriter(zw)
+	for _, d := range ix.docs {
+		writeU32(sw, uint32(len(d.Fields)))
+		for _, f := range d.Fields {
+			writeString(sw, f.Name)
+			writeString(sw, f.Text)
+			writeF64(sw, f.Boost)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	writeU64(bw, uint64(stored.Len()))
+	if _, err := bw.Write(stored.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// encodeBlock writes one posting block: for multi-block terms the exact
+// max-impact header first, then the docID deltas, frequencies, boosts,
+// and position deltas. Metadata is computed here, at encode time, so a
+// loaded index prunes with exact bounds even when the in-memory builder
+// tracked them conservatively. prev is the previous block's last docID
+// (-1 for the first block) — the delta chain runs across the whole
+// posting list; the returned value seeds the next block.
+func encodeBlock(bw *bufio.Writer, fi *fieldIndex, blk []Posting, multi bool, prev int) int {
+	if multi {
+		c := fi.exactCap(blk)
+		writeUvarint(bw, uint64(c.maxFreq))
+		writeUvarint(bw, uint64(c.minLen))
+		writeF64(bw, c.maxBoost)
+	}
+	for i := range blk {
+		writeUvarint(bw, uint64(blk[i].DocID-prev))
+		prev = blk[i].DocID
+	}
+	for i := range blk {
+		writeUvarint(bw, uint64(len(blk[i].Positions)))
+	}
+	uniform := true
+	for i := 1; i < len(blk); i++ {
+		if math.Float64bits(blk[i].Boost) != math.Float64bits(blk[0].Boost) {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		bw.WriteByte(0)
+		writeF64(bw, blk[0].Boost)
+	} else {
+		bw.WriteByte(1)
+		for i := range blk {
+			writeF64(bw, blk[i].Boost)
+		}
+	}
+	for i := range blk {
+		pp := -1
+		for _, pos := range blk[i].Positions {
+			writeUvarint(bw, uint64(pos-pp))
+			pp = pos
+		}
+	}
+	return prev
+}
+
+// EncodeV1 serializes the index in the legacy version-1 format, kept for
+// migration tooling and the codec size benchmarks. Output is deterministic
+// for a given index.
+func (ix *Index) EncodeV1(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	writeU32(bw, CodecVersionV1)
 
 	// Stored documents.
 	writeU32(bw, uint32(len(ix.docs)))
@@ -117,14 +322,16 @@ func capHint(n uint32, limit int) int {
 	return limit
 }
 
-// Decode deserializes an index written by Encode. The analyzer must
-// match the one used at build time.
+// Decode deserializes an index written by Encode (either version). The
+// analyzer must match the one used at build time.
 //
 // The input is untrusted: every length prefix is bounded before use,
-// allocation is proportional to bytes actually read (see capHint), and
-// structural violations — counts past plausibility caps, posting or
-// document IDs outside the stored document range — return errors.
-// Decode never panics on corrupt input (FuzzDecode enforces it).
+// allocation is proportional to bytes actually read (see capHint and
+// readString), and structural violations — counts past plausibility caps,
+// posting or document IDs outside the stored document range, unsorted
+// postings or positions, block metadata that is not a valid score bound —
+// return errors. Decode never panics on corrupt input (FuzzDecode
+// enforces it).
 func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -138,10 +345,17 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != codecVersion {
+	switch version {
+	case CodecVersionV1:
+		return decodeV1(br, analyzer)
+	case CodecVersionCurrent:
+		return decodeV2(br, analyzer)
+	default:
 		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
+}
 
+func decodeV1(br *bufio.Reader, analyzer Analyzer) (*Index, error) {
 	ix := New(analyzer)
 
 	numDocs, err := readU32(br)
@@ -153,26 +367,9 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 	}
 	ix.docs = make([]*Document, 0, capHint(numDocs, 1<<16))
 	for i := uint32(0); i < numDocs; i++ {
-		nf, err := readU32(br)
+		d, err := readStoredDoc(br, i)
 		if err != nil {
 			return nil, err
-		}
-		if nf > 1<<16 {
-			return nil, fmt.Errorf("index: implausible field count %d on doc %d", nf, i)
-		}
-		d := &Document{Fields: make([]Field, 0, capHint(nf, 256))}
-		for j := uint32(0); j < nf; j++ {
-			var f Field
-			if f.Name, err = readString(br); err != nil {
-				return nil, err
-			}
-			if f.Text, err = readString(br); err != nil {
-				return nil, err
-			}
-			if f.Boost, err = readF64(br); err != nil {
-				return nil, err
-			}
-			d.Fields = append(d.Fields, f)
 		}
 		ix.docs = append(ix.docs, d)
 	}
@@ -189,12 +386,7 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		fi := &fieldIndex{
-			postings: make(map[string][]Posting),
-			docLen:   make(map[int]int),
-			boost:    make(map[int]float64),
-			caps:     make(map[string]termCap),
-		}
+		fi := newFieldIndex()
 		ix.fields[name] = fi
 
 		numTerms, err := readU32(br)
@@ -216,6 +408,7 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 					term, numPostings, numDocs)
 			}
 			pl := make([]Posting, 0, capHint(numPostings, 1<<16))
+			prevDoc := -1
 			for p := uint32(0); p < numPostings; p++ {
 				docID, err := readU32(br)
 				if err != nil {
@@ -224,6 +417,10 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 				if docID >= numDocs {
 					return nil, fmt.Errorf("index: posting references doc %d of %d", docID, numDocs)
 				}
+				if int(docID) <= prevDoc {
+					return nil, fmt.Errorf("index: postings for %q not in docID order", term)
+				}
+				prevDoc = int(docID)
 				boost, err := readF64(br)
 				if err != nil {
 					return nil, err
@@ -232,15 +429,20 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 				if err != nil {
 					return nil, err
 				}
-				if numPos > 1<<24 {
+				if numPos == 0 || numPos > 1<<24 {
 					return nil, fmt.Errorf("index: implausible position count %d", numPos)
 				}
 				positions := make([]int, 0, capHint(numPos, 1<<12))
+				prevPos := -1
 				for k := uint32(0); k < numPos; k++ {
 					v, err := readU32(br)
 					if err != nil {
 						return nil, err
 					}
+					if int(v) <= prevPos {
+						return nil, fmt.Errorf("index: positions for %q not ascending", term)
+					}
+					prevPos = int(v)
 					positions = append(positions, int(v))
 				}
 				pl = append(pl, Posting{DocID: int(docID), Boost: boost, Positions: positions})
@@ -256,6 +458,12 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 			id, err := readU32(br)
 			if err != nil {
 				return nil, err
+			}
+			if id >= numDocs {
+				// An out-of-range entry cannot belong to any stored document;
+				// accepting it would corrupt sumLen and every average-length
+				// statistic the similarity uses.
+				return nil, fmt.Errorf("index: field length references doc %d of %d", id, numDocs)
 			}
 			n, err := readU32(br)
 			if err != nil {
@@ -273,17 +481,334 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
+			if id >= numDocs {
+				return nil, fmt.Errorf("index: field boost references doc %d of %d", id, numDocs)
+			}
 			v, err := readF64(br)
 			if err != nil {
 				return nil, err
 			}
 			fi.boost[int(id)] = v
 		}
-		// Score-bound caps are derived state: recompute rather than
-		// serialize, so the codec format is unchanged.
+		// Score-bound caps and block metadata are derived state in this
+		// version: recompute from the postings.
 		fi.rebuildCaps()
+		fi.rebuildBlocks()
 	}
 	return ix, nil
+}
+
+func decodeV2(br *bufio.Reader, analyzer Analyzer) (*Index, error) {
+	ix := New(analyzer)
+
+	numDocs, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if numDocs > 1<<28 {
+		return nil, fmt.Errorf("index: implausible doc count %d", numDocs)
+	}
+
+	numFields, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if numFields > 1<<16 {
+		return nil, fmt.Errorf("index: implausible field count %d", numFields)
+	}
+	for i := uint32(0); i < numFields; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		fi := newFieldIndex()
+		ix.fields[name] = fi
+		if err := decodeV2Field(br, fi, int(numDocs)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stored region.
+	storedLen, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if storedLen > 1<<38 {
+		return nil, fmt.Errorf("index: implausible stored-region length %d", storedLen)
+	}
+	zr := flate.NewReader(io.LimitReader(br, int64(storedLen)))
+	defer zr.Close()
+	sr := bufio.NewReader(zr)
+	ix.docs = make([]*Document, 0, capHint(numDocs, 1<<16))
+	for i := uint32(0); i < numDocs; i++ {
+		d, err := readStoredDoc(sr, i)
+		if err != nil {
+			return nil, err
+		}
+		ix.docs = append(ix.docs, d)
+	}
+	if _, err := sr.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("index: stored region longer than its %d documents", numDocs)
+	}
+	return ix, nil
+}
+
+// decodeV2Field parses one field's postings region: the term dictionary
+// with its posting blocks and per-block metadata, then the field-length
+// and field-boost tables. Block metadata is validated against the exact
+// per-block values once the lengths are known — an understated maxFreq or
+// overstated minLen would make Block-Max skipping drop true top-k
+// documents, so metadata that is not a provable upper bound is rejected
+// as corruption.
+func decodeV2Field(br *bufio.Reader, fi *fieldIndex, numDocs int) error {
+	numTerms, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	freqs := make([]int, postingBlockSize)
+	for t := uint32(0); t < numTerms; t++ {
+		term, err := readString(br)
+		if err != nil {
+			return err
+		}
+		numPostings, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		if int64(numPostings) > int64(numDocs) {
+			return fmt.Errorf("index: term %q claims %d postings over %d docs",
+				term, numPostings, numDocs)
+		}
+		n := int(numPostings)
+		pl := make([]Posting, 0, capHint(numPostings, 1<<16))
+		multi := n > postingBlockSize
+		var blks []termCap
+		if multi {
+			blks = make([]termCap, 0, (n+postingBlockSize-1)/postingBlockSize)
+		}
+		prevDoc := -1
+		for len(pl) < n {
+			blkLen := n - len(pl)
+			if blkLen > postingBlockSize {
+				blkLen = postingBlockSize
+			}
+			if multi {
+				mf, err := readUvarint(br)
+				if err != nil {
+					return err
+				}
+				ml, err := readUvarint(br)
+				if err != nil {
+					return err
+				}
+				mb, err := readF64(br)
+				if err != nil {
+					return err
+				}
+				if mf > 1<<24 || ml > 1<<32 {
+					return fmt.Errorf("index: implausible block metadata for %q", term)
+				}
+				blks = append(blks, termCap{maxFreq: int(mf), minLen: int(ml), maxBoost: mb})
+			}
+			start := len(pl)
+			for k := 0; k < blkLen; k++ {
+				delta, err := readUvarint(br)
+				if err != nil {
+					return err
+				}
+				if delta == 0 || delta > uint64(numDocs) {
+					return fmt.Errorf("index: bad docID delta for %q", term)
+				}
+				doc := prevDoc + int(delta)
+				if doc >= numDocs {
+					return fmt.Errorf("index: posting references doc %d of %d", doc, numDocs)
+				}
+				prevDoc = doc
+				pl = append(pl, Posting{DocID: doc})
+			}
+			blk := pl[start:]
+			for k := range blk {
+				f, err := readUvarint(br)
+				if err != nil {
+					return err
+				}
+				if f == 0 || f > 1<<24 {
+					return fmt.Errorf("index: implausible position count %d", f)
+				}
+				freqs[k] = int(f)
+			}
+			flag, err := br.ReadByte()
+			if err != nil {
+				return fmt.Errorf("index: %w", err)
+			}
+			switch flag {
+			case 0:
+				b, err := readF64(br)
+				if err != nil {
+					return err
+				}
+				for k := range blk {
+					blk[k].Boost = b
+				}
+			case 1:
+				for k := range blk {
+					if blk[k].Boost, err = readF64(br); err != nil {
+						return err
+					}
+				}
+			default:
+				return fmt.Errorf("index: bad posting boost flag %d", flag)
+			}
+			for k := range blk {
+				positions := make([]int, 0, capHint(uint32(freqs[k]), 1<<12))
+				prevPos := -1
+				for q := 0; q < freqs[k]; q++ {
+					delta, err := readUvarint(br)
+					if err != nil {
+						return err
+					}
+					if delta == 0 || delta > 1<<32 {
+						return fmt.Errorf("index: bad position delta for %q", term)
+					}
+					pos := prevPos + int(delta)
+					if pos > 1<<32 {
+						return fmt.Errorf("index: implausible position %d", pos)
+					}
+					prevPos = pos
+					positions = append(positions, pos)
+				}
+				blk[k].Positions = positions
+			}
+		}
+		fi.postings[term] = pl
+		if multi {
+			fi.blocks[term] = blks
+		}
+	}
+
+	numLens, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	prevID := -1
+	for l := uint32(0); l < numLens; l++ {
+		delta, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		if delta == 0 || delta > uint64(numDocs) {
+			return fmt.Errorf("index: bad field-length docID delta")
+		}
+		id := prevID + int(delta)
+		if id >= numDocs {
+			return fmt.Errorf("index: field length references doc %d of %d", id, numDocs)
+		}
+		prevID = id
+		v, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		if v > 1<<32 {
+			return fmt.Errorf("index: implausible field length %d", v)
+		}
+		fi.docLen[id] = int(v)
+		fi.sumLen += int(v)
+	}
+
+	numBoosts, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	if numBoosts > 0 {
+		flag, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		if flag > 1 {
+			return fmt.Errorf("index: bad field boost flag %d", flag)
+		}
+		ids := make([]int, 0, capHint(numBoosts, 1<<16))
+		prevID := -1
+		for bIdx := uint32(0); bIdx < numBoosts; bIdx++ {
+			delta, err := readUvarint(br)
+			if err != nil {
+				return err
+			}
+			if delta == 0 || delta > uint64(numDocs) {
+				return fmt.Errorf("index: bad field-boost docID delta")
+			}
+			id := prevID + int(delta)
+			if id >= numDocs {
+				return fmt.Errorf("index: field boost references doc %d of %d", id, numDocs)
+			}
+			prevID = id
+			if flag == 1 {
+				if fi.boost[id], err = readF64(br); err != nil {
+					return err
+				}
+			} else {
+				ids = append(ids, id)
+			}
+		}
+		if flag == 0 {
+			v, err := readF64(br)
+			if err != nil {
+				return err
+			}
+			for _, id := range ids {
+				fi.boost[id] = v
+			}
+		}
+	}
+
+	// Lengths are known now: check every block header is a valid bound.
+	// Looser-than-exact is fine (the builder tracks conservatively);
+	// tighter-than-exact would prune documents that can win.
+	for t, blks := range fi.blocks {
+		pl := fi.postings[t]
+		for bi := range blks {
+			s := bi * postingBlockSize
+			e := s + postingBlockSize
+			if e > len(pl) {
+				e = len(pl)
+			}
+			exact := fi.exactCap(pl[s:e])
+			b := blks[bi]
+			if b.minLen < 1 || b.maxFreq < exact.maxFreq || b.minLen > exact.minLen ||
+				!(b.maxBoost >= exact.maxBoost) {
+				return fmt.Errorf("index: term %q block %d metadata is not a valid score bound", t, bi)
+			}
+		}
+	}
+	fi.rebuildCaps()
+	return nil
+}
+
+// readStoredDoc parses one stored document (shared by both versions; in
+// v2 the reader is positioned inside the compressed stored region).
+func readStoredDoc(r *bufio.Reader, i uint32) (*Document, error) {
+	nf, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nf > 1<<16 {
+		return nil, fmt.Errorf("index: implausible field count %d on doc %d", nf, i)
+	}
+	d := &Document{Fields: make([]Field, 0, capHint(nf, 256))}
+	for j := uint32(0); j < nf; j++ {
+		var f Field
+		if f.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		if f.Text, err = readString(r); err != nil {
+			return nil, err
+		}
+		if f.Boost, err = readF64(r); err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	return d, nil
 }
 
 func writeU32(w *bufio.Writer, v uint32) {
@@ -292,10 +817,22 @@ func writeU32(w *bufio.Writer, v uint32) {
 	w.Write(buf[:])
 }
 
+func writeU64(w *bufio.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}
+
 func writeF64(w *bufio.Writer, v float64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 	w.Write(buf[:])
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
 }
 
 func writeString(w *bufio.Writer, s string) {
@@ -311,6 +848,14 @@ func readU32(r *bufio.Reader) (uint32, error) {
 	return binary.LittleEndian.Uint32(buf[:]), nil
 }
 
+func readU64(r *bufio.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("index: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
 func readF64(r *bufio.Reader) (float64, error) {
 	var buf [8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -318,6 +863,19 @@ func readF64(r *bufio.Reader) (float64, error) {
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("index: %w", err)
+	}
+	return v, nil
+}
+
+// readStringChunk is how much of a string readString materializes per
+// read: big enough to amortize the copy, small enough that a lying length
+// prefix cannot force a large one-shot allocation.
+const readStringChunk = 64 << 10
 
 func readString(r *bufio.Reader) (string, error) {
 	n, err := readU32(r)
@@ -327,11 +885,31 @@ func readString(r *bufio.Reader) (string, error) {
 	if n > 1<<26 {
 		return "", fmt.Errorf("index: implausible string length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", fmt.Errorf("index: %w", err)
+	if n <= readStringChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", fmt.Errorf("index: %w", err)
+		}
+		return string(buf), nil
 	}
-	return string(buf), nil
+	// The prefix is untrusted: a 64 MiB claim backed by a 10-byte file
+	// must die on the read error after one chunk, not after a 64 MiB
+	// make. The builder grows geometrically, so allocation stays
+	// proportional to bytes actually read.
+	var sb strings.Builder
+	buf := make([]byte, readStringChunk)
+	for remaining := int(n); remaining > 0; {
+		c := readStringChunk
+		if remaining < c {
+			c = remaining
+		}
+		if _, err := io.ReadFull(r, buf[:c]); err != nil {
+			return "", fmt.Errorf("index: %w", err)
+		}
+		sb.Write(buf[:c])
+		remaining -= c
+	}
+	return sb.String(), nil
 }
 
 func sortedKeys(m map[int]int) []int {

@@ -36,13 +36,31 @@ func FuzzDecode(f *testing.F) {
 	// Seed 3: valid header claiming 2^32-1 docs with no bytes behind
 	// the claim — the allocation-bomb shape.
 	bomb := []byte(codecMagic)
-	bomb = binary.LittleEndian.AppendUint32(bomb, codecVersion)
+	bomb = binary.LittleEndian.AppendUint32(bomb, CodecVersionCurrent)
 	bomb = binary.LittleEndian.AppendUint32(bomb, 0xFFFFFFFF)
 	f.Add(bomb)
 
 	// Seed 4: zero-filled tail after the header.
 	zeros := append([]byte(codecMagic), make([]byte, 64)...)
 	f.Add(zeros)
+
+	// Seed 5: the same index in the legacy v1 layout, so the fuzzer
+	// explores both decoder paths.
+	var v1 bytes.Buffer
+	if err := ix.EncodeV1(&v1); err != nil {
+		f.Fatalf("encoding v1 seed: %v", err)
+	}
+	f.Add(v1.Bytes())
+
+	// Seed 6: a string length prefix claiming 64 MiB with four bytes
+	// behind it — the one-shot-allocation shape readString must survive.
+	lying := []byte(codecMagic)
+	lying = binary.LittleEndian.AppendUint32(lying, CodecVersionV1)
+	lying = binary.LittleEndian.AppendUint32(lying, 1) // one doc
+	lying = binary.LittleEndian.AppendUint32(lying, 1) // one field
+	lying = binary.LittleEndian.AppendUint32(lying, 1<<26)
+	lying = append(lying, "name"...)
+	f.Add(lying)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Decode(bytes.NewReader(data), StandardAnalyzer{})

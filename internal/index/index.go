@@ -18,6 +18,15 @@ type Posting struct {
 // Freq returns the within-document term frequency.
 func (p Posting) Freq() int { return len(p.Positions) }
 
+// postingBlockSize is the number of postings per Block-Max block: posting
+// lists are carved into fixed runs of this many entries, each carrying its
+// own score-bound inputs (termCap), so the DAAT kernel can skip whole
+// blocks — not just whole terms — against the collector's threshold. 128
+// matches the codec v2 on-disk block size (Lucene's choice), small enough
+// that a block's bound is much tighter than the term's, large enough that
+// the metadata is negligible next to the postings it covers.
+const postingBlockSize = 128
+
 // fieldIndex is the inverted index of a single field.
 type fieldIndex struct {
 	postings map[string][]Posting
@@ -30,6 +39,13 @@ type fieldIndex struct {
 	// caps tracks each term's score-bound inputs for MaxScore pruning,
 	// maintained incrementally by Add and rebuilt by the codec on load.
 	caps map[string]termCap
+	// blocks tracks per-block score-bound inputs for terms spanning more
+	// than one posting block (block i covers postings
+	// [i*postingBlockSize, (i+1)*postingBlockSize)). Single-block terms
+	// carry no entry — their only block bound is exactly caps[term].
+	// Maintained incrementally by Add, read from codec v2 snapshots,
+	// rebuilt from the postings for codec v1.
+	blocks map[string][]termCap
 }
 
 // termCap records the inputs from which a term's score upper bound is
@@ -42,6 +58,17 @@ type termCap struct {
 	maxFreq  int
 	minLen   int
 	maxBoost float64
+}
+
+// newFieldIndex returns an empty single-field inverted index.
+func newFieldIndex() *fieldIndex {
+	return &fieldIndex{
+		postings: make(map[string][]Posting),
+		docLen:   make(map[int]int),
+		boost:    make(map[int]float64),
+		caps:     make(map[string]termCap),
+		blocks:   make(map[string][]termCap),
+	}
 }
 
 // avgLen is the mean field length across documents carrying the field.
@@ -99,12 +126,7 @@ func (ix *Index) Add(d *Document) int {
 		}
 		fi := ix.fields[f.Name]
 		if fi == nil {
-			fi = &fieldIndex{
-				postings: make(map[string][]Posting),
-				docLen:   make(map[int]int),
-				boost:    make(map[int]float64),
-				caps:     make(map[string]termCap),
-			}
+			fi = newFieldIndex()
 			ix.fields[f.Name] = fi
 		}
 		terms := ix.analyzer.Analyze(f.Text)
@@ -127,24 +149,13 @@ func (ix *Index) Add(d *Document) int {
 			// Keep the term's score-bound inputs current: the last posting
 			// is always this document's.
 			p := &pl[len(pl)-1]
-			c, ok := fi.caps[term]
-			if !ok {
-				fi.caps[term] = termCap{maxFreq: len(p.Positions), minLen: fi.docLen[id], maxBoost: p.Boost}
-				continue
-			}
-			changed := false
-			if f := len(p.Positions); f > c.maxFreq {
-				c.maxFreq, changed = f, true
-			}
-			if l := fi.docLen[id]; l < c.minLen {
-				c.minLen, changed = l, true
-			}
-			if p.Boost > c.maxBoost {
-				c.maxBoost, changed = p.Boost, true
-			}
-			if changed {
+			freq, dlen := len(p.Positions), fi.docLen[id]
+			if c, ok := fi.caps[term]; !ok {
+				fi.caps[term] = termCap{maxFreq: freq, minLen: dlen, maxBoost: p.Boost}
+			} else if c.observe(freq, dlen, p.Boost) {
 				fi.caps[term] = c
 			}
+			fi.observeBlock(term, pl, freq, dlen, p.Boost)
 		}
 	}
 	return id
@@ -284,25 +295,94 @@ func (ix *Index) termUpperBound(field, term string, queryBoost float64) float64 
 	return b * c.maxBoost * queryBoost * capSlack
 }
 
+// observe widens the cap to cover a posting with the given shape,
+// reporting whether anything changed.
+func (c *termCap) observe(freq, dlen int, boost float64) bool {
+	changed := false
+	if freq > c.maxFreq {
+		c.maxFreq, changed = freq, true
+	}
+	if dlen < c.minLen {
+		c.minLen, changed = dlen, true
+	}
+	if boost > c.maxBoost {
+		c.maxBoost, changed = boost, true
+	}
+	return changed
+}
+
+// observeBlock keeps a term's per-block score-bound inputs current for the
+// posting state just written. Blocks materialize only once a term outgrows
+// a single block — a single-block term's only block bound is exactly its
+// cap, so storing it again would double the metadata for the long tail of
+// rare terms. On the first crossing the completed earlier block is
+// backfilled from the postings. Like the cap, tracking is conservative: a
+// document observed mid-growth (multi-valued field) only shrinks the
+// recorded minLen, which loosens — never invalidates — the bound.
+func (fi *fieldIndex) observeBlock(term string, pl []Posting, freq, dlen int, boost float64) {
+	if len(pl) <= postingBlockSize {
+		return
+	}
+	blks := fi.blocks[term]
+	cur := (len(pl) - 1) / postingBlockSize
+	for len(blks) < cur {
+		s := len(blks) * postingBlockSize
+		blks = append(blks, fi.exactCap(pl[s:s+postingBlockSize]))
+	}
+	if cur == len(blks) {
+		blks = append(blks, termCap{maxFreq: freq, minLen: dlen, maxBoost: boost})
+	} else {
+		blks[cur].observe(freq, dlen, boost)
+	}
+	fi.blocks[term] = blks
+}
+
+// exactCap computes the exact score-bound inputs over a posting run — the
+// load-time (and encode-time) counterpart of Add's incremental tracking,
+// slightly tighter since the docLens it reads are final.
+func (fi *fieldIndex) exactCap(ps []Posting) termCap {
+	c := termCap{minLen: math.MaxInt}
+	for i := range ps {
+		p := &ps[i]
+		if f := len(p.Positions); f > c.maxFreq {
+			c.maxFreq = f
+		}
+		if l := fi.docLen[p.DocID]; l < c.minLen {
+			c.minLen = l
+		}
+		if p.Boost > c.maxBoost {
+			c.maxBoost = p.Boost
+		}
+	}
+	return c
+}
+
 // rebuildCaps recomputes the per-term score-bound inputs from the posting
-// lists — the codec's load-time equivalent of Add's incremental tracking
-// (and slightly tighter, since loaded docLens are final).
+// lists — the codec's load-time equivalent of Add's incremental tracking.
 func (fi *fieldIndex) rebuildCaps() {
 	fi.caps = make(map[string]termCap, len(fi.postings))
 	for t, pl := range fi.postings {
-		c := termCap{minLen: math.MaxInt}
-		for i := range pl {
-			p := &pl[i]
-			if f := len(p.Positions); f > c.maxFreq {
-				c.maxFreq = f
-			}
-			if l := fi.docLen[p.DocID]; l < c.minLen {
-				c.minLen = l
-			}
-			if p.Boost > c.maxBoost {
-				c.maxBoost = p.Boost
-			}
+		fi.caps[t] = fi.exactCap(pl)
+	}
+}
+
+// rebuildBlocks recomputes the per-block score-bound inputs for every
+// multi-block term — the codec v1 load path, which has no block metadata
+// on disk to read. Codec v2 snapshots carry the metadata instead.
+func (fi *fieldIndex) rebuildBlocks() {
+	fi.blocks = make(map[string][]termCap)
+	for t, pl := range fi.postings {
+		if len(pl) <= postingBlockSize {
+			continue
 		}
-		fi.caps[t] = c
+		blks := make([]termCap, 0, (len(pl)+postingBlockSize-1)/postingBlockSize)
+		for s := 0; s < len(pl); s += postingBlockSize {
+			e := s + postingBlockSize
+			if e > len(pl) {
+				e = len(pl)
+			}
+			blks = append(blks, fi.exactCap(pl[s:e]))
+		}
+		fi.blocks[t] = blks
 	}
 }

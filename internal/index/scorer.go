@@ -63,6 +63,36 @@ type prunable interface {
 	setThreshold(th float64)
 }
 
+// blockMaxScorer is implemented by scorers that can bound their score
+// over a bounded docID window — the Block-Max WAND contract (Ding &
+// Suel). Where maxScore bounds the whole remaining tail, maxScoreUpTo
+// reads the per-block metadata the codec wrote at encode time, so a
+// compound parent can prove "nothing in this window can win" and jump
+// its children past the window boundary in one advance.
+type blockMaxScorer interface {
+	scorer
+	// maxScoreUpTo returns an upper bound on score() for every matching
+	// document in [target, boundary], together with that boundary (the
+	// last docID the bound is known to cover; no document of this scorer
+	// lies in (boundary, next block)). An exhausted scorer returns
+	// (0, noMoreDocs). It is a shallow probe: the document cursor does
+	// not move. Targets must not decrease across calls.
+	maxScoreUpTo(target int) (bound float64, boundary int)
+}
+
+// ceilingTo is maxScoreUpTo with a graceful fallback: scorers without
+// block metadata answer with their whole-tail bound and an unbounded
+// window, which keeps compound bounds valid — just windowless.
+func ceilingTo(s scorer, target int) (float64, int) {
+	if bm, ok := s.(blockMaxScorer); ok {
+		return bm.maxScoreUpTo(target)
+	}
+	if s.doc() == noMoreDocs {
+		return 0, noMoreDocs
+	}
+	return s.maxScore(), noMoreDocs
+}
+
 // emptyScorer matches nothing: the scorer of an impossible clause.
 type emptyScorer struct{}
 
@@ -84,6 +114,19 @@ type termScorer struct {
 	boost float64
 	i     int
 	cap   float64
+
+	// Block-Max state. blocks is the term's per-block metadata (nil for
+	// single-block terms, whose only block bound is cap); shallow is the
+	// maxScoreUpTo probe position, always >= i and monotone because
+	// targets only rise; th is the collector threshold (root-only, see
+	// setThreshold); cachedBlock/cachedBound memoize the last block bound
+	// evaluation — the similarity math runs once per block, not once per
+	// probe.
+	blocks      []termCap
+	shallow     int
+	th          float64
+	cachedBlock int
+	cachedBound float64
 }
 
 // newTermScorer builds the cursor for one analyzed term. The term must be
@@ -99,12 +142,14 @@ func newTermScorer(ix *Index, field, term string, queryBoost float64) scorer {
 	}
 	return &termScorer{
 		ix: ix, fi: fi, pl: pl,
-		df:    ix.scoringDocFreq(field, term),
-		nDocs: ix.scoringNumDocs(),
-		avg:   ix.scoringAvgLen(field),
-		boost: queryBoost,
-		i:     -1,
-		cap:   ix.termUpperBound(field, term, queryBoost),
+		df:          ix.scoringDocFreq(field, term),
+		nDocs:       ix.scoringNumDocs(),
+		avg:         ix.scoringAvgLen(field),
+		boost:       queryBoost,
+		i:           -1,
+		cap:         ix.termUpperBound(field, term, queryBoost),
+		blocks:      fi.blocks[term],
+		cachedBlock: -1,
 	}
 }
 
@@ -120,7 +165,93 @@ func (s *termScorer) doc() int {
 
 func (s *termScorer) next() int {
 	s.i++
+	if s.th > 0 {
+		s.skipBeatenBlocks()
+	}
 	return s.doc()
+}
+
+// setThreshold implements prunable. As the root scorer of a plain term
+// query the cursor hops whole blocks whose bound cannot beat the
+// collector threshold; children never receive thresholds (a parent needs
+// every hit to sum exact clause scores), so th stays 0 there and next()
+// surfaces every posting.
+func (s *termScorer) setThreshold(th float64) { s.th = th }
+
+// skipBeatenBlocks moves the cursor forward over whole blocks proven
+// unable to produce a score above th. Documents skipped here score at or
+// below the collector threshold and would never be collected, so the
+// pruned ranking stays byte-identical to the exhaustive one.
+func (s *termScorer) skipBeatenBlocks() {
+	n := len(s.pl)
+	for s.i < n {
+		if s.blocks == nil {
+			if s.cap <= s.th {
+				s.i = n
+			}
+			return
+		}
+		b := s.i / postingBlockSize
+		if s.blockBound(b) > s.th {
+			return
+		}
+		s.i = (b + 1) * postingBlockSize
+	}
+}
+
+// blockBound is the per-block analogue of Index.termUpperBound: the
+// similarity evaluated at the block's best-case posting shape. +Inf
+// (never prune) when the similarity cannot provide bounds or a negative
+// boost flips the best case into a worst case.
+func (s *termScorer) blockBound(b int) float64 {
+	if b == s.cachedBlock {
+		return s.cachedBound
+	}
+	bound := math.Inf(1)
+	blk := s.blocks[b]
+	if ubs, ok := s.ix.sim.(UpperBoundSimilarity); ok && blk.maxBoost >= 0 && s.boost >= 0 {
+		bound = ubs.TermScoreBound(blk.maxFreq, s.df, s.nDocs, blk.minLen, s.avg) *
+			blk.maxBoost * s.boost * capSlack
+	}
+	s.cachedBlock, s.cachedBound = b, bound
+	return bound
+}
+
+// maxScoreUpTo implements blockMaxScorer over the codec's per-block
+// metadata: the bound for the window [target, boundary] is the bound of
+// the single block holding every posting in that window.
+func (s *termScorer) maxScoreUpTo(target int) (float64, int) {
+	n := len(s.pl)
+	j := s.shallow
+	if j < s.i {
+		j = s.i
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j < n && s.pl[j].DocID < target {
+		// Same probe shape as advance: short linear scan, then binary
+		// search for real jumps.
+		for k := 0; k < 4 && j < n && s.pl[j].DocID < target; k++ {
+			j++
+		}
+		if j < n && s.pl[j].DocID < target {
+			j += sort.Search(n-j, func(k int) bool { return s.pl[j+k].DocID >= target })
+		}
+	}
+	s.shallow = j
+	if j >= n {
+		return 0, noMoreDocs
+	}
+	if s.blocks == nil {
+		return s.cap, s.pl[n-1].DocID
+	}
+	b := j / postingBlockSize
+	e := (b + 1) * postingBlockSize
+	if e > n {
+		e = n
+	}
+	return s.blockBound(b), s.pl[e-1].DocID
 }
 
 func (s *termScorer) advance(target int) int {
@@ -166,6 +297,15 @@ type phraseScorer struct {
 	i      int
 	freq   int
 	cap    float64
+
+	// Block-Max state over the first term's posting list (the candidate
+	// generator): its per-block metadata, the whole-phrase freq/length
+	// extremes the cap was derived from (kept so maxScoreUpTo can tighten
+	// them per block), and the shallow probe position.
+	blocks     []termCap
+	minMaxFreq int
+	maxMinLen  int
+	shallow    int
 }
 
 // newPhraseScorer builds the cursor for already-analyzed phrase terms.
@@ -188,18 +328,19 @@ func newPhraseScorer(ix *Index, field string, terms []string, boost float64) sco
 		ix: ix, field: field, terms: terms,
 		first:  fi.postings[terms[0]],
 		idfSum: idfSum, boost: boost, i: -1,
+		blocks: fi.blocks[terms[0]],
 	}
 	// Bound: phrase freq cannot exceed any member term's max freq, a
 	// matching doc is at least as long as every member term's shortest
 	// doc, and the scored boost is the first term's posting boost.
-	minMaxFreq, maxMinLen := math.MaxInt, 1
+	s.minMaxFreq, s.maxMinLen = math.MaxInt, 1
 	for _, t := range terms {
 		c := fi.caps[t]
-		if c.maxFreq < minMaxFreq {
-			minMaxFreq = c.maxFreq
+		if c.maxFreq < s.minMaxFreq {
+			s.minMaxFreq = c.maxFreq
 		}
-		if c.minLen > maxMinLen {
-			maxMinLen = c.minLen
+		if c.minLen > s.maxMinLen {
+			s.maxMinLen = c.minLen
 		}
 	}
 	if maxBoost := fi.caps[terms[0]].maxBoost; maxBoost < 0 || boost < 0 {
@@ -207,10 +348,63 @@ func newPhraseScorer(ix *Index, field string, terms []string, boost float64) sco
 		// disable pruning for this clause instead.
 		s.cap = math.Inf(1)
 	} else {
-		s.cap = math.Sqrt(float64(minMaxFreq)) * idfSum * maxBoost /
-			math.Sqrt(float64(maxMinLen)) * boost * capSlack
+		s.cap = math.Sqrt(float64(s.minMaxFreq)) * idfSum * maxBoost /
+			math.Sqrt(float64(s.maxMinLen)) * boost * capSlack
 	}
 	return s
+}
+
+// maxScoreUpTo implements blockMaxScorer. A phrase match needs a first-
+// term posting, so the window is the first term's current block and the
+// whole-phrase bound tightens with that block's metadata: block maxFreq
+// caps the phrase frequency and block minLen floors the matching
+// document's length.
+func (s *phraseScorer) maxScoreUpTo(target int) (float64, int) {
+	n := len(s.first)
+	j := s.shallow
+	if j < s.i {
+		j = s.i
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j < n && s.first[j].DocID < target {
+		for k := 0; k < 4 && j < n && s.first[j].DocID < target; k++ {
+			j++
+		}
+		if j < n && s.first[j].DocID < target {
+			j += sort.Search(n-j, func(k int) bool { return s.first[j+k].DocID >= target })
+		}
+	}
+	s.shallow = j
+	if j >= n {
+		return 0, noMoreDocs
+	}
+	if s.blocks == nil {
+		return s.cap, s.first[n-1].DocID
+	}
+	b := j / postingBlockSize
+	e := (b + 1) * postingBlockSize
+	if e > n {
+		e = n
+	}
+	boundary := s.first[e-1].DocID
+	blk := s.blocks[b]
+	if blk.maxBoost < 0 || s.boost < 0 {
+		// cap is the negative-boost-safe whole-tail bound (+Inf there).
+		return s.cap, boundary
+	}
+	mf := s.minMaxFreq
+	if blk.maxFreq < mf {
+		mf = blk.maxFreq
+	}
+	ml := s.maxMinLen
+	if blk.minLen > ml {
+		ml = blk.minLen
+	}
+	bound := math.Sqrt(float64(mf)) * s.idfSum * blk.maxBoost /
+		math.Sqrt(float64(ml)) * s.boost * capSlack
+	return bound, boundary
 }
 
 func (s *phraseScorer) doc() int {
@@ -392,6 +586,24 @@ func (m *maxScorer) seek(target int) int {
 func (m *maxScorer) score() float64    { return m.curScore }
 func (m *maxScorer) maxScore() float64 { return m.cap }
 
+// maxScoreUpTo implements blockMaxScorer: the best weighted sub-bound
+// over the window, the window ending where the first sub-scorer's block
+// does (the mirror of the cap computation in newMaxScorer).
+func (m *maxScorer) maxScoreUpTo(target int) (float64, int) {
+	bound := 0.0
+	boundary := noMoreDocs
+	for i, sub := range m.subs {
+		sb, sboundary := ceilingTo(sub, target)
+		if c := sb * m.weights[i]; c > bound {
+			bound = c
+		}
+		if sboundary < boundary {
+			boundary = sboundary
+		}
+	}
+	return bound, boundary
+}
+
 // booleanScorer evaluates BooleanQuery document-at-a-time. With Must
 // clauses it leapfrogs their cursors to common documents; without, it is
 // a disjunction over the Should clauses with MaxScore pruning: once the
@@ -409,6 +621,9 @@ type booleanScorer struct {
 	curScore float64
 	cap      float64
 	dead     bool
+	// th is the collector threshold (root-only), kept for Block-Max
+	// window checks in seek.
+	th float64
 
 	// MaxScore partition (disjunction mode only): sorted holds should
 	// indices by ascending bound, prefix[i] the bound-sum of sorted[:i],
@@ -486,6 +701,7 @@ func (b *booleanScorer) initPartition() {
 // under the bar stop generating candidates, and the whole scorer dies
 // once no document can beat it.
 func (b *booleanScorer) setThreshold(th float64) {
+	b.th = th
 	if b.cap <= th {
 		b.dead = true
 		return
@@ -493,6 +709,32 @@ func (b *booleanScorer) setThreshold(th float64) {
 	for b.sorted != nil && b.nonEss < len(b.sorted) && b.prefix[b.nonEss+1] <= th {
 		b.nonEss++
 	}
+}
+
+// maxScoreUpTo implements blockMaxScorer: the clause bounds summed over
+// the window, the window ending at the earliest clause block boundary.
+// The sum bounds the coord-free clause-score sum; the coordination
+// factor only shrinks it (every clause bound is >= 0), and MustNot
+// clauses only remove documents, so it is an upper bound on score() for
+// any document in the window.
+func (b *booleanScorer) maxScoreUpTo(target int) (float64, int) {
+	bound := 0.0
+	boundary := noMoreDocs
+	for _, m := range b.musts {
+		mb, mboundary := ceilingTo(m, target)
+		bound += mb
+		if mboundary < boundary {
+			boundary = mboundary
+		}
+	}
+	for _, sh := range b.shoulds {
+		sb, sboundary := ceilingTo(sh, target)
+		bound += sb
+		if sboundary < boundary {
+			boundary = sboundary
+		}
+	}
+	return bound, boundary
 }
 
 func (b *booleanScorer) doc() int { return b.cur }
@@ -512,6 +754,23 @@ func (b *booleanScorer) seek(target int) int {
 		return b.cur
 	}
 	for {
+		// Block-Max window check (root-only: th is 0 as a child). When no
+		// document up to the earliest clause block boundary can beat the
+		// collector threshold, jump every clause past the whole window
+		// instead of scoring through it.
+		if b.th > 0 {
+			bound, boundary := b.maxScoreUpTo(target)
+			if bound <= b.th {
+				if boundary == noMoreDocs {
+					b.cur = noMoreDocs
+					return b.cur
+				}
+				if boundary >= target {
+					target = boundary + 1
+					continue
+				}
+			}
+		}
 		var d int
 		if len(b.musts) > 0 {
 			d = b.leapfrog(target)

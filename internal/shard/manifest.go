@@ -66,7 +66,11 @@ type manifestEntry struct {
 type manifest struct {
 	Generation uint64
 	Level      semindex.Level
-	Files      []manifestEntry
+	// Codec is the index codec version of every shard payload in this
+	// snapshot (0 in manifests written before codec tracking, whose
+	// payloads are all codec v1).
+	Codec uint32
+	Files []manifestEntry
 	// WAL is the basename of the ingest log extending this snapshot
 	// ("" when the snapshot was committed without one).
 	WAL string
@@ -80,6 +84,9 @@ func (m *manifest) render() []byte {
 	fmt.Fprintf(&b, "%s %d\n", manifestMagic, manifestVersion)
 	fmt.Fprintf(&b, "generation %d\n", m.Generation)
 	fmt.Fprintf(&b, "level %s\n", m.Level)
+	if m.Codec != 0 {
+		fmt.Fprintf(&b, "codec %d\n", m.Codec)
+	}
 	fmt.Fprintf(&b, "shards %d\n", len(m.Files))
 	for _, f := range m.Files {
 		fmt.Fprintf(&b, "file %s %d %08x\n", f.Name, f.Size, f.CRC)
@@ -175,6 +182,12 @@ func readManifest(base string) (*manifest, error) {
 				return bad()
 			}
 			m.Level = semindex.Level(fields[1])
+		case "codec":
+			c, err := strconv.ParseUint(fields[1], 10, 32)
+			if len(fields) != 2 || err != nil || c == 0 {
+				return bad()
+			}
+			m.Codec = uint32(c)
 		case "shards":
 			n, err := strconv.Atoi(fields[1])
 			if len(fields) != 2 || err != nil || n < 0 {

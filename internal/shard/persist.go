@@ -46,12 +46,29 @@ import (
 // stream), then a trailer of payload length and CRC32. The trailer
 // length cross-checks the file size so truncation is caught even when
 // the missing suffix would still CRC (it cannot, but belt and braces).
+//
+// Envelope v2 adds a codec field after the version: the index codec
+// number of the payload (index.CodecVersionCurrent at write time).
+// Carrying it in the envelope lets recovery and fsck tell "written by a
+// newer build" apart from "damaged" without decoding a byte of payload:
+// an unknown envelope version or a codec above what this binary
+// supports is ErrSnapshotUnknownVersion, never quarantined as corrupt.
 const (
-	snapMagic      = "SSNP"
-	snapVersion    = 1
-	snapHeaderLen  = 4 + 4
-	snapTrailerLen = 8 + 4
+	snapMagic       = "SSNP"
+	snapVersionV1   = 1
+	snapVersion     = 2
+	snapHeaderLenV1 = 4 + 4
+	snapHeaderLen   = 4 + 4 + 4
+	snapTrailerLen  = 8 + 4
 )
+
+// ErrSnapshotUnknownVersion reports a shard snapshot written by a newer
+// build: its envelope version or payload codec is above what this
+// binary understands. The file is not corrupt — quarantining it would
+// destroy data an upgraded binary recovers losslessly — so Load refuses
+// the snapshot outright and Fsck reports it unverifiable rather than
+// damaged.
+var ErrSnapshotUnknownVersion = errors.New("shard: snapshot from a newer version")
 
 // ShardPath names the legacy (pre-manifest) file of one shard:
 // "<base>.shard000", "<base>.shard001", ... Current saves use
@@ -90,7 +107,7 @@ func (e *Engine) Save(base string) error {
 		return fmt.Errorf("%w: shards %v", ErrDegraded, e.quarantined)
 	}
 	newGen := e.gen + 1
-	m := &manifest{Generation: newGen, Level: e.level}
+	m := &manifest{Generation: newGen, Level: e.level, Codec: index.CodecVersionCurrent}
 	if e.wal != nil {
 		m.WAL = filepath.Base(WALPath(base))
 	}
@@ -134,6 +151,7 @@ func writeShardFile(path string, save func(io.Writer) error) (int64, uint32, err
 	var hdr [snapHeaderLen]byte
 	copy(hdr[:4], snapMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], snapVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], index.CodecVersionCurrent)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		f.Close()
 		return 0, 0, err
@@ -193,7 +211,7 @@ func readShardFile(path string, analyzer index.Analyzer, want manifestEntry) (*s
 	if st.Size() != want.Size {
 		return nil, fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), want.Size)
 	}
-	payloadLen, err := verifyEnvelope(f, st.Size(), want.CRC, false)
+	payloadLen, headerLen, err := verifyEnvelope(f, st.Size(), want.CRC, false)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +219,7 @@ func readShardFile(path string, analyzer index.Analyzer, want manifestEntry) (*s
 	// bytes (it errors, never panics), and the CRC verdict lands before
 	// the decoded index is trusted.
 	crc := crc32.NewIEEE()
-	tee := io.TeeReader(io.NewSectionReader(f, snapHeaderLen, payloadLen), crc)
+	tee := io.TeeReader(io.NewSectionReader(f, headerLen, payloadLen), crc)
 	si, err := semindex.Load(tee, analyzer)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
@@ -217,47 +235,72 @@ func readShardFile(path string, analyzer index.Analyzer, want manifestEntry) (*s
 	return si, nil
 }
 
-// verifyEnvelope checks header magic/version and the trailer's length
-// and CRC fields against the file size (and wantCRC), returning the
-// payload length. With sumPayload it also streams the payload through
-// CRC32 — the decode-free integrity pass Fsck uses.
-func verifyEnvelope(f *os.File, size int64, wantCRC uint32, sumPayload bool) (int64, error) {
-	if size < snapHeaderLen+snapTrailerLen {
-		return 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
+// verifyEnvelope checks header magic/version/codec and the trailer's
+// length and CRC fields against the file size (and wantCRC), returning
+// the payload length and the header length the payload starts after.
+// With sumPayload it also streams the payload through CRC32 — the
+// decode-free integrity pass Fsck uses. An envelope version or codec
+// above what this build writes fails with ErrSnapshotUnknownVersion
+// (forward compatibility), everything else with ErrSnapshotCorrupt.
+func verifyEnvelope(f *os.File, size int64, wantCRC uint32, sumPayload bool) (int64, int64, error) {
+	if size < snapHeaderLenV1+snapTrailerLen {
+		return 0, 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
 	}
 	var hdr [snapHeaderLen]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	if _, err := f.ReadAt(hdr[:snapHeaderLenV1], 0); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	if string(hdr[:4]) != snapMagic {
-		return 0, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, hdr[:4])
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapVersion {
-		return 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrSnapshotCorrupt, v)
+	var headerLen int64
+	switch v := binary.LittleEndian.Uint32(hdr[4:8]); v {
+	case snapVersionV1:
+		// v1 envelopes predate the codec field; their payloads were all
+		// written by the v1 index codec, which Decode still reads.
+		headerLen = snapHeaderLenV1
+	case snapVersion:
+		headerLen = snapHeaderLen
+		if size < snapHeaderLen+snapTrailerLen {
+			return 0, 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
+		}
+		if _, err := f.ReadAt(hdr[8:12], 8); err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		switch codec := binary.LittleEndian.Uint32(hdr[8:12]); {
+		case codec == 0:
+			return 0, 0, fmt.Errorf("%w: codec 0 in envelope header", ErrSnapshotCorrupt)
+		case codec > index.CodecVersionCurrent:
+			return 0, 0, fmt.Errorf("%w: payload codec %d, this build reads up to %d",
+				ErrSnapshotUnknownVersion, codec, index.CodecVersionCurrent)
+		}
+	default:
+		return 0, 0, fmt.Errorf("%w: envelope version %d, this build reads up to %d",
+			ErrSnapshotUnknownVersion, v, snapVersion)
 	}
 	var trailer [snapTrailerLen]byte
 	if _, err := f.ReadAt(trailer[:], size-snapTrailerLen); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	payloadLen := int64(binary.LittleEndian.Uint64(trailer[0:8]))
-	if payloadLen != size-snapHeaderLen-snapTrailerLen {
-		return 0, fmt.Errorf("%w: trailer claims %d payload bytes, file holds %d",
-			ErrSnapshotCorrupt, payloadLen, size-snapHeaderLen-snapTrailerLen)
+	if payloadLen != size-headerLen-snapTrailerLen {
+		return 0, 0, fmt.Errorf("%w: trailer claims %d payload bytes, file holds %d",
+			ErrSnapshotCorrupt, payloadLen, size-headerLen-snapTrailerLen)
 	}
 	trailerCRC := binary.LittleEndian.Uint32(trailer[8:12])
 	if trailerCRC != wantCRC {
-		return 0, fmt.Errorf("%w: trailer CRC %08x, manifest says %08x", ErrSnapshotCorrupt, trailerCRC, wantCRC)
+		return 0, 0, fmt.Errorf("%w: trailer CRC %08x, manifest says %08x", ErrSnapshotCorrupt, trailerCRC, wantCRC)
 	}
 	if sumPayload {
 		crc := crc32.NewIEEE()
-		if _, err := io.Copy(crc, io.NewSectionReader(f, snapHeaderLen, payloadLen)); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		if _, err := io.Copy(crc, io.NewSectionReader(f, headerLen, payloadLen)); err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 		}
 		if got := crc.Sum32(); got != wantCRC {
-			return 0, fmt.Errorf("%w: payload CRC %08x, manifest says %08x", ErrSnapshotCorrupt, got, wantCRC)
+			return 0, 0, fmt.Errorf("%w: payload CRC %08x, manifest says %08x", ErrSnapshotCorrupt, got, wantCRC)
 		}
 	}
-	return payloadLen, nil
+	return payloadLen, headerLen, nil
 }
 
 // removeStaleSnapshotFiles deletes every shard file the just-committed
@@ -356,6 +399,12 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 			err = fmt.Errorf("%w: level %s, manifest says %s", ErrSnapshotCorrupt, si.Level, m.Level)
 		}
 		if err != nil {
+			if errors.Is(err, ErrSnapshotUnknownVersion) {
+				// Not damage: a newer build wrote this file. Renaming it
+				// *.corrupt and serving without it would turn a version
+				// skew into data loss; refuse the load instead.
+				return nil, fmt.Errorf("shard %d (%s): %w", i, mf.Name, err)
+			}
 			name := quarantine(path)
 			quarantined = append(quarantined, i)
 			rep.Quarantined = append(rep.Quarantined, QuarantinedShard{Shard: i, File: name, Err: err})
@@ -548,7 +597,11 @@ type FsckFile struct {
 	Size int64
 	CRC  uint32
 	OK   bool
-	// Detail explains a failed verdict.
+	// Unverifiable marks a file this build cannot audit — an envelope
+	// version or payload codec from a newer build. Distinct from a
+	// failed verdict: the file may be perfectly intact.
+	Unverifiable bool
+	// Detail explains a failed or unverifiable verdict.
 	Detail string
 }
 
@@ -559,6 +612,9 @@ type FsckReport struct {
 	Base       string
 	Generation uint64
 	Level      string
+	// Codec is the index codec the manifest records for the snapshot's
+	// payloads (0 when the manifest predates codec tracking).
+	Codec      uint32
 	Legacy     bool
 	Files      []FsckFile
 	WAL        string
@@ -587,17 +643,43 @@ func (r *FsckReport) OK() bool {
 	return true
 }
 
+// unverifiableOnly reports whether every failure in the report is a
+// file this build cannot read (newer envelope or codec) rather than
+// actual damage — the forward-compatibility verdict.
+func (r *FsckReport) unverifiableOnly() bool {
+	if len(r.Errs) > 0 || r.WALTorn {
+		return false
+	}
+	any := false
+	for _, f := range r.Files {
+		if !f.OK {
+			if !f.Unverifiable {
+				return false
+			}
+			any = true
+		}
+	}
+	return any
+}
+
 // String renders the fsck verdicts, one line per artifact.
 func (r *FsckReport) String() string {
-	out := fmt.Sprintf("fsck %s: generation %d, level %s, %d shard file(s)\n",
-		r.Base, r.Generation, r.Level, len(r.Files))
+	codec := ""
+	if r.Codec != 0 {
+		codec = fmt.Sprintf(", codec v%d", r.Codec)
+	}
+	out := fmt.Sprintf("fsck %s: generation %d, level %s%s, %d shard file(s)\n",
+		r.Base, r.Generation, r.Level, codec, len(r.Files))
 	if r.Legacy {
 		out += "  manifest: MISSING (legacy layout, no integrity metadata)\n"
 	}
 	for _, f := range r.Files {
-		if f.OK {
+		switch {
+		case f.OK:
 			out += fmt.Sprintf("  %-28s OK   %9d bytes crc32 %08x\n", f.Name, f.Size, f.CRC)
-		} else {
+		case f.Unverifiable:
+			out += fmt.Sprintf("  %-28s UNVERIFIABLE  %s\n", f.Name, f.Detail)
+		default:
 			out += fmt.Sprintf("  %-28s BAD  %s\n", f.Name, f.Detail)
 		}
 	}
@@ -622,6 +704,8 @@ func (r *FsckReport) String() string {
 		out += "  verdict: OK — recovery is complete and loss-free\n"
 	case r.Legacy && len(r.Errs) == 0:
 		out += "  verdict: UNVERIFIABLE — legacy layout carries no checksums; re-save to upgrade\n"
+	case r.unverifiableOnly():
+		out += "  verdict: UNVERIFIABLE — snapshot written by a newer build; upgrade this binary to verify\n"
 	default:
 		out += "  verdict: DAMAGED — recovery will degrade or truncate\n"
 	}
@@ -644,7 +728,8 @@ func Fsck(base string) *FsckReport {
 			}
 			rep.Files = append(rep.Files, FsckFile{
 				Name: filepath.Base(ShardPath(base, i)), Size: st.Size(),
-				OK: true, Detail: "unverifiable (no checksums in legacy layout)",
+				OK: true, Unverifiable: true,
+				Detail: "unverifiable (no checksums in legacy layout)",
 			})
 		}
 		if len(rep.Files) == 0 {
@@ -658,6 +743,7 @@ func Fsck(base string) *FsckReport {
 	}
 	rep.Generation = m.Generation
 	rep.Level = string(m.Level)
+	rep.Codec = m.Codec
 	dir := filepath.Dir(base)
 	for _, mf := range m.Files {
 		ff := FsckFile{Name: mf.Name, Size: mf.Size, CRC: mf.CRC}
@@ -672,11 +758,12 @@ func Fsck(base string) *FsckReport {
 			err = fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), mf.Size)
 		}
 		if err == nil {
-			_, err = verifyEnvelope(f, st.Size(), mf.CRC, true)
+			_, _, err = verifyEnvelope(f, st.Size(), mf.CRC, true)
 		}
 		f.Close()
 		if err != nil {
 			ff.Detail = err.Error()
+			ff.Unverifiable = errors.Is(err, ErrSnapshotUnknownVersion)
 		} else {
 			ff.OK = true
 		}

@@ -8,6 +8,7 @@ package shard_test
 import (
 	"context"
 	"io"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -105,6 +106,61 @@ func TestCacheInvalidationUnderLoadAt10k(t *testing.T) {
 			if warm.Hits[i].DocID != cold.Hits[i].DocID || warm.Hits[i].Score != cold.Hits[i].Score {
 				t.Fatalf("%q hit %d: cached (%d, %g) vs cold (%d, %g)", q.Text, i,
 					warm.Hits[i].DocID, warm.Hits[i].Score, cold.Hits[i].DocID, cold.Hits[i].Score)
+			}
+		}
+	}
+}
+
+// TestSaveLoadRoundTripAt10k is the persistence half of the scale-truth
+// suite: a 10k-document engine checkpointed through the block-postings
+// codec (v2 envelopes, compressed stored fields) must verify clean and
+// reload into an engine whose rankings are byte-identical to the one
+// that saved — the on-disk block metadata pruning exactly like the
+// in-memory metadata at a scale where every skip path fires.
+func TestSaveLoadRoundTripAt10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 10k-doc engine")
+	}
+	g := corpus.New(corpus.Spec{TargetDocs: 10_000, Seed: 31})
+	eng, err := shard.BuildStream(nil, semindex.FullInf, g, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("BuildStream: %v", err)
+	}
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	if err := eng.Save(base); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if rep := shard.Fsck(base); !rep.OK() {
+		t.Fatalf("fsck after 10k save:\n%s", rep)
+	}
+	back, err := shard.Load(base, nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.NumDocs() != eng.NumDocs() {
+		t.Fatalf("reloaded %d docs, want %d", back.NumDocs(), eng.NumDocs())
+	}
+	ctx := context.Background()
+	queries := loadgen.GenerateQueries(loadgen.VocabFromUniverse(g.Universe()), nil, 150, 32)
+	for _, q := range queries {
+		if q.Class == loadgen.ClassSuggest {
+			continue
+		}
+		want, err := eng.Search(ctx, q.Text, shard.SearchOptions{Limit: 10, NoCache: true})
+		if err != nil {
+			t.Fatalf("%q: %v", q.Text, err)
+		}
+		got, err := back.Search(ctx, q.Text, shard.SearchOptions{Limit: 10, NoCache: true})
+		if err != nil {
+			t.Fatalf("%q: %v", q.Text, err)
+		}
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("%q: reloaded %d hits vs %d", q.Text, len(got.Hits), len(want.Hits))
+		}
+		for i := range want.Hits {
+			if got.Hits[i].DocID != want.Hits[i].DocID || got.Hits[i].Score != want.Hits[i].Score {
+				t.Fatalf("%q hit %d: reloaded (%d, %g) vs saved (%d, %g)", q.Text, i,
+					got.Hits[i].DocID, got.Hits[i].Score, want.Hits[i].DocID, want.Hits[i].Score)
 			}
 		}
 	}
