@@ -1,0 +1,300 @@
+// Ingest mode: the BENCH_9.json write-firehose sweep behind the LSM
+// ingest work. One 10k-document engine per arm takes a paced stream of
+// page upserts (a hot page re-ingested at -write-rate writes/s — the
+// worst case for a cache: every write moves a shard epoch) while a
+// closed-loop Zipfian query mix hammers the warm path. The two arms
+// differ in exactly one switch:
+//
+//	scoped — per-shard epochs + footprint/statistics validation: a write
+//	         to shard 3 can only evict answers whose terms live there
+//	legacy — any epoch motion evicts every cached answer
+//
+// The report carries each arm's warm hit rate, eviction counters and
+// latency under fire; -min-hit-rate and -max-p99-ms turn the scoped
+// arm's numbers into CI floors.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/corpus"
+	"repro/internal/crawler"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/semindex"
+	"repro/internal/shard"
+	"repro/internal/soccer"
+)
+
+// ingestReport is the BENCH_9.json schema.
+type ingestReport struct {
+	Config ingestBenchConfig `json:"config"`
+	// Scoped is the arm under test; Legacy is the evict-everything
+	// baseline the scoped validation replaces.
+	Scoped ingestArm `json:"scoped"`
+	Legacy ingestArm `json:"legacy"`
+	// HitRateGain is scoped hit rate minus legacy hit rate, in points.
+	HitRateGain float64 `json:"hit_rate_gain"`
+}
+
+// ingestArm is one invalidation policy's measurement under the firehose.
+type ingestArm struct {
+	Name string `json:"name"`
+	// Writer-side accounting over the measured window.
+	Writes     int     `json:"writes"`
+	WriteRate  float64 `json:"write_rate_per_sec"`
+	Tombstones int     `json:"tombstones"`
+	Merges     uint64  `json:"merges"`
+	// Cache counters over the whole arm (warmup included — the firehose
+	// runs through it too).
+	HitRate       float64 `json:"hit_rate"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	// Pool split: how many of the PoolSize queries have no postings on
+	// the write-hot shard (the entries scoped invalidation can keep).
+	PoolSize      int `json:"pool_size"`
+	PoolLocalized int `json:"pool_localized"`
+	// Closed-loop read results over the measured rounds.
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50us    float64 `json:"p50_us"`
+	P99us    float64 `json:"p99_us"`
+}
+
+type ingestBenchConfig struct {
+	Docs      int     `json:"docs"`
+	Shards    int     `json:"shards"`
+	Workers   int     `json:"workers"`
+	WriteRate int     `json:"write_rate"`
+	Seconds   int     `json:"seconds"`
+	ZipfS     float64 `json:"zipf_s"`
+	CacheMB   int     `json:"cache_mb"`
+	Seed      int64   `json:"seed"`
+}
+
+// ingestQueryPool sizes the templated query pool; the Zipf selector
+// makes a head of it hot, which is what a cache serves.
+const ingestQueryPool = 300
+
+// ingestWriters is the concurrent writer count: upsert cost is
+// analysis-dominated, so reaching a 100/s firehose needs overlapping
+// analyses feeding the serialized commit path.
+const ingestWriters = 8
+
+// runIngestBench measures both arms and enforces the scoped floors.
+func runIngestBench(cfg ingestBenchConfig, minHitRate, maxP99ms float64, out string) {
+	scoped := runIngestArm(cfg, true)
+	runtime.GC()
+	legacy := runIngestArm(cfg, false)
+
+	rep := ingestReport{
+		Config: cfg, Scoped: scoped, Legacy: legacy,
+		HitRateGain: scoped.HitRate - legacy.HitRate,
+	}
+	writeReport(out, rep, fmt.Sprintf(
+		"scoped hit rate %.1f%% (legacy %.1f%%) at %.0f writes/s, warm p99 %.0fµs",
+		100*scoped.HitRate, 100*legacy.HitRate, scoped.WriteRate, scoped.P99us))
+
+	if minHitRate > 0 && scoped.HitRate < minHitRate {
+		fmt.Fprintf(os.Stderr, "scoped hit rate %.1f%% is below the %.0f%% floor\n",
+			100*scoped.HitRate, 100*minHitRate)
+		os.Exit(1)
+	}
+	if maxP99ms > 0 && scoped.P99us > maxP99ms*1000 {
+		fmt.Fprintf(os.Stderr, "scoped p99 %.0fµs exceeds the %.0fms ceiling\n",
+			scoped.P99us, maxP99ms)
+		os.Exit(1)
+	}
+}
+
+// runIngestArm builds a fresh engine, switches the invalidation policy,
+// and races the paced writer against the closed-loop readers for the
+// configured window.
+func runIngestArm(cfg ingestBenchConfig, scoped bool) ingestArm {
+	g := corpus.New(corpus.Spec{TargetDocs: cfg.Docs, Seed: cfg.Seed})
+	eng, err := shard.BuildStream(nil, semindex.FullInf, g, shard.Options{Shards: cfg.Shards})
+	if err != nil {
+		cli.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng.SetMetrics(reg)
+	eng.EnableCache(int64(cfg.CacheMB)<<20, reg)
+	eng.SetScopedInvalidation(scoped)
+	eng.StartMerger(shard.MergePolicy{})
+	defer eng.StopMerger()
+
+	// The hot set: small out-of-corpus matches that all hash to ONE
+	// shard, re-ingested round-robin on every tick. Each write
+	// tombstones the page's previous version and moves exactly that
+	// shard's epoch — the scoped arm's intended case (writes
+	// concentrated, reads elsewhere untouched) and the legacy arm's
+	// worst (any write evicts all). Short matches keep per-upsert
+	// analysis cheap enough to sustain the target rate.
+	var hot []*crawler.MatchPage
+	hotShard := -1
+	for _, p := range crawler.PagesFromCorpus(soccer.Generate(soccer.Config{
+		Matches: 400, Seed: cfg.Seed + 99, NarrationsPerMatch: 2,
+	})) {
+		if hotShard < 0 {
+			hotShard = shard.ShardFor(p.ID, cfg.Shards)
+		}
+		if shard.ShardFor(p.ID, cfg.Shards) == hotShard {
+			hot = append(hot, p)
+			if len(hot) == ingestWriters {
+				break
+			}
+		}
+	}
+	if len(hot) == 0 {
+		cli.Fatal(fmt.Errorf("ingest bench: no hot pages generated"))
+	}
+
+	// Seed the hot pages once and compact, so the firehose below is pure
+	// steady-state replacement: every write nets the corpus statistics
+	// to exactly their prior values.
+	ctx := context.Background()
+	if _, err := eng.Ingest(ctx, hot, shard.IngestOptions{Merge: shard.MergeNow}); err != nil {
+		cli.Fatal(err)
+	}
+	stop := make(chan struct{})
+	arm := ingestArm{Name: "legacy"}
+	if scoped {
+		arm.Name = "scoped"
+	}
+	// The read pool: templated queries classified by whether their
+	// terms have any postings on the write-hot shard. Live read traffic
+	// concentrates on entities unrelated to the page being rewritten;
+	// the pool mirrors that with a write-disjoint head (4:1 against the
+	// generic tail) and the report carries the split so the number is
+	// interpretable.
+	cands := loadgen.GenerateQueries(loadgen.VocabFromUniverse(g.Universe()),
+		nil, 10*ingestQueryPool, cfg.Seed)
+	hotBase := eng.Shard(hotShard)
+	var local, generic []loadgen.Query
+	for _, q := range cands {
+		touches := q.Class == loadgen.ClassSuggest
+		if !touches {
+			fp, ok := hotBase.QueryFootprint(q.Text)
+			touches = !ok
+			for _, ft := range fp {
+				if hotBase.Index.DocFreq(ft.Field, ft.Term) > 0 {
+					touches = true
+					break
+				}
+			}
+		}
+		if touches {
+			generic = append(generic, q)
+		} else {
+			local = append(local, q)
+		}
+	}
+	var queries []loadgen.Query
+	for len(queries) < ingestQueryPool && (len(local) > 0 || len(generic) > 0) {
+		for k := 0; k < 4 && len(local) > 0 && len(queries) < ingestQueryPool; k++ {
+			queries = append(queries, local[0])
+			local = local[1:]
+			arm.PoolLocalized++
+		}
+		if len(generic) > 0 && len(queries) < ingestQueryPool {
+			queries = append(queries, generic[0])
+			generic = generic[1:]
+		}
+	}
+	arm.PoolSize = len(queries)
+
+	// One paced token stream feeds ingestWriters concurrent writers:
+	// page analysis dominates a single upsert's cost, so hitting the
+	// target rate needs overlapping analyses. Commit order stays
+	// serialized inside the engine.
+	var writes, tombstones atomic.Int64
+	tokens := make(chan *crawler.MatchPage, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < ingestWriters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range tokens {
+				res, err := eng.Ingest(ctx, []*crawler.MatchPage{p}, shard.IngestOptions{})
+				if err != nil {
+					cli.Fatal(err)
+				}
+				writes.Add(1)
+				tombstones.Add(int64(res.Tombstones))
+			}
+		}()
+	}
+	writerStart := time.Now()
+	go func() {
+		defer close(tokens)
+		tick := time.NewTicker(time.Second / time.Duration(cfg.WriteRate))
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				select {
+				case tokens <- hot[i%len(hot)]:
+				default: // writers saturated: the achieved rate is reported
+				}
+			}
+		}
+	}()
+
+	// Closed-loop readers in rounds until the window closes; quantiles
+	// come from the last full round (steady state), counters from the
+	// whole window.
+	deadline := time.Now().Add(time.Duration(cfg.Seconds) * time.Second)
+	var last *loadgen.Result
+	warmup := 100
+	for round := 0; time.Now().Before(deadline); round++ {
+		res, err := loadgen.Run(ctx, &loadgen.EngineTarget{Eng: eng}, loadgen.Config{
+			Workers:  cfg.Workers,
+			Requests: 2000,
+			Warmup:   warmup,
+			ZipfS:    cfg.ZipfS,
+			Seed:     cfg.Seed + int64(round),
+			Queries:  queries,
+		})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		warmup = 0
+		arm.Requests += res.Requests
+		arm.Errors += res.Errors
+		last = res
+	}
+	close(stop)
+	wg.Wait()
+	arm.Writes = int(writes.Load())
+	arm.Tombstones = int(tombstones.Load())
+	arm.WriteRate = float64(arm.Writes) / time.Since(writerStart).Seconds()
+
+	hits := reg.Counter(qcache.MetricHits).Value()
+	misses := reg.Counter(qcache.MetricMisses).Value()
+	arm.Hits, arm.Misses = hits, misses
+	arm.Invalidations = reg.Counter(qcache.MetricInvalidations).Value()
+	arm.Merges = reg.Counter("shard_engine_merges_total").Value()
+	if hits+misses > 0 {
+		arm.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if last != nil {
+		arm.QPS = last.QPS
+		arm.P50us, arm.P99us = us(last.P50), us(last.P99)
+	}
+	fmt.Fprintf(os.Stderr, "arm %s: %d writes (%.0f/s), %d reads, hit rate %.1f%%, %d invalidations, %d merges, p99 %.0fµs\n",
+		arm.Name, arm.Writes, arm.WriteRate, arm.Requests, 100*arm.HitRate,
+		arm.Invalidations, arm.Merges, arm.P99us)
+	return arm
+}

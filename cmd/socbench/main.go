@@ -51,14 +51,29 @@
 //
 //	socbench -mode codec -out BENCH_8.json
 //	socbench -mode codec -min-ratio 2 -min-speedup 2
+//
+// -mode ingest switches to the BENCH_9.json write-firehose comparison:
+// two 10k-document engines — one with scoped (per-shard epoch +
+// footprint/statistics) cache invalidation, one with the legacy
+// evict-on-any-write policy — each take a paced hot-page upsert stream
+// at -write-rate writes/s while closed-loop Zipfian readers measure the
+// warm path. The report carries each arm's hit rate, eviction counters
+// and latency under fire; -min-hit-rate and -max-p99-ms gate the scoped
+// arm in CI.
+//
+//	socbench -mode ingest -out BENCH_9.json
+//	socbench -mode ingest -shards 8 -write-rate 100 -min-hit-rate 0.5 -max-p99-ms 50
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cli"
+	"repro/internal/corpus"
 	"repro/internal/crawler"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -100,7 +115,7 @@ func main() {
 	iters := fs.Int("iters", 400, "measured queries per arm and round")
 	rounds := fs.Int("rounds", 3, "alternating measurement rounds per arm (best round wins)")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail (exit 1) if p50 overhead exceeds this percentage (0 = report only)")
-	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep), "coldpath" (BENCH_5, scoring-kernel comparison), "load" (BENCH_6, scale-truth load/SLO sweep) or "codec" (BENCH_8, v1-vs-v2 codec before/after)`)
+	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep), "coldpath" (BENCH_5, scoring-kernel comparison), "load" (BENCH_6, scale-truth load/SLO sweep), "codec" (BENCH_8, v1-vs-v2 codec before/after) or "ingest" (BENCH_9, scoped-vs-legacy cache invalidation under a write firehose)`)
 	zipfS := fs.Float64("zipf-s", 1.2, "cache/load mode: Zipf exponent of the repeated-query mix")
 	cacheMB := fs.Int("cache-mb", 64, "cache/load mode: query-cache capacity in MiB")
 	minSpeedup := fs.Float64("min-speedup", 0, "cache/coldpath/codec mode: fail (exit 1) if the p50 speedup falls below this factor (0 = report only)")
@@ -111,6 +126,10 @@ func main() {
 	warmup := fs.Int("warmup", 200, "load mode: warmup requests per tier (excluded from statistics)")
 	slo := fs.String("slo", "", `load mode: SLO assertions, e.g. "p99<50ms,error_rate<1%" (violation = exit 1)`)
 	seed := fs.Int64("seed", 42, "load mode: corpus and workload seed")
+	writeRate := fs.Int("write-rate", 100, "ingest mode: hot-page upserts per second")
+	window := fs.Int("seconds", 10, "ingest mode: measurement window per arm, in seconds")
+	minHitRate := fs.Float64("min-hit-rate", 0, "ingest mode: fail (exit 1) if the scoped arm's warm hit rate falls below this fraction (0 = report only)")
+	maxP99 := fs.Float64("max-p99-ms", 0, "ingest mode: fail (exit 1) if the scoped arm's p99 exceeds this many milliseconds (0 = report only)")
 	out := fs.String("out", "", "output file (- = stdout; default BENCH_<n>.json by mode)")
 	fs.Parse(os.Args[1:])
 	if *out == "" {
@@ -123,9 +142,25 @@ func main() {
 			*out = "BENCH_6.json"
 		case "codec":
 			*out = "BENCH_8.json"
+		case "ingest":
+			*out = "BENCH_9.json"
 		default:
 			*out = "BENCH_3.json"
 		}
+	}
+
+	// Ingest mode builds its own 10k engines (one per invalidation arm).
+	if *mode == "ingest" {
+		docs, err := corpus.ParseSize(strings.SplitN(*size, ",", 2)[0])
+		if err != nil {
+			cli.Fatal(err)
+		}
+		runIngestBench(ingestBenchConfig{
+			Docs: docs, Shards: *shards, Workers: *workers,
+			WriteRate: *writeRate, Seconds: *window,
+			ZipfS: *zipfS, CacheMB: *cacheMB, Seed: *seed,
+		}, *minHitRate, *maxP99, *out)
+		return
 	}
 
 	// Load mode builds its own tiered corpora; the paper-scale engine

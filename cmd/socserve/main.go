@@ -200,6 +200,9 @@ func main() {
 			if q := e.Quarantined(); len(q) > 0 {
 				fmt.Printf("WARNING: serving degraded, shards %v quarantined at load\n", q)
 			}
+			// Background compaction keeps the segment count bounded under a
+			// write firehose; stopped (and compacted) at shutdown.
+			e.StartMerger(shard.MergePolicy{})
 			eng.Store(e)
 		}
 		h.SetSearcher(s)
@@ -208,7 +211,11 @@ func main() {
 
 	checkpoint := func() {
 		e := eng.Load()
-		if e == nil || !*walOn {
+		if e == nil {
+			return
+		}
+		e.StopMerger()
+		if !*walOn {
 			return
 		}
 		// The drain is the last chance to fold the WAL into the snapshot;
@@ -552,6 +559,12 @@ func NewHandler(s searcher) *Handler {
 				fmt.Fprintf(w, "ready (degraded: shards %s quarantined)\n", intsCSV(q))
 				return
 			}
+		}
+		// Live document count — segment documents not yet merged included,
+		// so the number moves the moment an ingest is acknowledged.
+		if nd, ok := s.(interface{ NumDocs() int }); ok {
+			fmt.Fprintf(w, "ready (%d docs)\n", nd.NumDocs())
+			return
 		}
 		fmt.Fprintln(w, "ready")
 	})

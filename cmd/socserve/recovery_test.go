@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -96,8 +97,9 @@ func TestReadyzHealthyEngine(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ready" {
-		t.Errorf("healthy readyz: status %d body %q", resp.StatusCode, body)
+	want := fmt.Sprintf("ready (%d docs)", eng.NumDocs())
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != want {
+		t.Errorf("healthy readyz: status %d body %q, want %q", resp.StatusCode, body, want)
 	}
 }
 

@@ -6,8 +6,11 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/semindex"
+	"repro/internal/shard"
 )
 
 // v1MaxLimit is the documented ceiling for the limit parameter. Values
@@ -62,24 +66,67 @@ type v1SuggestResponse struct {
 	DidYouMean string `json:"didYouMean"`
 }
 
-// v1IngestResponse acknowledges one ingested page. When the serving
-// engine has a WAL attached, a 200 means the page is durable: it was
-// appended (and per policy fsynced) before the index mutated.
+// v1IngestResponse acknowledges one ingested page — the FROZEN legacy
+// shape, returned only for the original single-page request body (a
+// bare crawler.MatchPage object). New fields land on v1IngestBatchResponse;
+// this alias never changes.
 type v1IngestResponse struct {
 	ID      string `json:"id"`
 	TraceID string `json:"traceId"`
-	// Docs is the engine's document count after the ingest.
+	// Docs is the engine's live document count after the ingest.
 	Docs int `json:"docs"`
 }
 
-// v1MaxIngestBytes bounds an ingest request body (4 MiB — an order of
-// magnitude above any real match page).
-const v1MaxIngestBytes = 4 << 20
+// v1IngestBatchRequest is the batched /v1/ingest body: a JSON object
+// carrying the pages plus the batch's durability and atomicity knobs.
+// The endpoint tells the two body shapes apart by the top-level "pages"
+// key, so the legacy single-page body keeps working unchanged.
+type v1IngestBatchRequest struct {
+	Pages []*crawler.MatchPage `json:"pages"`
+	// Durability: "" or "default" follows the WAL's sync policy, "sync"
+	// forces an fsync before the 200, "async" acknowledges once the OS
+	// holds the bytes.
+	Durability string `json:"durability,omitempty"`
+	// Atomic (default true) logs the batch as one WAL record: recovery
+	// replays all of it or none. False logs per page; a mid-batch
+	// failure commits a prefix, reported in the response.
+	Atomic *bool `json:"atomic,omitempty"`
+}
+
+// v1IngestBatchResponse acknowledges one committed batch.
+type v1IngestBatchResponse struct {
+	// SegmentID identifies the in-memory segment the batch became (0 for
+	// an empty batch).
+	SegmentID uint64 `json:"segmentId"`
+	TraceID   string `json:"traceId"`
+	// TookUs is the server-side wall time in microseconds.
+	TookUs int64 `json:"tookUs"`
+	// Durability is the acknowledgement level actually delivered:
+	// "none" (no WAL), "logged", "synced" or "buffered".
+	Durability string `json:"durability"`
+	// Pages and Docs count what committed; PerShard splits Docs by shard.
+	Pages    int   `json:"pages"`
+	Docs     int   `json:"docs"`
+	PerShard []int `json:"perShard"`
+	// Tombstones counts previously-live documents the batch replaced
+	// (pages re-ingested under an existing ID).
+	Tombstones int `json:"tombstones"`
+	// TotalDocs is the engine's live document count after the batch.
+	TotalDocs int `json:"totalDocs"`
+}
+
+// v1MaxIngestBytes bounds a legacy single-page ingest body (4 MiB — an
+// order of magnitude above any real match page); batched bodies get
+// v1MaxIngestBatchBytes.
+const (
+	v1MaxIngestBytes      = 4 << 20
+	v1MaxIngestBatchBytes = 32 << 20
+)
 
 // ingester is the incremental-ingest surface: the sharded engine
 // implements it, the monolithic index does not.
 type ingester interface {
-	AddPage(page *crawler.MatchPage) error
+	Ingest(ctx context.Context, pages []*crawler.MatchPage, opts shard.IngestOptions) (shard.IngestResult, error)
 	NumDocs() int
 }
 
@@ -131,6 +178,35 @@ func writeV1(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// ingestLegacy serves the original single-page /v1/ingest body — a bare
+// crawler.MatchPage object — with its original response shape, frozen.
+func (h *Handler) ingestLegacy(w http.ResponseWriter, r *http.Request, ing ingester, body []byte) {
+	if len(body) > v1MaxIngestBytes {
+		http.Error(w, fmt.Sprintf("bad page: body exceeds %d bytes", v1MaxIngestBytes), http.StatusBadRequest)
+		return
+	}
+	var page crawler.MatchPage
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&page); err != nil {
+		http.Error(w, fmt.Sprintf("bad page: %v", err), http.StatusBadRequest)
+		return
+	}
+	if page.ID == "" {
+		http.Error(w, "bad page: missing id", http.StatusBadRequest)
+		return
+	}
+	if _, err := ing.Ingest(r.Context(), []*crawler.MatchPage{&page}, shard.IngestOptions{}); err != nil {
+		http.Error(w, fmt.Sprintf("ingest failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	resp := v1IngestResponse{ID: page.ID, Docs: ing.NumDocs()}
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		resp.TraceID = tr.ID
+	}
+	writeV1(w, resp)
 }
 
 // registerV1 mounts the versioned API on the handler's mux.
@@ -219,7 +295,7 @@ func (h *Handler) registerV1(hl index.Highlighter) {
 
 	h.mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST a crawler.MatchPage JSON body", http.StatusMethodNotAllowed)
+			http.Error(w, `POST a batch {"pages":[...]} or a single crawler.MatchPage JSON body`, http.StatusMethodNotAllowed)
 			return
 		}
 		s, ok := h.ready()
@@ -232,27 +308,81 @@ func (h *Handler) registerV1(hl index.Highlighter) {
 			http.Error(w, "this index shape does not ingest incrementally (serve a sharded engine)", http.StatusNotImplemented)
 			return
 		}
-		var page crawler.MatchPage
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, v1MaxIngestBytes))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, v1MaxIngestBatchBytes))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad body: %v", err), http.StatusBadRequest)
+			return
+		}
+		// The two body shapes share one endpoint: a top-level "pages" key
+		// selects the batch envelope, anything else is the frozen legacy
+		// single-page form.
+		var probe struct {
+			Pages json.RawMessage `json:"pages"`
+		}
+		_ = json.Unmarshal(body, &probe)
+		if probe.Pages == nil {
+			h.ingestLegacy(w, r, ing, body)
+			return
+		}
+
+		var req v1IngestBatchRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
-		if err := dec.Decode(&page); err != nil {
-			http.Error(w, fmt.Sprintf("bad page: %v", err), http.StatusBadRequest)
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
 			return
 		}
-		if page.ID == "" {
-			http.Error(w, "bad page: missing id", http.StatusBadRequest)
+		if len(req.Pages) == 0 {
+			http.Error(w, "bad batch: empty pages", http.StatusBadRequest)
 			return
 		}
-		// AddPage returns only after the page is WAL-durable (when a log
-		// is attached), so this response is the acknowledgement the
+		opts := shard.IngestOptions{}
+		switch req.Durability {
+		case "", "default":
+		case "sync":
+			opts.Durability = shard.DurSync
+		case "async":
+			opts.Durability = shard.DurAsync
+		default:
+			http.Error(w, `bad batch: durability must be "default", "sync" or "async"`, http.StatusBadRequest)
+			return
+		}
+		if req.Atomic != nil && !*req.Atomic {
+			opts.Atomicity = shard.PerPage
+		}
+		for i, page := range req.Pages {
+			if page == nil || page.ID == "" {
+				http.Error(w, fmt.Sprintf("bad batch: page %d missing id", i), http.StatusBadRequest)
+				return
+			}
+		}
+		start := time.Now()
+		// Ingest returns only after the batch is WAL-durable at the level
+		// asked for, so this response is the acknowledgement the
 		// crash-recovery guarantee is stated over.
-		if err := ing.AddPage(&page); err != nil {
+		res, err := ing.Ingest(r.Context(), req.Pages, opts)
+		if err != nil && res.Pages == 0 {
 			http.Error(w, fmt.Sprintf("ingest failed: %v", err), http.StatusInternalServerError)
 			return
 		}
-		resp := v1IngestResponse{ID: page.ID, Docs: ing.NumDocs()}
+		resp := v1IngestBatchResponse{
+			SegmentID:  res.Segment,
+			TookUs:     time.Since(start).Microseconds(),
+			Durability: res.Durability,
+			Pages:      res.Pages,
+			Docs:       res.Docs,
+			PerShard:   res.PerShard,
+			Tombstones: res.Tombstones,
+			TotalDocs:  ing.NumDocs(),
+		}
 		if tr := obs.TraceFrom(r.Context()); tr != nil {
 			resp.TraceID = tr.ID
+		}
+		if err != nil {
+			// PerPage prefix commit: part of the batch is in. 207 keeps the
+			// committed prefix visible while flagging the loss.
+			w.Header().Set("X-Ingest-Partial", "true")
+			w.WriteHeader(http.StatusMultiStatus)
 		}
 		writeV1(w, resp)
 	})

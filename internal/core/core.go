@@ -100,13 +100,25 @@ func (s *System) LoadPages(pages []*crawler.MatchPage) {
 // live deployment can ingest last night's game without a rebuild. Sharded
 // engines refresh only the owning shard plus their global statistics.
 func (s *System) AddPage(page *crawler.MatchPage) {
-	s.pages = append(s.pages, page)
+	s.IngestPages(page)
+}
+
+// IngestPages is the batched form of AddPage: one call commits every
+// page — sharded engines take the whole batch as a single Ingest (one
+// segment, one statistics fold) rather than a rebuild per page.
+func (s *System) IngestPages(pages ...*crawler.MatchPage) {
+	if len(pages) == 0 {
+		return
+	}
+	s.pages = append(s.pages, pages...)
 	b := &semindex.Builder{Ontology: s.Ontology, Reasoner: s.Reasoner, Rules: s.Rules}
 	for _, ix := range s.indices {
-		b.AddPage(ix, page)
+		for _, page := range pages {
+			b.AddPage(ix, page)
+		}
 	}
 	for _, e := range s.sharded {
-		e.AddPage(page)
+		e.Ingest(context.Background(), pages, shard.IngestOptions{})
 	}
 }
 

@@ -95,6 +95,11 @@ type Index struct {
 	// exhaustive routes Search through the term-at-a-time map-accumulator
 	// path instead of the DAAT kernel (see SetExhaustive).
 	exhaustive bool
+	// deleted marks tombstoned documents (Lucene's liveDocs, inverted).
+	// Postings are never rewritten; the collect points in Search and
+	// ExhaustiveSearch skip dead docIDs instead, and a merge drops them.
+	deleted    []bool
+	numDeleted int
 }
 
 // New returns an empty index using the analyzer for every field and the
@@ -120,6 +125,7 @@ func (ix *Index) Analyzer() Analyzer { return ix.analyzer }
 func (ix *Index) Add(d *Document) int {
 	id := len(ix.docs)
 	ix.docs = append(ix.docs, d)
+	ix.deleted = append(ix.deleted, false)
 	for _, f := range d.Fields {
 		if len(f.Name) > 0 && f.Name[0] == '_' {
 			continue
@@ -161,13 +167,57 @@ func (ix *Index) Add(d *Document) int {
 	return id
 }
 
-// NumDocs returns the number of indexed documents.
+// NumDocs returns the number of indexed documents, including tombstoned
+// ones — it is the docID space size, not the live count (see LiveDocs).
 func (ix *Index) NumDocs() int { return len(ix.docs) }
+
+// Delete tombstones a document: it stops matching queries immediately but
+// keeps its docID (and its stored fields, for merge-time bookkeeping)
+// until a merge drops it. Reports whether the document was newly deleted.
+// Like Add, not safe against concurrent searches.
+func (ix *Index) Delete(id int) bool {
+	if id < 0 || id >= len(ix.docs) {
+		return false
+	}
+	// Decoded snapshots carry no tombstones and leave the slice unsized;
+	// grow it on the first delete after a load.
+	if len(ix.deleted) < len(ix.docs) {
+		ix.deleted = append(ix.deleted, make([]bool, len(ix.docs)-len(ix.deleted))...)
+	}
+	if ix.deleted[id] {
+		return false
+	}
+	ix.deleted[id] = true
+	ix.numDeleted++
+	return true
+}
+
+// IsDeleted reports whether the document is tombstoned.
+func (ix *Index) IsDeleted(id int) bool {
+	return id >= 0 && id < len(ix.deleted) && ix.deleted[id]
+}
+
+// NumDeleted returns the tombstone count.
+func (ix *Index) NumDeleted() int { return ix.numDeleted }
+
+// DeletedMask returns a copy of the tombstone bits — the liveness
+// snapshot a background merge works against (see MergeIndexes).
+func (ix *Index) DeletedMask() []bool {
+	if len(ix.deleted) == 0 {
+		return nil
+	}
+	return append([]bool(nil), ix.deleted...)
+}
+
+// LiveDocs returns the number of documents that still match queries.
+func (ix *Index) LiveDocs() int { return len(ix.docs) - ix.numDeleted }
 
 // Stats summarizes index size.
 type Stats struct {
-	// Docs is the document count.
+	// Docs is the document count, including tombstoned documents.
 	Docs int
+	// Deleted is the tombstone count awaiting a merge.
+	Deleted int
 	// Fields is the number of distinct indexed fields.
 	Fields int
 	// Terms is the total distinct (field, term) pairs.
@@ -178,7 +228,7 @@ type Stats struct {
 
 // Stats computes the index size summary by walking the term dictionaries.
 func (ix *Index) Stats() Stats {
-	s := Stats{Docs: len(ix.docs), Fields: len(ix.fields)}
+	s := Stats{Docs: len(ix.docs), Deleted: ix.numDeleted, Fields: len(ix.fields)}
 	for _, fi := range ix.fields {
 		s.Terms += len(fi.postings)
 		for _, pl := range fi.postings {

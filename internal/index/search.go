@@ -45,6 +45,11 @@ func (ix *Index) Search(q Query, limit int) []Hit {
 	pr, canPrune := sc.(prunable)
 	th := 0.0
 	for d := sc.next(); d != noMoreDocs; d = sc.next() {
+		// Tombstoned documents keep their postings until a merge; the
+		// collect point is where they stop existing for queries.
+		if ix.numDeleted > 0 && ix.deleted[d] {
+			continue
+		}
 		if s := sc.score(); s > th {
 			c.collect(d, s)
 			if nt := c.threshold(); nt > th {
@@ -68,6 +73,9 @@ func (ix *Index) ExhaustiveSearch(q Query, limit int) []Hit {
 	sc := q.scores(ix)
 	c := acquireCollector(limit)
 	for id, s := range sc {
+		if ix.numDeleted > 0 && ix.deleted[id] {
+			continue
+		}
 		if s > 0 {
 			c.collect(id, s)
 		}

@@ -14,6 +14,14 @@ package index
 // bit-identical to the single-index scores, so a scatter-gather merge
 // reproduces the monolithic ranking exactly.
 
+// FieldTerm names one (field, analyzed term) pair — the unit of a query's
+// statistics footprint (see semindex.QueryFootprint and the shard
+// engine's scoped cache validation).
+type FieldTerm struct {
+	Field string
+	Term  string
+}
+
 // FieldStats aggregates one field's collection statistics.
 type FieldStats struct {
 	// Docs is the number of documents carrying the field.
@@ -81,20 +89,110 @@ func (cs *CorpusStats) Merge(o *CorpusStats) {
 	}
 }
 
+// Remove subtracts one partition's (or one document's) statistics from
+// cs — the tombstone-time inverse of Merge. All counters are integers, so
+// any interleaving of Merge and Remove calls lands on exactly the state a
+// from-scratch recompute over the surviving documents would produce:
+// entries that reach zero are deleted, matching LocalStats, which never
+// emits zero-df terms or fields carried only by dead documents.
+func (cs *CorpusStats) Remove(o *CorpusStats) {
+	if o == nil {
+		return
+	}
+	cs.Docs -= o.Docs
+	for name, ofs := range o.Fields {
+		fs := cs.Fields[name]
+		if fs == nil {
+			continue
+		}
+		fs.Docs -= ofs.Docs
+		fs.SumLen -= ofs.SumLen
+		for t, df := range ofs.DocFreq {
+			if n := fs.DocFreq[t] - df; n > 0 {
+				fs.DocFreq[t] = n
+			} else {
+				delete(fs.DocFreq, t)
+			}
+		}
+		if fs.Docs <= 0 {
+			delete(cs.Fields, name)
+		}
+	}
+}
+
 // LocalStats exports the index's own statistics — one partition's
-// contribution to the corpus-wide exchange.
+// contribution to the corpus-wide exchange. Tombstoned documents are
+// excluded: the result equals what a from-scratch index over only the
+// live documents would export.
 func (ix *Index) LocalStats() *CorpusStats {
-	cs := &CorpusStats{Docs: len(ix.docs), Fields: make(map[string]*FieldStats, len(ix.fields))}
+	if ix.numDeleted == 0 {
+		cs := &CorpusStats{Docs: len(ix.docs), Fields: make(map[string]*FieldStats, len(ix.fields))}
+		for name, fi := range ix.fields {
+			fs := &FieldStats{
+				Docs:    len(fi.docLen),
+				SumLen:  fi.sumLen,
+				DocFreq: make(map[string]int, len(fi.postings)),
+			}
+			for t, pl := range fi.postings {
+				fs.DocFreq[t] = len(pl)
+			}
+			cs.Fields[name] = fs
+		}
+		return cs
+	}
+	cs := &CorpusStats{Docs: ix.LiveDocs(), Fields: make(map[string]*FieldStats, len(ix.fields))}
 	for name, fi := range ix.fields {
-		fs := &FieldStats{
-			Docs:    len(fi.docLen),
-			SumLen:  fi.sumLen,
-			DocFreq: make(map[string]int, len(fi.postings)),
+		fs := &FieldStats{DocFreq: map[string]int{}}
+		for id, l := range fi.docLen {
+			if ix.deleted[id] {
+				continue
+			}
+			fs.Docs++
+			fs.SumLen += l
+		}
+		if fs.Docs == 0 {
+			continue // the field survives only on tombstoned documents
 		}
 		for t, pl := range fi.postings {
-			fs.DocFreq[t] = len(pl)
+			df := 0
+			for i := range pl {
+				if !ix.deleted[pl[i].DocID] {
+					df++
+				}
+			}
+			if df > 0 {
+				fs.DocFreq[t] = df
+			}
 		}
 		cs.Fields[name] = fs
+	}
+	return cs
+}
+
+// DocStats computes one stored document's statistics contribution — what
+// removing it must subtract from the corpus-wide view. It re-analyzes the
+// stored field text with the index's own analyzer, so the result is
+// exactly what Add contributed when the document was indexed.
+func (ix *Index) DocStats(id int) *CorpusStats {
+	d := ix.Doc(id)
+	if d == nil {
+		return nil
+	}
+	cs := NewCorpusStats()
+	cs.Docs = 1
+	for _, f := range d.Fields {
+		if len(f.Name) > 0 && f.Name[0] == '_' {
+			continue
+		}
+		fs := cs.Fields[f.Name]
+		if fs == nil {
+			fs = &FieldStats{Docs: 1, DocFreq: map[string]int{}}
+			cs.Fields[f.Name] = fs
+		}
+		for _, t := range ix.analyzer.Analyze(f.Text) {
+			fs.SumLen++
+			fs.DocFreq[t] = 1 // df counts documents, not occurrences
+		}
 	}
 	return cs
 }

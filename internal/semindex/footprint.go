@@ -1,0 +1,94 @@
+package semindex
+
+import (
+	"strings"
+
+	"repro/internal/index"
+)
+
+// QueryFootprint returns the (field, analyzed term) pairs whose corpus
+// statistics the query's ranking depends on — the inputs the sharded
+// engine's scoped cache invalidation must watch. It mirrors buildQuery's
+// routing exactly: TRAD expands over the narration field, PHR_EXP fuses
+// "by/of/to X" pairs into the phrase fields, and everything else expands
+// over the standard query boosts. Zero-boost fields contribute nothing
+// (MultiFieldQuery drops them), and a token the analyzer swallows (a
+// stopword) contributes nothing, matching the query that will actually run.
+//
+// ok is false when the query may take the advanced-parser path. That
+// decision is deliberately stricter than hasAdvancedSyntax: a ':' inside
+// any token disqualifies the query even if no current field matches the
+// prefix, because hasAdvancedSyntax consults HasField and the footprint
+// must hold for every partition regardless of which fields it happens to
+// carry. Callers treat ok=false as "every statistic is load-bearing".
+func (s *SemanticIndex) QueryFootprint(query string) ([]index.FieldTerm, bool) {
+	if mayUseAdvancedSyntax(query) {
+		return nil, false
+	}
+	an := s.Index.Analyzer()
+	var out []index.FieldTerm
+	addMulti := func(text string, boosts []index.FieldBoost) {
+		for _, tok := range index.Tokenize(text) {
+			for _, term := range an.Analyze(tok) {
+				for _, fb := range boosts {
+					if fb.Boost != 0 {
+						out = append(out, index.FieldTerm{Field: fb.Field, Term: term})
+					}
+				}
+			}
+		}
+	}
+	switch s.Level {
+	case Trad:
+		addMulti(query, TradBoosts)
+	case PhrExp:
+		tokens := index.Tokenize(strings.ToLower(query))
+		var plain []string
+		for i := 0; i < len(tokens); i++ {
+			tok := tokens[i]
+			if i+1 < len(tokens) {
+				var field string
+				switch tok {
+				case "by", "of":
+					field = FieldSubjPhrase
+				case "to":
+					field = FieldObjPhrase
+				}
+				if field != "" {
+					for _, term := range an.Analyze(tok + tokens[i+1]) {
+						out = append(out, index.FieldTerm{Field: field, Term: term})
+					}
+					i++
+					continue
+				}
+			}
+			plain = append(plain, tok)
+		}
+		if len(plain) > 0 {
+			addMulti(strings.Join(plain, " "), QueryBoosts)
+		}
+	default:
+		addMulti(query, QueryBoosts)
+	}
+	return out, true
+}
+
+// mayUseAdvancedSyntax is the field-independent superset of
+// hasAdvancedSyntax: true whenever ANY index, whatever fields it holds,
+// could route the query through the full parser.
+func mayUseAdvancedSyntax(query string) bool {
+	if strings.Contains(query, `"`) ||
+		strings.HasPrefix(query, "+") || strings.HasPrefix(query, "-") ||
+		strings.Contains(query, " +") || strings.Contains(query, " -") {
+		return true
+	}
+	for _, tok := range strings.Fields(query) {
+		if strings.HasSuffix(tok, "~") {
+			return true
+		}
+		if i := strings.IndexByte(tok, ':'); i > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -62,8 +62,8 @@ func TestSearchDeadlineDegraded(t *testing.T) {
 	refPer := func(q string, limit int) []semindex.Hit {
 		ref.mu.RLock()
 		defer ref.mu.RUnlock()
-		per := ref.scatter(nil, func(s *semindex.SemanticIndex) []semindex.Hit {
-			return s.Search(q, limit)
+		per := ref.scatter(nil, func(s int) []semindex.Hit {
+			return ref.searchShardLocked(s, q, limit)
 		})
 		per[stalled] = nil
 		return ref.merge(nil, per, limit)

@@ -10,24 +10,32 @@
 // scores — to the ranking a single monolithic index over the same corpus
 // would produce. Two mechanisms carry that guarantee:
 //
-//   - Globally-consistent scoring: after build, shards exchange collection
-//     statistics (index.CorpusStats). Every shard then scores against
-//     corpus-wide document frequencies, document counts and average field
-//     lengths instead of its local slice, so identical documents earn
-//     bit-identical scores regardless of shard placement.
+//   - Globally-consistent scoring: shards score against corpus-wide
+//     document frequencies, document counts and average field lengths
+//     (index.CorpusStats) instead of their local slice, so identical
+//     documents earn bit-identical scores regardless of shard placement.
+//     The view is built once at build/load time and maintained
+//     incrementally by ingest: integer adds (new segment) and subtracts
+//     (tombstones) land on exactly the state a from-scratch recompute
+//     over the live documents would produce.
 //
 //   - Global document identity: every document carries its global docID
 //     (the docID the monolith would have assigned) in the stored MetaGID
-//     field. Ties are broken on the global ID, and because local IDs within
-//     a shard are assigned in global order, per-shard top-k truncation
-//     never discards a document the global merge would have kept.
+//     field. Ties are broken on the global ID, and because local IDs
+//     within every sub-index are assigned in global order, per-shard
+//     top-k truncation never discards a document the global merge would
+//     have kept.
 //
-// New matches are ingested incrementally: only the owning shard and the
-// global statistics are refreshed; the other shards are untouched.
+// Ingest is LSM-shaped: each Ingest batch becomes one small immutable
+// in-memory segment per touched shard, appended to the shard without
+// rebuilding anything; a replaced page's previous documents are
+// tombstoned, not rewritten. Searches scatter across shards × (base +
+// segments). A background merger (merger.go) compacts segments into the
+// base and drops tombstones — invisible to queries: no statistics move,
+// no epoch bumps, the ranking is byte-identical before, during and after.
 package shard
 
 import (
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -51,8 +59,24 @@ import (
 // identity across save/load.
 const MetaGID = "_gid"
 
-// docRef locates one global document inside the engine.
+// subIndex is one searchable unit inside a shard: the base index or one
+// ingest batch's immutable segment. gids maps its local docIDs to global
+// ones, ascending — locals are assigned in global order, which keeps
+// per-sub top-k truncation safe for the global merge.
+type subIndex struct {
+	si   *semindex.SemanticIndex
+	gids []int
+	// segID is 0 for the base, else the Ingest batch's segment id.
+	// Segment postings are immutable after the creating batch commits;
+	// only tombstone bits move afterwards.
+	segID uint64
+}
+
+// docRef locates one global document inside the engine. A nil sub marks
+// a hole in the global ID space (a document lost with a quarantined
+// shard, or dropped by a merge after being tombstoned).
 type docRef struct {
+	sub   *subIndex
 	shard int
 	local int
 }
@@ -76,34 +100,61 @@ type Options struct {
 }
 
 // Engine is an N-way sharded semantic index. Searches are safe for
-// concurrent use and may overlap; ingestion (AddPage) is serialized
-// against searches internally.
+// concurrent use and may overlap; ingestion (Ingest) commits are
+// serialized against searches internally, with document analysis running
+// outside the lock.
 type Engine struct {
 	level   semindex.Level
 	builder *semindex.Builder
-	shards  []*semindex.SemanticIndex
 
-	// mu guards the mutable state below: incremental ingest swaps it while
-	// concurrent searches hold the read side.
+	// shards aliases each shard's base semantic index (base[s].si) — the
+	// view Save, Shard and the statistics exchange work from. Swapped
+	// together with base under the write lock when a merge lands.
+	shards []*semindex.SemanticIndex
+
+	// mu guards the mutable state below: ingest and merge swaps take the
+	// write side while concurrent searches hold the read side.
 	mu sync.RWMutex
-	// byGID maps global docID -> location; gids is the inverse, per shard.
+	// base and segs are each shard's LSM pieces: one base index plus the
+	// not-yet-merged segments in creation (= ascending global ID) order.
+	base []*subIndex
+	segs [][]*subIndex
+	// byGID maps global docID -> location.
 	byGID []docRef
-	gids  [][]int
-	// perShard caches each shard's local statistics so an ingest only
-	// recomputes the owning shard's contribution before re-merging.
-	perShard []*index.CorpusStats
-	global   *index.CorpusStats
+	// pageGIDs maps a page ID to the global docIDs of its LIVE documents
+	// — the index Ingest consults to tombstone a page's previous version
+	// (upsert semantics).
+	pageGIDs map[string][]int
+	// liveDocs counts documents that match queries: ingested minus
+	// tombstoned minus quarantined holes.
+	liveDocs int
+	// global is the corpus-wide statistics view installed on every sub.
+	// The OBJECT IDENTITY is engine-wide and stable across ingests —
+	// ingest mutates it in place under the write lock (integer-exact, see
+	// package comment); only exchangeStats replaces it.
+	global *index.CorpusStats
 
 	// met holds the engine's metric handles (see metrics.go). Swapped by
 	// SetMetrics under the write lock; read under the read lock on every
 	// search path.
 	met *engineMetrics
 
-	// epoch counts statistics exchanges: mergeAndInstall bumps it under
-	// the write lock, and every query-cache entry captures the epoch its
-	// answer was computed at, so a cached hit is never served across an
-	// ingest (invalidation by version, not by time).
-	epoch atomic.Uint64
+	// epoch counts ingests engine-wide — the coarse "anything changed"
+	// counter. epochs (guarded by mu) is the per-shard refinement: an
+	// ingest bumps only the shards it wrote to or tombstoned in, which is
+	// what lets the query cache keep answers whose shard-set the write
+	// does not intersect (scoped invalidation, see search.go).
+	epoch  atomic.Uint64
+	epochs []uint64
+	// scoped selects per-shard cache invalidation (the default). Off,
+	// every ingest bumps every shard's epoch — the legacy evict-the-world
+	// behavior the ingest benchmark's baseline arm measures.
+	scoped bool
+	// exhaustive mirrors SetExhaustiveScoring so segments created later
+	// inherit the scoring mode.
+	exhaustive bool
+	// nextSeg numbers ingest segments, starting at 1 (0 is the base).
+	nextSeg uint64
 
 	// cache and flight are the optional query-result cache and its
 	// singleflight group (see internal/qcache). Installed before serving
@@ -121,7 +172,7 @@ type Engine struct {
 	// a fresh build, the manifest's generation after Load, bumped by
 	// every Save. It anchors the ingest WAL to its snapshot.
 	gen uint64
-	// wal, when attached, receives every AddPage batch before memory
+	// wal, when attached, receives every Ingest batch before memory
 	// mutates (see AttachWAL); Save rotates it at checkpoint.
 	wal *wal.Log
 	// quarantined lists shard slots Load replaced with empty
@@ -132,6 +183,31 @@ type Engine struct {
 	// loadRep records how the last Load recovered (zero for built
 	// engines).
 	loadRep LoadReport
+
+	// mergeOpMu serializes merge/compaction operations (background
+	// merger, ForceMerge, Save's checkpoint compaction) against each
+	// other; mergerMu guards the background merger's lifecycle state.
+	mergeOpMu  sync.Mutex
+	mergerMu   sync.Mutex
+	mergerStop chan struct{}
+	mergerDone chan struct{}
+	mergeNudge chan struct{}
+}
+
+// newEngine wires the empty N-shard skeleton shared by Build and Load.
+func newEngine(level semindex.Level, b *semindex.Builder, n int) *Engine {
+	return &Engine{
+		level:    level,
+		builder:  b,
+		shards:   make([]*semindex.SemanticIndex, n),
+		base:     make([]*subIndex, n),
+		segs:     make([][]*subIndex, n),
+		epochs:   make([]uint64, n),
+		pageGIDs: map[string][]int{},
+		scoped:   true,
+		nextSeg:  1,
+		met:      newEngineMetrics(obs.Default, n),
+	}
 }
 
 // Generation returns the snapshot generation the engine extends: 0 for
@@ -170,6 +246,21 @@ func (e *Engine) SetStall(hook func(shard int)) {
 	defer e.mu.Unlock()
 	e.stall = hook
 }
+
+// SetScopedInvalidation toggles scoped (per-shard epoch) cache
+// invalidation. On by default; turning it off makes every ingest bump
+// every shard's epoch, reproducing the legacy evict-everything behavior —
+// the baseline arm of the ingest benchmark.
+func (e *Engine) SetScopedInvalidation(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.scoped = on
+}
+
+// ShardFor reports which shard of an n-shard engine owns a page ID —
+// the stable routing hash, exported so writers (ingest routers, load
+// harnesses) can reason about write placement.
+func ShardFor(pageID string, n int) int { return shardFor(pageID, n) }
 
 // shardFor places a page on a shard by stable hash, so the same page ID
 // always lands on the same shard regardless of arrival order.
@@ -239,15 +330,11 @@ func BuildStream(b *semindex.Builder, level semindex.Level, src PageSource, opts
 	if n < 1 {
 		n = 1
 	}
-	e := &Engine{
-		level:   level,
-		builder: b,
-		shards:  make([]*semindex.SemanticIndex, n),
-		gids:    make([][]int, n),
-		met:     newEngineMetrics(obs.Default, n),
-	}
+	e := newEngine(level, b, n)
 	for s := 0; s < n; s++ {
-		e.shards[s] = &semindex.SemanticIndex{Level: level, Index: index.New(b.Analyzer)}
+		si := &semindex.SemanticIndex{Level: level, Index: index.New(b.Analyzer)}
+		e.shards[s] = si
+		e.base[s] = &subIndex{si: si}
 	}
 
 	chunk := opts.ChunkPages
@@ -276,6 +363,7 @@ func BuildStream(b *semindex.Builder, level semindex.Level, src PageSource, opts
 	}
 	e.commitChunk(b, level, buf, workers)
 
+	e.liveDocs = len(e.byGID)
 	e.exchangeStats()
 	if opts.CacheBytes > 0 {
 		e.cache = qcache.New(opts.CacheBytes, 0, obs.Default)
@@ -291,7 +379,7 @@ func (e *Engine) commitChunk(b *semindex.Builder, level semindex.Level, pages []
 	if len(pages) == 0 {
 		return
 	}
-	n := len(e.shards)
+	n := len(e.base)
 
 	// Phase 1: prepare per-page documents in parallel.
 	docsByPage := make([][]*index.Document, len(pages))
@@ -323,8 +411,9 @@ func (e *Engine) commitChunk(b *semindex.Builder, level semindex.Level, pages []
 		for _, d := range docsByPage[i] {
 			gid := len(e.byGID)
 			d.Add(MetaGID, strconv.Itoa(gid))
-			e.byGID = append(e.byGID, docRef{shard: s, local: len(e.gids[s])})
-			e.gids[s] = append(e.gids[s], gid)
+			e.byGID = append(e.byGID, docRef{sub: e.base[s], shard: s, local: len(e.base[s].gids)})
+			e.base[s].gids = append(e.base[s].gids, gid)
+			e.pageGIDs[page.ID] = append(e.pageGIDs[page.ID], gid)
 		}
 	}
 
@@ -368,104 +457,67 @@ func (e *Engine) QueryCache() *qcache.Cache {
 	return e.cache
 }
 
-// Epoch returns the engine's current statistics epoch. Every ingest (or
-// any other statistics exchange) advances it, invalidating all cached
-// query results computed before.
+// Epoch returns the engine's total ingest counter. Every ingest advances
+// it; merges do not (they change nothing observable).
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
+// ShardEpochs returns a copy of the per-shard content epochs — the
+// counters scoped cache invalidation keys on.
+func (e *Engine) ShardEpochs() []uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]uint64(nil), e.epochs...)
+}
+
+// subsLocked lists one shard's sub-indexes: base first, then segments in
+// creation order — ascending, disjoint global-ID ranges. Read lock
+// required; the returned slice is private to the caller.
+func (e *Engine) subsLocked(s int) []*subIndex {
+	subs := make([]*subIndex, 0, 1+len(e.segs[s]))
+	subs = append(subs, e.base[s])
+	return append(subs, e.segs[s]...)
+}
+
 // exchangeStats recomputes every shard's local statistics in parallel,
-// merges them into the corpus-wide view and installs it on every shard —
-// the post-build exchange that makes per-shard ranking globally
-// consistent. Callers must hold the write lock (or be single-threaded,
-// as during Build).
+// merges them into a FRESH corpus-wide view and installs it on every
+// sub-index — the post-build/post-load exchange that makes per-shard
+// ranking globally consistent. LocalStats is tombstone-aware, so the
+// result is exact even mid-LSM-state. Callers must hold the write lock
+// (or be single-threaded, as during Build). All shard epochs advance:
+// the statistics object was replaced, so nothing cached can be trusted
+// structurally.
 func (e *Engine) exchangeStats() {
-	e.perShard = make([]*index.CorpusStats, len(e.shards))
+	per := make([]*index.CorpusStats, len(e.base))
 	var wg sync.WaitGroup
-	for s := range e.shards {
+	for s := range e.base {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			e.perShard[s] = e.shards[s].Index.LocalStats()
+			cs := e.base[s].si.Index.LocalStats()
+			for _, sub := range e.segs[s] {
+				cs.Merge(sub.si.Index.LocalStats())
+			}
+			per[s] = cs
 		}(s)
 	}
 	wg.Wait()
-	e.mergeAndInstall()
-}
-
-// mergeAndInstall merges the cached per-shard statistics and installs the
-// global view on every shard, then advances the epoch: any query-cache
-// entry computed before this point is now invalid, because corpus-wide
-// statistics (and therefore scores) may have changed. Write lock required.
-func (e *Engine) mergeAndInstall() {
 	g := index.NewCorpusStats()
-	for _, cs := range e.perShard {
+	for _, cs := range per {
 		g.Merge(cs)
 	}
 	e.global = g
-	for _, sh := range e.shards {
-		sh.Index.SetCorpusStats(g)
+	for s := range e.base {
+		for _, sub := range e.subsLocked(s) {
+			sub.si.Index.SetCorpusStats(g)
+		}
+	}
+	for s := range e.epochs {
+		e.epochs[s]++
 	}
 	e.epoch.Add(1)
 }
 
-// AddPage ingests one new match incrementally: only the owning shard is
-// extended and re-profiled; every other shard's inverted index is
-// untouched. The global statistics are re-merged so rankings stay
-// consistent with a from-scratch build over the enlarged corpus.
-//
-// With a WAL attached (AttachWAL), the page is appended to the log —
-// and, under wal.SyncAlways, fsynced — before a single byte of memory
-// mutates, so a nil return means the ingest survives an immediate
-// kill -9: Load replays it from the log. A WAL append failure leaves
-// the engine untouched and is returned; without a WAL, AddPage cannot
-// fail.
-func (e *Engine) AddPage(page *crawler.MatchPage) error {
-	start := time.Now()
-	docs := e.builder.PageDocuments(e.level, page)
-	s := shardFor(page.ID, len(e.shards))
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.wal != nil {
-		rec, err := json.Marshal(page)
-		if err != nil {
-			return fmt.Errorf("shard: encoding WAL record: %w", err)
-		}
-		if err := e.wal.Append(rec); err != nil {
-			return fmt.Errorf("shard: WAL append: %w", err)
-		}
-	}
-	defer func() { e.met.ingest.ObserveDuration(time.Since(start)) }()
-	e.ingestDocsLocked(s, docs)
-	return nil
-}
-
-// applyPage is AddPage without the WAL append — the replay path: the
-// record being applied is already durable in the log.
-func (e *Engine) applyPage(page *crawler.MatchPage) {
-	docs := e.builder.PageDocuments(e.level, page)
-	s := shardFor(page.ID, len(e.shards))
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ingestDocsLocked(s, docs)
-}
-
-// ingestDocsLocked commits prepared documents to their shard, assigns
-// global IDs in arrival order, and re-exchanges statistics. Write lock
-// required.
-func (e *Engine) ingestDocsLocked(s int, docs []*index.Document) {
-	for _, d := range docs {
-		gid := len(e.byGID)
-		d.Add(MetaGID, strconv.Itoa(gid))
-		e.byGID = append(e.byGID, docRef{shard: s, local: len(e.gids[s])})
-		e.gids[s] = append(e.gids[s], gid)
-		e.shards[s].Index.Add(d)
-	}
-	e.perShard[s] = e.shards[s].Index.LocalStats()
-	e.mergeAndInstall()
-}
-
-// SetExhaustiveScoring routes every shard through the term-at-a-time
+// SetExhaustiveScoring routes every sub-index through the term-at-a-time
 // map-accumulator scoring path instead of the pruned DAAT kernel (see
 // index.Index.SetExhaustive) — the engine-level escape hatch the cold-path
 // benchmark compares against. Results are identical either way; only the
@@ -474,8 +526,11 @@ func (e *Engine) ingestDocsLocked(s int, docs []*index.Document) {
 func (e *Engine) SetExhaustiveScoring(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, sh := range e.shards {
-		sh.Index.SetExhaustive(on)
+	e.exhaustive = on
+	for s := range e.base {
+		for _, sub := range e.subsLocked(s) {
+			sub.si.Index.SetExhaustive(on)
+		}
 	}
 }
 
@@ -485,16 +540,18 @@ func (e *Engine) Level() semindex.Level { return e.level }
 // NumShards returns the partition count.
 func (e *Engine) NumShards() int { return len(e.shards) }
 
-// NumDocs returns the global document count.
+// NumDocs returns the number of live documents — ingested (including
+// not-yet-merged segment documents, which are searchable the moment
+// Ingest returns) minus tombstoned minus quarantined holes.
 func (e *Engine) NumDocs() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.byGID)
+	return e.liveDocs
 }
 
 // Doc returns the stored document for a global docID, or nil for an
-// unknown ID — including IDs lost to a quarantined shard, whose holes
-// in the ID space are preserved rather than renumbered.
+// unknown, tombstoned or lost ID (quarantined shards and merged-away
+// tombstones leave holes in the ID space rather than renumbering).
 func (e *Engine) Doc(gid int) *index.Document {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -502,26 +559,36 @@ func (e *Engine) Doc(gid int) *index.Document {
 		return nil
 	}
 	ref := e.byGID[gid]
-	if ref.shard < 0 {
+	if ref.sub == nil || ref.sub.si.Index.IsDeleted(ref.local) {
 		return nil
 	}
-	return e.shards[ref.shard].Index.Doc(ref.local)
+	return ref.sub.si.Index.Doc(ref.local)
 }
 
-// Shard exposes one shard's semantic index (for stats and tests); the
-// returned index must not be mutated.
-func (e *Engine) Shard(i int) *semindex.SemanticIndex { return e.shards[i] }
+// Shard exposes one shard's BASE semantic index (for stats, persistence
+// and tests); the returned index must not be mutated. Segment documents
+// live outside it until the merger folds them in.
+func (e *Engine) Shard(i int) *semindex.SemanticIndex {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.shards[i]
+}
 
 // Stats summarizes the engine: the exchanged corpus-wide view plus each
 // shard's size.
 type Stats struct {
 	// Shards is the partition count.
 	Shards int
-	// Docs is the global document count.
+	// Docs is the live global document count, segment docs included.
 	Docs int
+	// Segments counts not-yet-merged ingest segments across all shards.
+	Segments int
+	// Tombstones counts deleted documents awaiting a merge.
+	Tombstones int
 	// Global is the merged corpus-wide statistics every shard scores with.
 	Global *index.CorpusStats
-	// PerShard holds each shard's index size summary.
+	// PerShard holds each shard's size summary, base and segments
+	// aggregated (Fields is the base's; segment fields are a subset).
 	PerShard []index.Stats
 }
 
@@ -529,9 +596,20 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	st := Stats{Shards: len(e.shards), Docs: len(e.byGID), Global: e.global}
-	for _, sh := range e.shards {
-		st.PerShard = append(st.PerShard, sh.Index.Stats())
+	st := Stats{Shards: len(e.shards), Docs: e.liveDocs, Global: e.global}
+	for s := range e.base {
+		ps := e.base[s].si.Index.Stats()
+		for _, sub := range e.segs[s] {
+			ss := sub.si.Index.Stats()
+			ps.Docs += ss.Docs
+			ps.Deleted += ss.Deleted
+			ps.Terms += ss.Terms
+			ps.Postings += ss.Postings
+		}
+		ps.Docs -= ps.Deleted
+		st.Segments += len(e.segs[s])
+		st.Tombstones += ps.Deleted
+		st.PerShard = append(st.PerShard, ps)
 	}
 	return st
 }
@@ -545,5 +623,9 @@ func (st Stats) String() string {
 		}
 		out += strconv.Itoa(ps.Docs)
 	}
-	return out + ")"
+	out += ")"
+	if st.Segments > 0 || st.Tombstones > 0 {
+		out += fmt.Sprintf(", %d unmerged segment(s), %d tombstone(s)", st.Segments, st.Tombstones)
+	}
+	return out
 }

@@ -140,36 +140,62 @@ func TestGlobalStatsExchange(t *testing.T) {
 	}
 }
 
-// TestIncrementalIngest: adding a match must refresh only the owning shard
-// and the global statistics, and afterwards rank identically to a
-// from-scratch build over the enlarged corpus.
+// TestIncrementalIngest: adding a match must grow only the owning shard
+// — as an appended segment, without rebuilding ANY base index — and
+// afterwards rank identically to a from-scratch build over the enlarged
+// corpus, both before and after the segment is merged in.
 func TestIncrementalIngest(t *testing.T) {
 	pages, mono := fixture(t)
 	e := Build(nil, semindex.FullInf, pages[:len(pages)-1], Options{Shards: 4})
 	last := pages[len(pages)-1]
 	owner := shardFor(last.ID, 4)
-	before := make([]int, 4)
-	for i := range before {
-		before[i] = e.Shard(i).Index.NumDocs()
+	perShard := func() []int {
+		st := e.Stats()
+		out := make([]int, len(st.PerShard))
+		for i, ps := range st.PerShard {
+			out[i] = ps.Docs
+		}
+		return out
+	}
+	before := perShard()
+	baseBefore := make([]int, 4)
+	for i := range baseBefore {
+		baseBefore[i] = e.Shard(i).Index.NumDocs()
 	}
 
 	e.AddPage(last)
 
+	after := perShard()
 	for i := range before {
 		if i == owner {
-			if e.Shard(i).Index.NumDocs() <= before[i] {
+			if after[i] <= before[i] {
 				t.Errorf("owning shard %d did not grow", i)
 			}
-		} else if e.Shard(i).Index.NumDocs() != before[i] {
-			t.Errorf("shard %d rebuilt on ingest: %d docs, was %d",
-				i, e.Shard(i).Index.NumDocs(), before[i])
+		} else if after[i] != before[i] {
+			t.Errorf("shard %d changed on ingest: %d docs, was %d", i, after[i], before[i])
 		}
+		// LSM contract: ingest appends a segment; no base is rebuilt.
+		if e.Shard(i).Index.NumDocs() != baseBefore[i] {
+			t.Errorf("shard %d base rebuilt on ingest: %d docs, was %d",
+				i, e.Shard(i).Index.NumDocs(), baseBefore[i])
+		}
+	}
+	if e.Stats().Segments == 0 {
+		t.Error("ingest created no segment")
 	}
 	if e.NumDocs() != mono.Index.NumDocs() {
 		t.Fatalf("engine has %d docs after ingest, monolith %d", e.NumDocs(), mono.Index.NumDocs())
 	}
 	for _, q := range eval.PaperQueries() {
 		assertSameHits(t, q.ID, searchN(e, q.Keywords, 10), mono.Search(q.Keywords, 10))
+	}
+	// And again after compaction: merging is invisible to ranking.
+	e.ForceMerge()
+	if st := e.Stats(); st.Segments != 0 || st.Tombstones != 0 {
+		t.Fatalf("ForceMerge left %d segments, %d tombstones", st.Segments, st.Tombstones)
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID+" (merged)", searchN(e, q.Keywords, 10), mono.Search(q.Keywords, 10))
 	}
 }
 

@@ -70,7 +70,14 @@ type manifest struct {
 	// snapshot (0 in manifests written before codec tracking, whose
 	// payloads are all codec v1).
 	Codec uint32
-	Files []manifestEntry
+	// NextGID is the next unused global docID when the snapshot's ID
+	// space has holes (tombstoned documents compacted away before the
+	// save). 0 — the common, hole-free case — is omitted from the
+	// rendered manifest entirely, so ordinary snapshots stay
+	// byte-identical to pre-LSM ones; Load then derives the next ID from
+	// the document count as before.
+	NextGID uint64
+	Files   []manifestEntry
 	// WAL is the basename of the ingest log extending this snapshot
 	// ("" when the snapshot was committed without one).
 	WAL string
@@ -86,6 +93,9 @@ func (m *manifest) render() []byte {
 	fmt.Fprintf(&b, "level %s\n", m.Level)
 	if m.Codec != 0 {
 		fmt.Fprintf(&b, "codec %d\n", m.Codec)
+	}
+	if m.NextGID != 0 {
+		fmt.Fprintf(&b, "nextgid %d\n", m.NextGID)
 	}
 	fmt.Fprintf(&b, "shards %d\n", len(m.Files))
 	for _, f := range m.Files {
@@ -188,6 +198,12 @@ func readManifest(base string) (*manifest, error) {
 				return bad()
 			}
 			m.Codec = uint32(c)
+		case "nextgid":
+			g, err := strconv.ParseUint(fields[1], 10, 64)
+			if len(fields) != 2 || err != nil || g == 0 {
+				return bad()
+			}
+			m.NextGID = g
 		case "shards":
 			n, err := strconv.Atoi(fields[1])
 			if len(fields) != 2 || err != nil || n < 0 {

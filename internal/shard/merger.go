@@ -1,0 +1,205 @@
+package shard
+
+// Background segment compaction. A segment's lifecycle:
+//
+//	active  — being filled by its Ingest batch (under the write lock)
+//	sealed  — the batch committed; postings immutable, only tombstone
+//	          bits move (searches scatter over it)
+//	merging — snapshotted into a running merge; still serving searches
+//	merged  — replaced by the new base; dropped from the shard
+//
+// A merge is invisible to queries: global IDs, scores, tie order and
+// corpus statistics are all unchanged, so no epoch moves and no cache
+// entry is evicted. The heavy work (postings concatenation, cap/block
+// rebuilds) runs OUTSIDE the engine lock against a liveness snapshot;
+// only the final swap takes the write lock, where documents tombstoned
+// mid-merge are re-deleted on the merged index.
+
+import (
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/semindex"
+)
+
+// MergePolicy throttles the background merger.
+type MergePolicy struct {
+	// MaxSegments triggers compaction when a shard's segment count
+	// reaches it (0 means 4).
+	MaxSegments int
+	// Interval is the poll cadence (0 means 200ms). Ingest nudges the
+	// merger too, so the ticker is a backstop, not the latency floor.
+	Interval time.Duration
+}
+
+// StartMerger launches the background merger; a second call while one
+// runs is a no-op. Stop it with StopMerger before discarding the engine.
+func (e *Engine) StartMerger(p MergePolicy) {
+	if p.MaxSegments <= 0 {
+		p.MaxSegments = 4
+	}
+	if p.Interval <= 0 {
+		p.Interval = 200 * time.Millisecond
+	}
+	e.mergerMu.Lock()
+	defer e.mergerMu.Unlock()
+	if e.mergerStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	nudge := make(chan struct{}, 1)
+	e.mergerStop, e.mergerDone, e.mergeNudge = stop, done, nudge
+	go func() {
+		defer close(done)
+		t := time.NewTicker(p.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			case <-nudge:
+			}
+			for s := 0; s < len(e.base); s++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.mu.RLock()
+				due := len(e.segs[s]) >= p.MaxSegments
+				e.mu.RUnlock()
+				if due {
+					e.mergeShard(s)
+				}
+			}
+		}
+	}()
+}
+
+// StopMerger stops the background merger and waits for an in-flight
+// merge to land. No-op when none is running.
+func (e *Engine) StopMerger() {
+	e.mergerMu.Lock()
+	stop, done := e.mergerStop, e.mergerDone
+	e.mergerStop, e.mergerDone, e.mergeNudge = nil, nil, nil
+	e.mergerMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// nudgeMerger wakes the merger without waiting (no-op when not running).
+func (e *Engine) nudgeMerger() {
+	e.mergerMu.Lock()
+	nudge := e.mergeNudge
+	e.mergerMu.Unlock()
+	if nudge != nil {
+		select {
+		case nudge <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ForceMerge synchronously compacts every shard that has segments or
+// base tombstones — the "fully merged" state the equivalence gate
+// compares against, and what Save runs before checkpointing.
+func (e *Engine) ForceMerge() {
+	for s := 0; s < len(e.base); s++ {
+		e.mu.RLock()
+		due := len(e.segs[s]) > 0 || e.base[s].si.Index.NumDeleted() > 0
+		e.mu.RUnlock()
+		if due {
+			e.mergeShard(s)
+		}
+	}
+}
+
+// mergeShard compacts one shard's base + current segments into a new
+// base. Three phases: snapshot under the read lock, merge off-lock,
+// swap under the write lock.
+func (e *Engine) mergeShard(s int) {
+	e.mergeOpMu.Lock()
+	defer e.mergeOpMu.Unlock()
+	start := time.Now()
+
+	// Phase 1: snapshot the merge set. Postings are immutable; the only
+	// concurrently-moving state is tombstone bits, so the snapshot is a
+	// copy of each sub's liveness mask.
+	e.mu.RLock()
+	oldBase := e.base[s]
+	oldSegs := append([]*subIndex(nil), e.segs[s]...)
+	met := e.met
+	subs := make([]*subIndex, 0, 1+len(oldSegs))
+	subs = append(subs, oldBase)
+	subs = append(subs, oldSegs...)
+	sources := make([]*index.Index, len(subs))
+	masks := make([][]bool, len(subs))
+	for i, sub := range subs {
+		sources[i] = sub.si.Index
+		masks[i] = sub.si.Index.DeletedMask()
+		if masks[i] == nil {
+			masks[i] = make([]bool, sub.si.Index.NumDocs())
+		}
+	}
+	e.mu.RUnlock()
+
+	// Phase 2: merge against the snapshot, off-lock. Searches and
+	// ingests proceed; segments added meanwhile are simply not part of
+	// this merge and survive the swap.
+	merged, remaps := index.MergeIndexes(sources, masks)
+
+	// Phase 3: swap.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.base[s] != oldBase || len(e.segs[s]) < len(oldSegs) {
+		// Another compaction (Save's checkpoint path) replaced the merge
+		// set while we worked; discard this merge.
+		return
+	}
+	e.applyMergedLocked(s, subs, merged, remaps, len(oldSegs))
+	met.merges.Inc()
+	met.mergeLatency.ObserveDuration(time.Since(start))
+}
+
+// applyMergedLocked installs a merged index as shard s's new base:
+// global-ID refs are rewritten through the remaps, documents tombstoned
+// after the liveness snapshot are re-deleted on the merged index (their
+// statistics were already subtracted when the tombstone landed), dropped
+// documents become holes, and the first nOldSegs segments are retired.
+// Nothing observable changes: no statistics move, no epochs bump, no
+// cache entry is touched. Write lock required.
+func (e *Engine) applyMergedLocked(s int, subs []*subIndex, merged *index.Index, remaps [][]int, nOldSegs int) {
+	newBase := &subIndex{
+		si:   &semindex.SemanticIndex{Level: e.level, Index: merged},
+		gids: make([]int, merged.NumDocs()),
+	}
+	merged.SetCorpusStats(e.global)
+	merged.SetExhaustive(e.exhaustive)
+	for i, sub := range subs {
+		remap := remaps[i]
+		for local := 0; local < len(remap); local++ {
+			gid := sub.gids[local]
+			nid := remap[local]
+			if nid < 0 {
+				// Dead at snapshot time: dropped by the merge, now a hole.
+				e.byGID[gid] = docRef{sub: nil, shard: -1}
+				continue
+			}
+			if sub.si.Index.IsDeleted(local) && !merged.IsDeleted(nid) {
+				// Tombstoned while the merge ran: carry the bit forward.
+				merged.Delete(nid)
+			}
+			newBase.gids[nid] = gid
+			e.byGID[gid] = docRef{sub: newBase, shard: s, local: nid}
+		}
+	}
+	e.base[s] = newBase
+	e.shards[s] = newBase.si
+	e.segs[s] = append([]*subIndex(nil), e.segs[s][nOldSegs:]...)
+	e.updateLSMGaugesLocked()
+}

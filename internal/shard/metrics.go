@@ -26,6 +26,13 @@ const (
 	// metricQuarantined counts shard snapshot files Load rejected and
 	// quarantined — any nonzero value means an engine started degraded.
 	metricQuarantined = "shard_engine_quarantined_shards_total"
+	// LSM observability: merge throughput/latency plus the two gauges
+	// that describe the live tree shape — how many unmerged segments are
+	// outstanding and how many tombstones await compaction.
+	metricMerges     = "shard_engine_merges_total"
+	metricMergeSec   = "shard_engine_merge_seconds"
+	metricSegments   = "shard_engine_segments"
+	metricTombstones = "shard_engine_tombstones"
 )
 
 // engineMetrics holds the engine's resolved metric handles. Handles are
@@ -52,6 +59,14 @@ type engineMetrics struct {
 	cacheMiss *obs.Histogram
 	// quarantined counts corrupt snapshot files rejected at load.
 	quarantined *obs.Counter
+	// merges counts completed segment compactions; mergeLatency times
+	// them (snapshot through swap).
+	merges       *obs.Counter
+	mergeLatency *obs.Histogram
+	// segments and tombstones gauge the engine-wide LSM state: unmerged
+	// segment count and not-yet-compacted tombstone count.
+	segments   *obs.Gauge
+	tombstones *obs.Gauge
 }
 
 // newEngineMetrics resolves the engine's series in r (nil r means no-ops).
@@ -65,17 +80,25 @@ func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
 	r.Help(metricShardSearch, "Per-shard search latency.")
 	r.Help(metricCacheSearch, "Whole-call latency on the cached path, by outcome.")
 	r.Help(metricQuarantined, "Corrupt shard snapshot files quarantined at load.")
+	r.Help(metricMerges, "Completed background segment compactions.")
+	r.Help(metricMergeSec, "Segment compaction duration, snapshot through swap.")
+	r.Help(metricSegments, "Unmerged in-memory segments across all shards.")
+	r.Help(metricTombstones, "Tombstoned documents awaiting compaction.")
 	m := &engineMetrics{
-		searches:  r.Counter(metricSearches),
-		degraded:  r.Counter(metricDegraded),
-		missing:   r.Counter(metricMissing),
-		latency:   r.Histogram(metricSearchSec, nil),
-		build:     r.Histogram(metricBuildSec, nil),
-		ingest:    r.Histogram(metricIngestSec, nil),
-		perShard:  make([]*obs.Histogram, shards),
-		cacheHit:    r.Histogram(metricCacheSearch, nil, obs.L("result", "hit")),
-		cacheMiss:   r.Histogram(metricCacheSearch, nil, obs.L("result", "miss")),
-		quarantined: r.Counter(metricQuarantined),
+		searches:     r.Counter(metricSearches),
+		degraded:     r.Counter(metricDegraded),
+		missing:      r.Counter(metricMissing),
+		latency:      r.Histogram(metricSearchSec, nil),
+		build:        r.Histogram(metricBuildSec, nil),
+		ingest:       r.Histogram(metricIngestSec, nil),
+		perShard:     make([]*obs.Histogram, shards),
+		cacheHit:     r.Histogram(metricCacheSearch, nil, obs.L("result", "hit")),
+		cacheMiss:    r.Histogram(metricCacheSearch, nil, obs.L("result", "miss")),
+		quarantined:  r.Counter(metricQuarantined),
+		merges:       r.Counter(metricMerges),
+		mergeLatency: r.Histogram(metricMergeSec, nil),
+		segments:     r.Gauge(metricSegments),
+		tombstones:   r.Gauge(metricTombstones),
 	}
 	for i := range m.perShard {
 		m.perShard[i] = r.Histogram(metricShardSearch, nil, obs.L("shard", strconv.Itoa(i)))
@@ -90,4 +113,23 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.met = newEngineMetrics(r, len(e.shards))
+	e.updateLSMGaugesLocked()
+}
+
+// updateLSMGaugesLocked republishes the segment and tombstone gauges
+// from the engine's current tree shape. Write lock (or build-time sole
+// ownership) required.
+func (e *Engine) updateLSMGaugesLocked() {
+	segs, tombs := 0, 0
+	for s := range e.base {
+		segs += len(e.segs[s])
+		if e.base[s] != nil {
+			tombs += e.base[s].si.Index.NumDeleted()
+		}
+		for _, sub := range e.segs[s] {
+			tombs += sub.si.Index.NumDeleted()
+		}
+	}
+	e.met.segments.Set(float64(segs))
+	e.met.tombstones.Set(float64(tombs))
 }

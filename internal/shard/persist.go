@@ -100,14 +100,33 @@ func shardGenPath(base string, gen uint64, i int) string {
 // Save refuses to checkpoint a degraded engine (ErrDegraded): writing a
 // clean manifest over quarantined shards would make the data loss
 // permanent and invisible.
+//
+// A checkpoint compacts first: every shard's unmerged segments and
+// tombstones are folded into its base, so the snapshot is always
+// base-only — the WAL rotation then means recovery replays exactly the
+// batches ingested after this Save, never ones already merged in. When
+// compaction leaves holes in the global ID space (tombstoned documents
+// dropped for good), the manifest records the next unused ID so reloads
+// keep assigning fresh IDs instead of reusing the holes.
 func (e *Engine) Save(base string) error {
+	// Same order as mergeShard: the merge-operation lock first, then the
+	// engine lock. Holding mergeOpMu means no background merge is mid-
+	// flight while the checkpoint compacts and writes.
+	e.mergeOpMu.Lock()
+	defer e.mergeOpMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(e.quarantined) > 0 {
 		return fmt.Errorf("%w: shards %v", ErrDegraded, e.quarantined)
 	}
+	e.compactAllLocked()
 	newGen := e.gen + 1
 	m := &manifest{Generation: newGen, Level: e.level, Codec: index.CodecVersionCurrent}
+	if len(e.byGID) != e.liveDocs {
+		// Holes: compaction dropped tombstoned documents whose IDs must
+		// never be reassigned (rankings tie-break on them).
+		m.NextGID = uint64(len(e.byGID))
+	}
 	if e.wal != nil {
 		m.WAL = filepath.Base(WALPath(base))
 	}
@@ -137,6 +156,26 @@ func (e *Engine) Save(base string) error {
 	}
 	removeStaleSnapshotFiles(base, m)
 	return nil
+}
+
+// compactAllLocked folds every shard's segments and tombstones into its
+// base synchronously — the checkpoint-time compaction Save runs so
+// snapshots are always base-only. Write lock AND mergeOpMu required (no
+// concurrent readers or background merge), so MergeIndexes can read the
+// live tombstone bits directly.
+func (e *Engine) compactAllLocked() {
+	for s := range e.base {
+		if len(e.segs[s]) == 0 && e.base[s].si.Index.NumDeleted() == 0 {
+			continue
+		}
+		subs := e.subsLocked(s)
+		sources := make([]*index.Index, len(subs))
+		for i, sub := range subs {
+			sources[i] = sub.si.Index
+		}
+		merged, remaps := index.MergeIndexes(sources, nil)
+		e.applyMergedLocked(s, subs, merged, remaps, len(e.segs[s]))
+	}
 }
 
 // writeShardFile writes one enveloped, checksummed shard snapshot via
@@ -417,7 +456,7 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 	if intact == 0 {
 		return nil, fmt.Errorf("%w: no intact shard among %d at %s", ErrSnapshotCorrupt, len(m.Files), base)
 	}
-	e, err := fromShards(shards, quarantined)
+	e, err := fromShards(shards, quarantined, int(m.NextGID))
 	if err != nil {
 		return nil, err
 	}
@@ -428,13 +467,14 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 	// attached after the snapshot was saved is exactly as authoritative
 	// as one that existed at save time, and the generation gate already
 	// rejects logs from another snapshot lineage. A missing file is an
-	// empty log.
+	// empty log. Save compacts before rotating, so every record here is a
+	// batch ingested after the snapshot — nothing replays twice.
 	res, err := wal.Replay(WALPath(base), m.Generation, obs.Default, func(rec []byte) error {
-		var page crawler.MatchPage
-		if err := json.Unmarshal(rec, &page); err != nil {
-			return fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+		pages, err := decodeWALRecord(rec)
+		if err != nil {
+			return err
 		}
-		e.applyPage(&page)
+		e.applyBatch(pages)
 		return nil
 	})
 	if err != nil {
@@ -445,6 +485,29 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 	rep.WALGenMismatch = res.GenMismatch
 	e.loadRep = rep
 	return e, nil
+}
+
+// decodeWALRecord decodes one ingest log record. Batch records (the
+// Ingest path) are JSON arrays of pages; single-object records are the
+// legacy one-page AddPage format, kept readable so logs written before
+// the batched API replay unchanged.
+func decodeWALRecord(rec []byte) ([]*crawler.MatchPage, error) {
+	i := 0
+	for i < len(rec) && (rec[i] == ' ' || rec[i] == '\t' || rec[i] == '\r' || rec[i] == '\n') {
+		i++
+	}
+	if i < len(rec) && rec[i] == '[' {
+		var pages []*crawler.MatchPage
+		if err := json.Unmarshal(rec, &pages); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+		}
+		return pages, nil
+	}
+	var page crawler.MatchPage
+	if err := json.Unmarshal(rec, &page); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+	}
+	return []*crawler.MatchPage{&page}, nil
 }
 
 // quarantine moves a rejected snapshot file aside so the next Save (or
@@ -483,7 +546,7 @@ func loadLegacy(base string, analyzer index.Analyzer) (*Engine, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: no manifest and no shard files at %s", base)
 	}
-	e, err := fromShards(shards, nil)
+	e, err := fromShards(shards, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -491,20 +554,19 @@ func loadLegacy(base string, analyzer index.Analyzer) (*Engine, error) {
 	return e, nil
 }
 
-// fromShards assembles an engine around already-loaded shard indices.
+// fromShards assembles an engine around already-loaded shard indices
+// (which become the shards' bases — snapshots are always base-only).
 // quarantined lists shard slots holding empty placeholders for files
 // Load rejected; with quarantined slots the global docID space keeps
 // the holes the lost documents occupied (Doc returns nil for them)
-// instead of silently renumbering the survivors.
-func fromShards(shards []*semindex.SemanticIndex, quarantined []int) (*Engine, error) {
-	e := &Engine{
-		level:       shards[0].Level,
-		builder:     semindex.NewBuilder(),
-		shards:      shards,
-		gids:        make([][]int, len(shards)),
-		met:         newEngineMetrics(obs.Default, len(shards)),
-		quarantined: append([]int(nil), quarantined...),
-	}
+// instead of silently renumbering the survivors. nextGID, when > 0, is
+// the manifest's recorded next unused global ID: the snapshot's ID
+// space legitimately has holes (compacted tombstones), and new ingests
+// must start numbering there.
+func fromShards(shards []*semindex.SemanticIndex, quarantined []int, nextGID int) (*Engine, error) {
+	e := newEngine(shards[0].Level, semindex.NewBuilder(), len(shards))
+	e.shards = shards
+	e.quarantined = append([]int(nil), quarantined...)
 	sort.Ints(e.quarantined)
 	total := 0
 	maxGID := -1
@@ -528,28 +590,53 @@ func fromShards(shards []*semindex.SemanticIndex, quarantined []int) (*Engine, e
 			}
 		}
 	}
-	if len(e.quarantined) == 0 && maxGID >= total {
-		// A complete snapshot must use exactly the IDs 0..total-1; a
-		// larger ID means a document went missing without a quarantine
-		// to explain it.
+	switch {
+	case nextGID > 0:
+		// The manifest vouches for holes below nextGID; an ID at or above
+		// it still means missing documents.
+		if maxGID >= nextGID {
+			return nil, fmt.Errorf("shard: global id %d outside recorded id space %d", maxGID, nextGID)
+		}
+	case len(e.quarantined) == 0 && maxGID >= total:
+		// A complete hole-free snapshot must use exactly the IDs
+		// 0..total-1; a larger ID means a document went missing without a
+		// quarantine or a nextgid record to explain it.
 		return nil, fmt.Errorf("shard: global id %d outside %d documents", maxGID, total)
 	}
 	if maxGID+1 > total {
 		total = maxGID + 1
+	}
+	if nextGID > total {
+		total = nextGID
 	}
 	e.byGID = make([]docRef, total)
 	for i := range e.byGID {
 		e.byGID[i] = docRef{shard: -1}
 	}
 	seen := make([]bool, total)
+	live := 0
 	for s := range shards {
-		e.gids[s] = parsed[s]
+		e.base[s] = &subIndex{si: shards[s], gids: parsed[s]}
 		for local, gid := range parsed[s] {
 			if seen[gid] {
 				return nil, fmt.Errorf("shard %d doc %d: duplicate global id %d", s, local, gid)
 			}
 			seen[gid] = true
-			e.byGID[gid] = docRef{shard: s, local: local}
+			e.byGID[gid] = docRef{sub: e.base[s], shard: s, local: local}
+			live++
+		}
+	}
+	e.liveDocs = live
+	// Rebuild the page -> live-documents map Ingest's upsert path
+	// consults, in ascending global ID order (documents of one page are
+	// contiguous, so per-page order is preserved).
+	for gid := 0; gid < total; gid++ {
+		ref := e.byGID[gid]
+		if ref.sub == nil {
+			continue
+		}
+		if pid := ref.sub.si.Index.Doc(ref.local).Get(semindex.MetaMatchID); pid != "" {
+			e.pageGIDs[pid] = append(e.pageGIDs[pid], gid)
 		}
 	}
 	e.exchangeStats()

@@ -111,6 +111,126 @@ func TestCacheInvalidationUnderLoadAt10k(t *testing.T) {
 	}
 }
 
+// TestLSMIngestVsSearchAt10k is the write-firehose half of the
+// scale-truth suite: a 10k-document engine with the background merger
+// running takes batched Ingest traffic — fresh pages AND repeated
+// upserts of a hot set, so tombstones and net-zero statistics churn are
+// both in play — while 8 closed-loop workers search it under the race
+// detector. It asserts the two LSM safety contracts at scale:
+//
+//  1. No search observes mixed statistics epochs: every cold scatter
+//     snapshots segments and corpus stats under one read-lock, so every
+//     answer equals SOME consistent corpus state, and after quiescing
+//     the cached path is byte-identical to a forced-cold scatter.
+//  2. Compaction is invisible: a ForceMerge after the firehose changes
+//     no answer byte.
+func TestLSMIngestVsSearchAt10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 10k-doc engine")
+	}
+	g := corpus.New(corpus.Spec{TargetDocs: 10_000, Seed: 41})
+	eng, err := shard.BuildStream(nil, semindex.FullInf, g, shard.Options{
+		Shards:     4,
+		CacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatalf("BuildStream: %v", err)
+	}
+	eng.SetMetrics(obs.NewRegistry())
+	eng.StartMerger(shard.MergePolicy{})
+	defer eng.StopMerger()
+
+	fresh := corpus.New(corpus.Spec{TargetDocs: 1_200, Seed: 42, NoCoverage: true})
+	var pages []*crawler.MatchPage
+	for {
+		p, err := fresh.NextPage()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextPage: %v", err)
+		}
+		pages = append(pages, p)
+	}
+	// Hot set: the first few fresh pages get re-ingested over and over,
+	// exercising tombstoned upserts whose statistics net to zero.
+	hot := pages[:8]
+
+	queries := loadgen.GenerateQueries(loadgen.VocabFromUniverse(g.Universe()), nil, 200, 43)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const batch = 16
+		for i := 0; i < len(pages); i += batch {
+			end := i + batch
+			if end > len(pages) {
+				end = len(pages)
+			}
+			if _, err := eng.Ingest(ctx, pages[i:end], shard.IngestOptions{}); err != nil {
+				t.Errorf("Ingest: %v", err)
+				return
+			}
+			// Interleave a hot-set upsert between append batches.
+			if _, err := eng.Ingest(ctx, hot, shard.IngestOptions{}); err != nil {
+				t.Errorf("hot Ingest: %v", err)
+				return
+			}
+		}
+	}()
+	res, err := loadgen.Run(ctx, &loadgen.EngineTarget{Eng: eng}, loadgen.Config{
+		Workers:  8,
+		Requests: 1_500,
+		Warmup:   100,
+		Seed:     44,
+		Queries:  queries,
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors during concurrent firehose", res.Errors)
+	}
+
+	// Quiesced: cached answers must equal a cold scatter byte-for-byte.
+	check := func(label string) {
+		t.Helper()
+		for _, q := range queries {
+			if q.Class == loadgen.ClassSuggest {
+				continue
+			}
+			warm, err := eng.Search(ctx, q.Text, shard.SearchOptions{Limit: 10})
+			if err != nil {
+				t.Fatalf("%s %q: %v", label, q.Text, err)
+			}
+			cold, err := eng.Search(ctx, q.Text, shard.SearchOptions{Limit: 10, NoCache: true})
+			if err != nil {
+				t.Fatalf("%s %q: %v", label, q.Text, err)
+			}
+			if len(warm.Hits) != len(cold.Hits) {
+				t.Fatalf("%s %q: cached %d hits vs cold %d", label, q.Text, len(warm.Hits), len(cold.Hits))
+			}
+			for i := range warm.Hits {
+				if warm.Hits[i].DocID != cold.Hits[i].DocID || warm.Hits[i].Score != cold.Hits[i].Score {
+					t.Fatalf("%s %q hit %d: cached (%d, %g) vs cold (%d, %g)", label, q.Text, i,
+						warm.Hits[i].DocID, warm.Hits[i].Score, cold.Hits[i].DocID, cold.Hits[i].Score)
+				}
+			}
+		}
+	}
+	check("quiesced")
+
+	// Compaction must not change a single answer byte.
+	eng.ForceMerge()
+	st := eng.Stats()
+	if st.Segments != 0 || st.Tombstones != 0 {
+		t.Fatalf("ForceMerge left %d segments, %d tombstones", st.Segments, st.Tombstones)
+	}
+	check("merged")
+}
+
 // TestSaveLoadRoundTripAt10k is the persistence half of the scale-truth
 // suite: a 10k-document engine checkpointed through the block-postings
 // codec (v2 envelopes, compressed stored fields) must verify clean and

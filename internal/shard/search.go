@@ -64,11 +64,12 @@ type SearchResult struct {
 }
 
 // Search is the engine's one query entry point: it fans the keyword
-// query out to every shard, merges the per-shard top-k lists into the
-// global top-k, and returns hits whose DocIDs are global. Because every
-// shard scores with the exchanged corpus-wide statistics and local order
-// equals global order within a shard, the result — documents and scores
-// — is identical to searching a monolithic index over the same corpus.
+// query out to every shard (base + unmerged segments), merges the
+// per-shard top-k lists into the global top-k, and returns hits whose
+// DocIDs are global. Because every sub-index scores with the maintained
+// corpus-wide statistics and local order equals global order within a
+// sub, the result — documents and scores — is identical to searching a
+// monolithic index over the same live corpus, at any merge state.
 //
 // The context carries the deadline: with no deadline the call waits for
 // every shard; with one, shards that miss it are dropped from the merge
@@ -76,11 +77,13 @@ type SearchResult struct {
 // returns its error without searching.
 //
 // When a query-result cache is installed (Options.CacheBytes or
-// EnableCache), complete answers are cached under the normalized query
-// shape and validated against the engine epoch, so a hit is always
-// byte-identical to what a cold scatter would return; concurrent
-// identical queries coalesce into one scatter. Degraded answers are
-// never cached.
+// EnableCache), complete answers are cached and validated with SCOPED
+// invalidation: each entry captures the per-shard epochs, the query's
+// statistics footprint and the shard-set it drew from, and a lookup
+// proves the entry still byte-identical to a cold scatter — an ingest
+// into a shard outside the entry's shard-set that leaves the footprint's
+// statistics untouched does not evict it. Entries that cannot be proven
+// current are evicted on the spot. Degraded answers are never cached.
 func (e *Engine) Search(ctx context.Context, query string, opts SearchOptions) (SearchResult, error) {
 	if err := ctx.Err(); err != nil {
 		return SearchResult{}, err
@@ -96,30 +99,33 @@ func (e *Engine) Search(ctx context.Context, query string, opts SearchOptions) (
 	// EnableCache replace these under the write lock.
 	e.mu.RLock()
 	cache, flight, met := e.cache, e.flight, e.met
-	epoch := e.epoch.Load()
 	e.mu.RUnlock()
 	if cache == nil || opts.NoCache {
-		res, _ := e.searchCold(ctx, query, opts)
+		res, _ := e.searchCold(ctx, query, opts, nil)
 		res.Cache = CacheBypass
 		return res, nil
 	}
 	start := time.Now()
 	key := e.cacheKey(query, opts)
-	if v, ok := cache.Get(key, epoch); ok {
+	if v, ok := cache.GetValidate(key, func(val any) bool {
+		return e.validateEntry(val.(*cacheEntry))
+	}); ok {
 		ent := v.(*cacheEntry)
 		met.cacheHit.ObserveDuration(time.Since(start))
 		return SearchResult{Hits: cloneHits(ent.hits), Report: ent.report, Cache: CacheHit}, nil
 	}
 	v, leader, err := flight.Do(ctx, key, func() any {
-		res, epoch := e.searchCold(ctx, query, opts)
-		if !res.Report.Degraded {
+		snap := &cacheSnap{}
+		res, ok := e.searchCold(ctx, query, opts, snap)
+		if ok && !res.Report.Degraded {
 			// The cache owns a private copy: callers are free to truncate
 			// or reorder their slice without poisoning later hits. The
-			// entry carries the epoch observed under the read lock during
-			// the scatter, so an ingest landing after this line simply
-			// makes the entry invisible.
-			ent := &cacheEntry{hits: cloneHits(res.Hits), report: res.Report}
-			cache.Put(key, ent, entryBytes(key, ent.hits), epoch)
+			// snapshot (epochs, footprint, shard-set, statistics
+			// signature) was captured under the same read lock as the
+			// scatter, so validation is against exactly what this answer
+			// was computed from.
+			ent := &cacheEntry{hits: cloneHits(res.Hits), report: res.Report, snap: snap}
+			cache.Put(key, ent, entryBytes(key, ent.hits), 0)
 		}
 		return res
 	})
@@ -136,10 +142,134 @@ func (e *Engine) Search(ctx context.Context, query string, opts SearchOptions) (
 	return SearchResult{Hits: cloneHits(res.Hits), Report: res.Report, Cache: CacheCoalesced}, nil
 }
 
+// cacheSnap captures everything needed to later prove a cached answer is
+// still byte-identical to a cold scatter — all read under the same lock
+// as the scatter that produced the answer.
+type cacheSnap struct {
+	// epochs is every shard's content epoch at compute time. All equal
+	// at lookup time → nothing changed → valid. Refreshed in place when
+	// a lookup proves validity the long way (under the cache's segment
+	// lock, see qcache.GetValidate).
+	epochs []uint64
+	// fp is the query's statistics footprint — the (field, term) pairs
+	// its ranking reads — and fpOK whether it was computable (advanced
+	// parser syntax is not). With fpOK false, any epoch motion evicts.
+	fp   []index.FieldTerm
+	fpOK bool
+	// shardSet flags the shards holding at least one posting for any
+	// footprint pair at compute time — the shards the answer could have
+	// drawn hits from. A write to a shard in the set evicts.
+	shardSet []bool
+	// sig is the signature of every corpus statistic the query's scores
+	// read (see statsSigLocked). Unchanged sig + untouched shard-set →
+	// every score and tie-break input is unchanged → byte-identical.
+	sig []int
+}
+
 // cacheEntry is the cached value for one query shape.
 type cacheEntry struct {
 	hits   []semindex.Hit
 	report SearchReport
+	snap   *cacheSnap
+}
+
+// validateEntry decides whether a cached answer is still byte-identical
+// to what a cold scatter would return. It runs under the cache segment
+// lock (GetValidate) and takes the engine read lock — never the reverse
+// order anywhere, so no deadlock. On the slow path it may refresh the
+// entry's epochs in place after proving validity.
+func (e *Engine) validateEntry(ent *cacheEntry) bool {
+	snap := ent.snap
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if snap == nil || len(snap.epochs) != len(e.epochs) {
+		return false
+	}
+	stale := false
+	for s := range e.epochs {
+		if snap.epochs[s] != e.epochs[s] {
+			stale = true
+			break
+		}
+	}
+	if !stale {
+		return true
+	}
+	if !snap.fpOK {
+		return false
+	}
+	for s := range e.epochs {
+		if snap.epochs[s] == e.epochs[s] {
+			continue
+		}
+		if snap.shardSet[s] {
+			// The write landed in a shard the answer drew from (or could
+			// have): hits, scores or tie order may differ. Evict.
+			return false
+		}
+		if e.shardHasAnyLocked(s, snap.fp) {
+			// The shard contributed nothing before but now holds postings
+			// for the query's terms: it could contribute hits. Evict.
+			return false
+		}
+	}
+	// No contributing shard changed and the changed shards still cannot
+	// match. The remaining risk is global statistics motion shifting
+	// scores; the signature rules that out.
+	if !sigEqual(snap.sig, e.statsSigLocked(snap.fp)) {
+		return false
+	}
+	copy(snap.epochs, e.epochs)
+	return true
+}
+
+// shardHasAnyLocked reports whether any sub-index of shard s holds at
+// least one posting (live or tombstoned — conservative) for any of the
+// footprint's (field, term) pairs. Read lock required.
+func (e *Engine) shardHasAnyLocked(s int, fp []index.FieldTerm) bool {
+	for _, sub := range e.subsLocked(s) {
+		for _, ft := range fp {
+			if sub.si.Index.DocFreq(ft.Field, ft.Term) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// statsSigLocked fingerprints every corpus-wide statistic the query's
+// ranking reads: the global document count, each footprint pair's
+// document frequency, and each footprint field's doc count and total
+// length (the average-length inputs). All integers, deterministically
+// ordered by the footprint. Read lock required.
+func (e *Engine) statsSigLocked(fp []index.FieldTerm) []int {
+	sig := make([]int, 0, 1+3*len(fp))
+	sig = append(sig, e.global.Docs)
+	seen := make(map[string]bool, 4)
+	for _, ft := range fp {
+		sig = append(sig, e.global.DocFreq(ft.Field, ft.Term))
+		if !seen[ft.Field] {
+			seen[ft.Field] = true
+			if fs := e.global.Fields[ft.Field]; fs != nil {
+				sig = append(sig, fs.Docs, fs.SumLen)
+			} else {
+				sig = append(sig, 0, 0)
+			}
+		}
+	}
+	return sig
+}
+
+func sigEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // cacheKey builds the cache key: normalized query (whitespace collapsed
@@ -155,8 +285,8 @@ func (e *Engine) cacheKey(query string, opts SearchOptions) string {
 // bookkeeping and the hit structs. Stored documents are shared with the
 // index (the cache holds pointers, not copies), so they are not charged.
 func entryBytes(key string, hits []semindex.Hit) int64 {
-	const entryOverhead = 96
-	const hitSize = 40 // DocID + Score + Doc pointer, padded
+	const entryOverhead = 192 // entry + snapshot bookkeeping
+	const hitSize = 40        // DocID + Score + Doc pointer, padded
 	return int64(len(key)) + entryOverhead + int64(len(hits))*hitSize
 }
 
@@ -169,26 +299,27 @@ func cloneHits(hits []semindex.Hit) []semindex.Hit {
 	return append([]semindex.Hit(nil), hits...)
 }
 
-// searchCold runs the actual scatter-gather under the read lock and
-// returns the answer plus the engine epoch it was computed at. The
-// context deadline, when present, is the per-scatter collection budget:
-// shards that miss it are dropped from the merge and reported.
-func (e *Engine) searchCold(ctx context.Context, query string, opts SearchOptions) (SearchResult, uint64) {
+// searchCold runs the actual scatter-gather under the read lock. When
+// snap is non-nil it is filled — under that same read lock — with the
+// validation snapshot for caching, and the bool result reports whether
+// it was filled (always true today). The context deadline, when present,
+// is the per-scatter collection budget: shards that miss it are dropped
+// from the merge and reported.
+func (e *Engine) searchCold(ctx context.Context, query string, opts SearchOptions, snap *cacheSnap) (SearchResult, bool) {
 	start := time.Now()
 	tr := opts.Trace
-	// Limit pushdown: each shard returns only its local top-limit. That is
-	// safe for the global merge because shards score with the exchanged
-	// corpus-wide statistics — a shard's local ranking is its slice of the
-	// global ranking, so no document outside a shard's top-limit can sit in
-	// the global top-limit. The pushed-down limit also arms the shard-local
-	// MaxScore pruning in the index kernel.
-	fn := func(s *semindex.SemanticIndex) []semindex.Hit {
-		return s.Search(query, opts.Limit)
+	// Limit pushdown: each sub-index returns only its local top-limit.
+	// That is safe for the global merge because every sub scores with the
+	// corpus-wide statistics and its local ID order is its global ID
+	// order — no document outside a sub's top-limit can sit in the global
+	// top-limit. The pushed-down limit also arms the per-sub MaxScore
+	// pruning in the index kernel.
+	fn := func(s int) []semindex.Hit {
+		return e.searchShardLocked(s, query, opts.Limit)
 	}
 	e.mu.RLock()
 	met := e.met
 	met.searches.Inc()
-	epoch := e.epoch.Load()
 	var per [][]semindex.Hit
 	var rep SearchReport
 	release := e.mu.RUnlock
@@ -206,13 +337,76 @@ func (e *Engine) searchCold(ctx context.Context, query string, opts SearchOption
 		rep.Missing = mergeMissing(e.quarantined, rep.Missing)
 	}
 	hits := e.merge(tr, per, opts.Limit)
+	if snap != nil {
+		snap.epochs = append([]uint64(nil), e.epochs...)
+		snap.fp, snap.fpOK = e.shards[0].QueryFootprint(query)
+		if snap.fpOK {
+			snap.shardSet = make([]bool, len(e.base))
+			for s := range e.base {
+				snap.shardSet[s] = e.shardHasAnyLocked(s, snap.fp)
+			}
+			snap.sig = e.statsSigLocked(snap.fp)
+		}
+	}
 	release()
 	if rep.Degraded {
 		met.degraded.Inc()
 		met.missing.Add(uint64(len(rep.Missing)))
 	}
 	met.latency.ObserveDuration(time.Since(start))
-	return SearchResult{Hits: hits, Report: rep}, epoch
+	return SearchResult{Hits: hits, Report: rep}, true
+}
+
+// searchShardLocked runs the keyword query against one shard — base
+// plus unmerged segments — and returns its local top-limit with GLOBAL
+// docIDs, ranked exactly as the global merge ranks (score descending,
+// global ID ascending). Read lock must be held for the duration (the
+// scatter holds it).
+func (e *Engine) searchShardLocked(s int, query string, limit int) []semindex.Hit {
+	subs := e.subsLocked(s)
+	if len(subs) == 1 {
+		// Fast path: a sub's result order is already score desc, local
+		// (= global) ID asc; mapping IDs preserves it.
+		return mapToGlobal(subs[0], subs[0].si.Search(query, limit))
+	}
+	lists := make([][]semindex.Hit, len(subs))
+	for i, sub := range subs {
+		lists[i] = mapToGlobal(sub, sub.si.Search(query, limit))
+	}
+	return mergeRanked(lists, limit)
+}
+
+// mapToGlobal rewrites a sub-index's local docIDs to global ones, in
+// place (the slice is freshly allocated by the sub's Search).
+func mapToGlobal(sub *subIndex, hits []semindex.Hit) []semindex.Hit {
+	for i := range hits {
+		hits[i].DocID = sub.gids[hits[i].DocID]
+	}
+	return hits
+}
+
+// mergeRanked flattens ranked lists of global-ID hits into one ranking:
+// score descending, global docID ascending on ties — exactly the
+// monolith's sort.
+func mergeRanked(lists [][]semindex.Hit, limit int) []semindex.Hit {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]semindex.Hit, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
 }
 
 // SearchHits is the former two-argument Search: every shard is awaited,
@@ -273,44 +467,51 @@ func (e *Engine) SearchQuery(q index.Query, limit int) []semindex.Hit {
 }
 
 func (e *Engine) searchQueryLocked(q index.Query, limit int) [][]semindex.Hit {
-	return e.scatter(nil, func(s *semindex.SemanticIndex) []semindex.Hit {
-		raw := s.Index.Search(q, limit)
-		hits := make([]semindex.Hit, len(raw))
-		for i, h := range raw {
-			hits[i] = semindex.Hit{DocID: h.DocID, Score: h.Score, Doc: s.Index.Doc(h.DocID)}
+	return e.scatter(nil, func(s int) []semindex.Hit {
+		subs := e.subsLocked(s)
+		lists := make([][]semindex.Hit, len(subs))
+		for i, sub := range subs {
+			raw := sub.si.Index.Search(q, limit)
+			hits := make([]semindex.Hit, len(raw))
+			for j, h := range raw {
+				hits[j] = semindex.Hit{DocID: sub.gids[h.DocID], Score: h.Score, Doc: sub.si.Index.Doc(h.DocID)}
+			}
+			lists[i] = hits
 		}
-		return hits
+		return mergeRanked(lists, limit)
 	})
 }
 
 // scatter runs fn against every shard on its own goroutine, timing each
 // shard into its shard_search_seconds series and, when tr is non-nil,
-// into a "shardN" trace span. Read lock must be held by the caller.
-func (e *Engine) scatter(tr *obs.Trace, fn func(*semindex.SemanticIndex) []semindex.Hit) [][]semindex.Hit {
+// into a "shardN" trace span. fn receives the shard index and must only
+// read state guarded by the read lock, which the caller holds.
+func (e *Engine) scatter(tr *obs.Trace, fn func(shard int) []semindex.Hit) [][]semindex.Hit {
 	met := e.met
-	per := make([][]semindex.Hit, len(e.shards))
-	if len(e.shards) == 1 && e.stall == nil {
+	n := len(e.base)
+	per := make([][]semindex.Hit, n)
+	if n == 1 && e.stall == nil {
 		start := time.Now()
-		per[0] = fn(e.shards[0])
+		per[0] = fn(0)
 		d := time.Since(start)
 		met.perShard[0].ObserveDuration(d)
 		tr.AddSpan("shard0", start, d)
 		return per
 	}
 	var wg sync.WaitGroup
-	for i, s := range e.shards {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(i int, s *semindex.SemanticIndex) {
+		go func(i int) {
 			defer wg.Done()
 			if e.stall != nil {
 				e.stall(i)
 			}
 			start := time.Now()
-			per[i] = fn(s)
+			per[i] = fn(i)
 			d := time.Since(start)
 			met.perShard[i].ObserveDuration(d)
 			tr.AddSpan("shard"+strconv.Itoa(i), start, d)
-		}(i, s)
+		}(i)
 	}
 	wg.Wait()
 	return per
@@ -353,26 +554,26 @@ func mergeMissing(a, b []int) []int {
 // release func after it is done reading engine state: release either
 // unlocks immediately (all shards answered) or hands the read lock to a
 // drain goroutine that unlocks once the stragglers finish.
-func (e *Engine) scatterDeadline(ctx context.Context, tr *obs.Trace, fn func(*semindex.SemanticIndex) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
+func (e *Engine) scatterDeadline(ctx context.Context, tr *obs.Trace, fn func(shard int) []semindex.Hit, perShard time.Duration) ([][]semindex.Hit, SearchReport, func()) {
 	met := e.met
-	n := len(e.shards)
+	n := len(e.base)
 	type shardResult struct {
 		i    int
 		hits []semindex.Hit
 	}
 	results := make(chan shardResult, n)
-	for i, s := range e.shards {
-		go func(i int, s *semindex.SemanticIndex) {
+	for i := 0; i < n; i++ {
+		go func(i int) {
 			if e.stall != nil {
 				e.stall(i)
 			}
 			start := time.Now()
-			hits := fn(s)
+			hits := fn(i)
 			d := time.Since(start)
 			met.perShard[i].ObserveDuration(d)
 			tr.AddSpan("shard"+strconv.Itoa(i), start, d)
 			results <- shardResult{i: i, hits: hits}
-		}(i, s)
+		}(i)
 	}
 
 	per := make([][]semindex.Hit, n)
@@ -422,37 +623,19 @@ collect:
 	}
 }
 
-// merge rewrites per-shard local docIDs to global ones and produces the
-// global ranking: score descending, global docID ascending on ties —
-// exactly the monolith's sort. Read lock must be held.
+// merge produces the global ranking from per-shard (already global-ID)
+// lists: score descending, global docID ascending on ties — exactly the
+// monolith's sort. Read lock must be held.
 func (e *Engine) merge(tr *obs.Trace, per [][]semindex.Hit, limit int) []semindex.Hit {
 	defer tr.Span("merge")()
-	total := 0
-	for _, hits := range per {
-		total += len(hits)
-	}
-	out := make([]semindex.Hit, 0, total)
-	for s, hits := range per {
-		for _, h := range hits {
-			out = append(out, semindex.Hit{DocID: e.gids[s][h.DocID], Score: h.Score, Doc: h.Doc})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].DocID < out[j].DocID
-	})
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out
+	return mergeRanked(per, limit)
 }
 
 // Related returns documents similar to the given global docID, mirroring
-// semindex.Related: the more-like-this query is built on the owning shard
-// (term selection already uses the corpus-wide statistics), scattered to
-// every shard, and the source document is filtered from the merge.
+// semindex.Related: the more-like-this query is built on the owning
+// sub-index (term selection already uses the corpus-wide statistics),
+// scattered to every shard, and the source document is filtered from the
+// merge. A tombstoned or lost source returns nil.
 func (e *Engine) Related(gid int, limit int) []semindex.Hit {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -460,11 +643,12 @@ func (e *Engine) Related(gid int, limit int) []semindex.Hit {
 		return nil
 	}
 	ref := e.byGID[gid]
-	if ref.shard < 0 {
-		// The source document was lost with a quarantined shard.
+	if ref.sub == nil || ref.sub.si.Index.IsDeleted(ref.local) {
+		// The source document was lost with a quarantined shard or
+		// replaced by a newer version of its page.
 		return nil
 	}
-	q := e.shards[ref.shard].Index.LikeThisQuery(ref.local, semindex.QueryBoosts, 8)
+	q := ref.sub.si.Index.LikeThisQuery(ref.local, semindex.QueryBoosts, 8)
 	if q == nil {
 		return nil
 	}

@@ -215,14 +215,41 @@ func (l *Log) Generation() uint64 {
 // (what some filesystems leave after a crash) must read as a torn tail,
 // not as a run of valid empty records.
 func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(payload); err != nil {
+		return err
+	}
+	switch l.opts.Policy {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.Interval {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+// AppendAsync writes one record without consulting the sync policy: the
+// record reaches the OS page cache but no fsync is issued, whatever the
+// policy. It backs the engine's async-durability ingest acknowledgement —
+// replayable after a process crash, lost on a machine crash — and a later
+// Sync (or any policy-triggered one) makes it durable.
+func (l *Log) AppendAsync(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(payload)
+}
+
+// appendLocked writes the record header and payload under l.mu.
+func (l *Log) appendLocked(payload []byte) error {
 	if len(payload) > MaxRecordLen {
 		return ErrRecordTooLarge
 	}
 	if len(payload) == 0 {
 		return errors.New("wal: empty record")
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var hdr [recHdrLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -234,14 +261,6 @@ func (l *Log) Append(payload []byte) error {
 	}
 	l.met.appends.Inc()
 	l.dirty = true
-	switch l.opts.Policy {
-	case SyncAlways:
-		return l.syncLocked()
-	case SyncInterval:
-		if time.Since(l.lastSync) >= l.opts.Interval {
-			return l.syncLocked()
-		}
-	}
 	return nil
 }
 
