@@ -49,6 +49,15 @@ func failBelowFloor(what string, got, floor float64) {
 	}
 }
 
+// failAboveCeiling exits 1 when a CI ceiling is armed (ceiling > 0) and
+// the measured ratio exceeds it.
+func failAboveCeiling(what string, got, ceiling float64) {
+	if ceiling > 0 && got > ceiling {
+		fmt.Fprintf(os.Stderr, "%s %.2fx exceeds the %.2fx ceiling\n", what, got, ceiling)
+		os.Exit(1)
+	}
+}
+
 // bestP50 returns the lowest per-round median, in microseconds.
 func bestP50(rounds [][]time.Duration) float64 {
 	best := 0.0

@@ -12,6 +12,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cli"
@@ -44,6 +45,13 @@ type codecStats struct {
 	V2EncodeMs float64 `json:"v2_encode_ms"`
 	V1DecodeMs float64 `json:"v1_decode_ms"`
 	V2DecodeMs float64 `json:"v2_decode_ms"`
+	// V1/V2DecodeHeapBytes are the post-GC live heap each fully-decoded
+	// index pins (runtime.MemStats HeapAlloc delta) — the in-RAM
+	// footprint baseline the BENCH_10.json mapped arm is measured
+	// against, where the same bytes stay on disk and only touched blocks
+	// ever materialize.
+	V1DecodeHeapBytes uint64 `json:"v1_decode_heap_bytes"`
+	V2DecodeHeapBytes uint64 `json:"v2_decode_heap_bytes"`
 }
 
 // runCodecBench serializes the corpus both ways, measures the cold
@@ -65,39 +73,55 @@ func runCodecBench(eng *shard.Engine, pages []*crawler.MatchPage, queries []stri
 	}
 	v2Enc := time.Since(start)
 
-	start = time.Now()
-	if _, err := index.Decode(bytes.NewReader(v1.Bytes()), nil); err != nil {
-		cli.Fatal(err)
-	}
-	v1Dec := time.Since(start)
-	start = time.Now()
-	if _, err := index.Decode(bytes.NewReader(v2.Bytes()), nil); err != nil {
-		cli.Fatal(err)
-	}
-	v2Dec := time.Since(start)
+	v1Dec, v1Heap := decodeFootprint(v1.Bytes())
+	v2Dec, v2Heap := decodeFootprint(v2.Bytes())
 
 	arm10 := measureColdArm(eng, queries, cfg.Iters, rounds, 10)
 
 	rep := codecReport{
 		Config: cfg,
 		Codec: codecStats{
-			Docs:       si.Index.NumDocs(),
-			V1Bytes:    v1.Len(),
-			V2Bytes:    v2.Len(),
-			Ratio:      float64(v1.Len()) / float64(v2.Len()),
-			V1EncodeMs: float64(v1Enc.Microseconds()) / 1e3,
-			V2EncodeMs: float64(v2Enc.Microseconds()) / 1e3,
-			V1DecodeMs: float64(v1Dec.Microseconds()) / 1e3,
-			V2DecodeMs: float64(v2Dec.Microseconds()) / 1e3,
+			Docs:              si.Index.NumDocs(),
+			V1Bytes:           v1.Len(),
+			V2Bytes:           v2.Len(),
+			Ratio:             float64(v1.Len()) / float64(v2.Len()),
+			V1EncodeMs:        float64(v1Enc.Microseconds()) / 1e3,
+			V2EncodeMs:        float64(v2Enc.Microseconds()) / 1e3,
+			V1DecodeMs:        float64(v1Dec.Microseconds()) / 1e3,
+			V2DecodeMs:        float64(v2Dec.Microseconds()) / 1e3,
+			V1DecodeHeapBytes: v1Heap,
+			V2DecodeHeapBytes: v2Heap,
 		},
 		Limit10:    arm10,
 		SpeedupP50: arm10.SpeedupP50,
 	}
 
-	writeReport(out, rep, fmt.Sprintf("v2 %d bytes vs v1 %d (%.2fx smaller), encode %.1f/%.1fms decode %.1f/%.1fms, limit10 pruned p50 %.1fµs (%.1fx)",
+	writeReport(out, rep, fmt.Sprintf("v2 %d bytes vs v1 %d (%.2fx smaller), encode %.1f/%.1fms decode %.1f/%.1fms, decoded heap %.1f/%.1f MiB, limit10 pruned p50 %.1fµs (%.1fx)",
 		v2.Len(), v1.Len(), rep.Codec.Ratio,
 		rep.Codec.V2EncodeMs, rep.Codec.V1EncodeMs, rep.Codec.V2DecodeMs, rep.Codec.V1DecodeMs,
+		float64(v2Heap)/(1<<20), float64(v1Heap)/(1<<20),
 		arm10.Pruned.P50us, arm10.SpeedupP50))
 	failBelowFloor("on-disk size ratio (v1/v2)", rep.Codec.Ratio, minRatio)
 	failBelowFloor("cold-path speedup at limit 10", rep.SpeedupP50, minSpeedup)
+}
+
+// decodeFootprint times a full decode of one codec image and samples the
+// post-GC live heap the decoded index pins, via runtime.MemStats deltas.
+func decodeFootprint(data []byte) (time.Duration, uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ix, err := index.Decode(bytes.NewReader(data), nil)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	d := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(ix)
+	if after.HeapAlloc <= before.HeapAlloc {
+		return d, 0
+	}
+	return d, after.HeapAlloc - before.HeapAlloc
 }

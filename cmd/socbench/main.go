@@ -63,6 +63,18 @@
 //
 //	socbench -mode ingest -out BENCH_9.json
 //	socbench -mode ingest -shards 8 -write-rate 100 -min-hit-rate 0.5 -max-p99-ms 50
+//
+// -mode coldstart switches to the BENCH_10.json heap-vs-mapped serving
+// comparison: a -size tier corpus is built, checkpointed and dropped,
+// then the snapshot is opened heap-decoded and memory-mapped, recording
+// each arm's open time, warm always-cold query quantiles, and post-GC
+// live heap after the warm workload. -min-open-speedup fails CI when the
+// mapped open stops beating the full decode, -max-heap-ratio when the
+// mapped arm's steady-state heap stops undercutting the heap arm, and
+// -max-warm-slowdown when lazy block decode costs too much warm latency.
+//
+//	socbench -mode coldstart -size 100k -out BENCH_10.json
+//	socbench -mode coldstart -size 100k -min-open-speedup 10 -max-heap-ratio 0.33 -max-warm-slowdown 1.5
 package main
 
 import (
@@ -115,7 +127,7 @@ func main() {
 	iters := fs.Int("iters", 400, "measured queries per arm and round")
 	rounds := fs.Int("rounds", 3, "alternating measurement rounds per arm (best round wins)")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail (exit 1) if p50 overhead exceeds this percentage (0 = report only)")
-	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep), "coldpath" (BENCH_5, scoring-kernel comparison), "load" (BENCH_6, scale-truth load/SLO sweep), "codec" (BENCH_8, v1-vs-v2 codec before/after) or "ingest" (BENCH_9, scoped-vs-legacy cache invalidation under a write firehose)`)
+	mode := fs.String("mode", "overhead", `benchmark: "overhead" (BENCH_3, observability price), "cache" (BENCH_4, query-cache sweep), "coldpath" (BENCH_5, scoring-kernel comparison), "load" (BENCH_6, scale-truth load/SLO sweep), "codec" (BENCH_8, v1-vs-v2 codec before/after), "ingest" (BENCH_9, scoped-vs-legacy cache invalidation under a write firehose) or "coldstart" (BENCH_10, heap-vs-mapped open time, live heap and warm latency)`)
 	zipfS := fs.Float64("zipf-s", 1.2, "cache/load mode: Zipf exponent of the repeated-query mix")
 	cacheMB := fs.Int("cache-mb", 64, "cache/load mode: query-cache capacity in MiB")
 	minSpeedup := fs.Float64("min-speedup", 0, "cache/coldpath/codec mode: fail (exit 1) if the p50 speedup falls below this factor (0 = report only)")
@@ -130,6 +142,9 @@ func main() {
 	window := fs.Int("seconds", 10, "ingest mode: measurement window per arm, in seconds")
 	minHitRate := fs.Float64("min-hit-rate", 0, "ingest mode: fail (exit 1) if the scoped arm's warm hit rate falls below this fraction (0 = report only)")
 	maxP99 := fs.Float64("max-p99-ms", 0, "ingest mode: fail (exit 1) if the scoped arm's p99 exceeds this many milliseconds (0 = report only)")
+	minOpenSpeedup := fs.Float64("min-open-speedup", 0, "coldstart mode: fail (exit 1) if mapped open is not this many times faster than the heap decode (0 = report only)")
+	maxHeapRatio := fs.Float64("max-heap-ratio", 0, "coldstart mode: fail (exit 1) if the mapped arm's steady-state live heap exceeds this fraction of the heap arm's (0 = report only)")
+	maxWarmSlowdown := fs.Float64("max-warm-slowdown", 0, "coldstart mode: fail (exit 1) if the mapped warm p50 exceeds this multiple of the heap arm's (0 = report only)")
 	out := fs.String("out", "", "output file (- = stdout; default BENCH_<n>.json by mode)")
 	fs.Parse(os.Args[1:])
 	if *out == "" {
@@ -144,9 +159,24 @@ func main() {
 			*out = "BENCH_8.json"
 		case "ingest":
 			*out = "BENCH_9.json"
+		case "coldstart":
+			*out = "BENCH_10.json"
 		default:
 			*out = "BENCH_3.json"
 		}
+	}
+
+	// Coldstart mode builds its own tier snapshot and opens it both ways.
+	if *mode == "coldstart" {
+		docs, err := corpus.ParseSize(strings.SplitN(*size, ",", 2)[0])
+		if err != nil {
+			cli.Fatal(err)
+		}
+		runColdstartBench(coldstartConfig{
+			Size: corpus.SizeLabel(docs), Docs: docs,
+			Shards: *shards, Iters: *iters, Seed: *seed,
+		}, *minOpenSpeedup, *maxHeapRatio, *maxWarmSlowdown, *out)
+		return
 	}
 
 	// Ingest mode builds its own 10k engines (one per invalidation arm).

@@ -9,14 +9,22 @@
 //	                                         persist a manifest-anchored snapshot
 //	socindex -verify idx.bin                 fsck a saved snapshot: manifest,
 //	                                         per-shard checksums, WAL tail
+//	socindex -verify idx.bin -mapped         fsck, then prove the snapshot
+//	                                         opens memory-mapped and report
+//	                                         the O(manifest) open time
 //
 // -verify exits 0 only when recovery from the snapshot would be
 // complete and loss-free; anything else exits 1 with a per-file report.
-// The report tells damage apart from version skew: a shard file whose
-// envelope or index codec is newer than this build (or a checksum-free
-// legacy layout) is UNVERIFIABLE — intact as far as this binary can
-// tell, readable after an upgrade — while a failed size or checksum
-// check is DAMAGED.
+// The fsck streams checksums — mapped-generation files are audited
+// without loading them, and each intact file's line says whether it
+// carries the TOC that lets -mapped serve it. The report tells damage
+// apart from version skew: a shard file whose envelope or index codec
+// is newer than this build (or a checksum-free legacy layout) is
+// UNVERIFIABLE — intact as far as this binary can tell, readable after
+// an upgrade — while a failed size or checksum check is DAMAGED. The
+// mapped layout signals its version through the snapshot envelope, not
+// a new manifest key, so an older binary sees exactly that
+// UNVERIFIABLE-not-DAMAGED verdict on files it cannot audit.
 package main
 
 import (
@@ -38,6 +46,7 @@ func main() {
 	save := fs.String("save", "", "save the (single) built index to this file")
 	shards := fs.Int("shards", 0, "build an N-way sharded engine instead of a monolithic index")
 	verify := fs.String("verify", "", "verify a saved sharded snapshot at this base and exit (fsck)")
+	mapped := fs.Bool("mapped", false, "with -verify: also open the snapshot memory-mapped and report the open time")
 	fs.Parse(os.Args[1:])
 
 	if *verify != "" {
@@ -45,6 +54,21 @@ func main() {
 		fmt.Print(rep.String())
 		if !rep.OK() {
 			os.Exit(1)
+		}
+		if *mapped {
+			start := time.Now()
+			eng, err := shard.LoadWith(*verify, nil, shard.LoadOptions{Mapped: true})
+			if err != nil {
+				cli.Fatal(fmt.Errorf("mapped open: %w", err))
+			}
+			fmt.Printf("mapped open: %d docs across %d shard(s) in %v\n",
+				eng.NumDocs(), eng.NumShards(), time.Since(start).Round(time.Microsecond))
+			if fb := eng.LoadReport().MappedFallback; len(fb) > 0 {
+				fmt.Printf("mapped open: shards %v predate the mapped layout and heap-decoded\n", fb)
+			}
+			if err := eng.Close(); err != nil {
+				cli.Fatal(err)
+			}
 		}
 		return
 	}

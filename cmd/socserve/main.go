@@ -41,6 +41,11 @@
 //	                                           replayed on the next start
 //	socserve ... -wal -wal-sync 100ms          amortized fsync (-wal-sync
 //	                                           always|off|<interval>)
+//	socserve -addr :8090 -shards 4 -index idx.bin -mapped
+//	                                           serve straight from the snapshot
+//	                                           bytes: O(manifest) open, lazy
+//	                                           block decode, index may exceed
+//	                                           RAM (see DESIGN.md §15)
 //
 // The listener comes up immediately and reports readiness once the index
 // is loaded, so orchestrators can distinguish "starting" from "dead". It
@@ -147,6 +152,7 @@ func main() {
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowQuery := fs.Duration("slow-query", 0, "log requests slower than this, with their per-shard trace (0 = off)")
 	accessLog := fs.Bool("access-log", false, "log every request with its trace ID to stdout")
+	mapped := fs.Bool("mapped", false, "serve the saved snapshot memory-mapped: O(manifest) open, postings decode lazily per block, the index may exceed RAM (requires -shards and -index)")
 	walOn := fs.Bool("wal", false, "write-ahead log ingested pages next to -index and replay them on start (requires -shards and -index)")
 	walSync := fs.String("wal-sync", "always", `WAL fsync policy: "always", "off", or a flush interval like "100ms"`)
 	fs.Parse(os.Args[1:])
@@ -157,6 +163,9 @@ func main() {
 	}
 	if *walOn && (*shards == 0 || *indexFile == "") {
 		cli.Fatal(errors.New("-wal requires -shards and -index: the log lives next to the snapshot it extends"))
+	}
+	if *mapped && (*shards == 0 || *indexFile == "") {
+		cli.Fatal(errors.New("-mapped requires -shards and -index: only a saved sharded snapshot can be served from its file bytes"))
 	}
 
 	h := NewHandler(nil)
@@ -183,7 +192,7 @@ func main() {
 	// checkpoint; nil for monolithic shapes or while still loading.
 	var eng atomic.Pointer[shard.Engine]
 	go func() {
-		s, desc, err := loadSearcher(&cf, *indexFile, *shards, cacheBytes)
+		s, desc, err := loadSearcher(&cf, *indexFile, *shards, cacheBytes, *mapped)
 		if err != nil {
 			cli.Fatal(err)
 		}
@@ -215,23 +224,24 @@ func main() {
 			return
 		}
 		e.StopMerger()
-		if !*walOn {
-			return
-		}
-		// The drain is the last chance to fold the WAL into the snapshot;
-		// a degraded engine refuses (ErrDegraded) so a partial index never
-		// overwrites the repairable one, and its WAL stays for replay.
-		if err := e.Save(*indexFile); err != nil {
-			if errors.Is(err, shard.ErrDegraded) {
-				fmt.Printf("skipping shutdown checkpoint: %v\n", err)
+		if *walOn {
+			// The drain is the last chance to fold the WAL into the snapshot;
+			// a degraded engine refuses (ErrDegraded) so a partial index never
+			// overwrites the repairable one, and its WAL stays for replay.
+			if err := e.Save(*indexFile); err != nil {
+				if errors.Is(err, shard.ErrDegraded) {
+					fmt.Printf("skipping shutdown checkpoint: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "shutdown checkpoint failed: %v\n", err)
+				}
 			} else {
-				fmt.Fprintf(os.Stderr, "shutdown checkpoint failed: %v\n", err)
+				fmt.Printf("checkpointed %s at generation %d\n", *indexFile, e.Generation())
 			}
-		} else {
-			fmt.Printf("checkpointed %s at generation %d\n", *indexFile, e.Generation())
 		}
-		if err := e.CloseWAL(); err != nil {
-			fmt.Fprintf(os.Stderr, "closing wal: %v\n", err)
+		// Close after the drain: no request can still be reading mapped
+		// bytes, and the WAL (if any) syncs on detach.
+		if err := e.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing engine: %v\n", err)
 		}
 	}
 
@@ -259,10 +269,14 @@ func parseWALSync(s string) (wal.Options, error) {
 
 // loadSearcher builds or loads the configured index shape and describes
 // it. Sharded shapes get the query-result cache sized by cacheBytes
-// (0 serves every query cold).
-func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int, cacheBytes int64) (searcher, string, error) {
+// (0 serves every query cold). mapped serves a saved snapshot straight
+// from its file bytes (LoadOptions{Mapped}).
+func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int, cacheBytes int64, mapped bool) (searcher, string, error) {
 	describe := func(eng *shard.Engine) string {
 		d := fmt.Sprintf("%s engine (%d docs across %d shards", eng.Level(), eng.NumDocs(), eng.NumShards())
+		if mapped {
+			d += ", mapped"
+		}
 		if cacheBytes > 0 {
 			return d + fmt.Sprintf(", %d MiB cache)", cacheBytes>>20)
 		}
@@ -283,12 +297,19 @@ func loadSearcher(cf *cli.CorpusFlags, indexFile string, shards int, cacheBytes 
 				if err := eng.Save(indexFile); err != nil {
 					return nil, "", err
 				}
-				return eng, describe(eng) + " [bootstrapped]", nil
+				if !mapped {
+					return eng, describe(eng) + " [bootstrapped]", nil
+				}
+				// Fall through to the mapped load of the snapshot just
+				// written, so the bootstrapped run serves from disk too.
 			}
 		}
-		eng, err := shard.Load(indexFile, nil)
+		eng, err := shard.LoadWith(indexFile, nil, shard.LoadOptions{Mapped: mapped})
 		if err != nil {
 			return nil, "", err
+		}
+		if fb := eng.LoadReport().MappedFallback; len(fb) > 0 {
+			fmt.Printf("mapped: shards %v predate the mapped layout, serving them from heap until the next checkpoint\n", fb)
 		}
 		eng.EnableCache(cacheBytes, obs.Default)
 		return eng, describe(eng), nil

@@ -23,7 +23,7 @@ package index
 // the postings, so the postings region can be scanned without touching
 // document text:
 //
-//	magic "SIDX" | version u32 = 2 | numDocs u32
+//	magic "SIDX" | version u32 = 3 | numDocs u32
 //	numFields u32
 //	  per field: name
 //	    numTerms u32
@@ -40,8 +40,14 @@ package index
 //	    numBoosts u32, flag u8 (when > 0):
 //	      0: docID delta uvarint per entry, then one boost f64
 //	      1: per entry: docID delta uvarint, boost f64
-//	storedLen u64 | flate stream:
-//	  per doc: numFields u32, then per field: name, text, boost f64
+//	chunkDocs u32
+//	  per chunk of <=chunkDocs docs: compLen u64 | flate stream:
+//	    per doc: numFields u32, then per field: name, text, boost f64
+//
+// Version 2 (still readable) is identical except the stored region is
+// one flate stream over every document, length-prefixed:
+//
+//	storedLen u64 | flate stream: per doc as above
 //
 // Version 1 (legacy, still readable; written by EncodeV1) stores documents
 // first and postings raw:
@@ -83,14 +89,79 @@ const codecMagic = "SIDX"
 const (
 	// CodecVersionV1 is the legacy raw-postings layout (see EncodeV1).
 	CodecVersionV1 = 1
-	// CodecVersionCurrent is the compressed block-postings layout.
-	CodecVersionCurrent = 2
+	// CodecVersionV2 is the first block-postings layout; its stored region
+	// is one flate stream covering every document.
+	CodecVersionV2 = 2
+	// CodecVersionCurrent is the block-postings layout with the stored
+	// region split into independently-compressed chunks of storedChunkDocs
+	// documents, so a mapped reader can serve one document by inflating
+	// one chunk instead of pinning the whole region in heap.
+	CodecVersionCurrent = 3
 )
 
+// storedChunkDocs is how many documents share one flate stream in the
+// stored region. Small enough that a random Doc() on a mapped index
+// inflates tens of kilobytes, large enough that the flate window still
+// sees repeated structure (field names recur per document, so even a
+// part-filled window compresses well — BENCH_8 guards the ratio).
+const storedChunkDocs = 128
+
 // Encode serializes the index in the current (block-postings) format.
-// Output is deterministic for a given index.
+// Output is deterministic for a given index. A mapped index re-encodes as
+// a raw copy of its byte region — the same bytes a heap re-encode of the
+// identical postings would produce, without materializing anything.
 func (ix *Index) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	if ix.mapped != nil {
+		_, err := w.Write(ix.mapped.raw)
+		return err
+	}
+	return ix.encodeV2(w, nil)
+}
+
+// EncodeWithTOC writes exactly Encode's stream and additionally returns
+// the serialized table of contents OpenMapped needs to serve the stream
+// without decoding it: per-term block offsets and boundaries, exact score
+// caps, table offsets, and the values of the requested stored-only meta
+// fields (so identity lookups never open the flate region). The TOC rides
+// outside the payload — callers (the shard envelope) store it next to the
+// stream — so the payload stays byte-identical whether or not a TOC was
+// requested.
+func (ix *Index) EncodeWithTOC(w io.Writer, metaFields ...string) ([]byte, error) {
+	if m := ix.mapped; m != nil {
+		// Clean mapped index: the region and its TOC are already exactly
+		// what this function would produce.
+		if _, err := w.Write(m.raw); err != nil {
+			return nil, err
+		}
+		return m.rawTOC, nil
+	}
+	tb := newTOCBuilder(ix, metaFields)
+	if err := ix.encodeV2(w, tb); err != nil {
+		return nil, err
+	}
+	return tb.serialize(), nil
+}
+
+// countingWriter tracks bytes written through it so encodeV2 can record
+// logical stream offsets for the TOC.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// encodeV2 is the codec-v2 writer behind Encode and EncodeWithTOC; tb is
+// nil when no TOC is wanted. Offsets are recorded as cw.n plus the bufio
+// backlog — the logical position in the stream, regardless of flushes.
+func (ix *Index) encodeV2(w io.Writer, tb *tocBuilder) error {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	pos := func() uint64 { return uint64(cw.n) + uint64(bw.Buffered()) }
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return err
 	}
@@ -103,6 +174,10 @@ func (ix *Index) Encode(w io.Writer) error {
 	for _, name := range names {
 		fi := ix.fields[name]
 		writeString(bw, name)
+		var tf *tocField
+		if tb != nil {
+			tf = tb.field(name)
+		}
 
 		terms := make([]string, 0, len(fi.postings))
 		for t := range fi.postings {
@@ -116,15 +191,34 @@ func (ix *Index) Encode(w io.Writer) error {
 			writeU32(bw, uint32(len(pl)))
 			multi := len(pl) > postingBlockSize
 			prev := -1
+			var offs []uint64
+			var lasts []int32
 			for s := 0; s < len(pl); s += postingBlockSize {
 				e := s + postingBlockSize
 				if e > len(pl) {
 					e = len(pl)
 				}
+				if tb != nil {
+					offs = append(offs, pos())
+				}
 				prev = encodeBlock(bw, fi, pl[s:e], multi, prev)
+				if tb != nil {
+					lasts = append(lasts, int32(prev))
+				}
+			}
+			if tb != nil {
+				// The TOC cap is the exact bound over the whole list — the
+				// same value rebuildCaps derives on the heap decode path, so
+				// mapped and heap prune with identical numbers.
+				tf.terms = append(tf.terms, tocTerm{
+					term: t, n: len(pl), cap: fi.exactCap(pl), offs: offs, lasts: lasts,
+				})
 			}
 		}
 
+		if tb != nil {
+			tf.docLenOff = pos()
+		}
 		writeU32(bw, uint32(len(fi.docLen)))
 		prev := -1
 		for _, id := range sortedKeys(fi.docLen) {
@@ -133,6 +227,9 @@ func (ix *Index) Encode(w io.Writer) error {
 			prev = id
 		}
 
+		if tb != nil {
+			tf.boostOff = pos()
+		}
 		ids := make([]int, 0, len(fi.boost))
 		for id := range fi.boost {
 			ids = append(ids, id)
@@ -166,32 +263,45 @@ func (ix *Index) Encode(w io.Writer) error {
 		}
 	}
 
-	// Stored region: compressed into memory first because the stream is
-	// length-prefixed (the decoder must know where to hand the bytes to
-	// the flate reader without trusting the flate framing itself).
+	// Stored region: independently-compressed chunks, each buffered in
+	// memory first because every chunk is length-prefixed (the decoder
+	// must know where to hand bytes to the flate reader — and where the
+	// next chunk starts — without trusting the flate framing itself).
+	if tb != nil {
+		tb.storedOff = pos()
+	}
+	writeU32(bw, storedChunkDocs)
 	var stored bytes.Buffer
 	zw, err := flate.NewWriter(&stored, flate.DefaultCompression)
 	if err != nil {
 		return err
 	}
-	sw := bufio.NewWriter(zw)
-	for _, d := range ix.docs {
-		writeU32(sw, uint32(len(d.Fields)))
-		for _, f := range d.Fields {
-			writeString(sw, f.Name)
-			writeString(sw, f.Text)
-			writeF64(sw, f.Boost)
+	for beg := 0; beg < len(ix.docs); beg += storedChunkDocs {
+		end := beg + storedChunkDocs
+		if end > len(ix.docs) {
+			end = len(ix.docs)
 		}
-	}
-	if err := sw.Flush(); err != nil {
-		return err
-	}
-	if err := zw.Close(); err != nil {
-		return err
-	}
-	writeU64(bw, uint64(stored.Len()))
-	if _, err := bw.Write(stored.Bytes()); err != nil {
-		return err
+		stored.Reset()
+		zw.Reset(&stored)
+		sw := bufio.NewWriter(zw)
+		for _, d := range ix.docs[beg:end] {
+			writeU32(sw, uint32(len(d.Fields)))
+			for _, f := range d.Fields {
+				writeString(sw, f.Name)
+				writeString(sw, f.Text)
+				writeF64(sw, f.Boost)
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		writeU64(bw, uint64(stored.Len()))
+		if _, err := bw.Write(stored.Bytes()); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -245,8 +355,16 @@ func encodeBlock(bw *bufio.Writer, fi *fieldIndex, blk []Posting, multi bool, pr
 
 // EncodeV1 serializes the index in the legacy version-1 format, kept for
 // migration tooling and the codec size benchmarks. Output is deterministic
-// for a given index.
+// for a given index. A mapped index is materialized to heap first — v1
+// downgrades are a migration path, not a serving path.
 func (ix *Index) EncodeV1(w io.Writer) error {
+	if ix.mapped != nil {
+		heap, err := Decode(bytes.NewReader(ix.mapped.raw), ix.analyzer)
+		if err != nil {
+			return err
+		}
+		return heap.EncodeV1(w)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return err
@@ -348,8 +466,10 @@ func Decode(r io.Reader, analyzer Analyzer) (*Index, error) {
 	switch version {
 	case CodecVersionV1:
 		return decodeV1(br, analyzer)
+	case CodecVersionV2:
+		return decodeV2(br, analyzer, false)
 	case CodecVersionCurrent:
-		return decodeV2(br, analyzer)
+		return decodeV2(br, analyzer, true)
 	default:
 		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
@@ -498,7 +618,10 @@ func decodeV1(br *bufio.Reader, analyzer Analyzer) (*Index, error) {
 	return ix, nil
 }
 
-func decodeV2(br *bufio.Reader, analyzer Analyzer) (*Index, error) {
+// decodeV2 parses both block-postings layouts: chunked reads the
+// version-3 stored region (per-chunk flate streams), otherwise the
+// version-2 single stream.
+func decodeV2(br *bufio.Reader, analyzer Analyzer, chunked bool) (*Index, error) {
 	ix := New(analyzer)
 
 	numDocs, err := readU32(br)
@@ -529,6 +652,12 @@ func decodeV2(br *bufio.Reader, analyzer Analyzer) (*Index, error) {
 	}
 
 	// Stored region.
+	if chunked {
+		if err := decodeChunkedStored(br, ix, numDocs); err != nil {
+			return nil, err
+		}
+		return ix, nil
+	}
 	storedLen, err := readU64(br)
 	if err != nil {
 		return nil, err
@@ -551,6 +680,58 @@ func decodeV2(br *bufio.Reader, analyzer Analyzer) (*Index, error) {
 		return nil, fmt.Errorf("index: stored region longer than its %d documents", numDocs)
 	}
 	return ix, nil
+}
+
+// decodeChunkedStored reads the version-3 stored region into ix.docs.
+// Each chunk's compressed bytes are read fully before inflating — a
+// flate reader over the stream directly could buffer past the chunk
+// boundary and lose the next chunk's length prefix.
+func decodeChunkedStored(br *bufio.Reader, ix *Index, numDocs uint32) error {
+	chunkDocs, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	if chunkDocs == 0 || chunkDocs > 1<<20 {
+		return fmt.Errorf("index: implausible stored chunk size %d", chunkDocs)
+	}
+	ix.docs = make([]*Document, 0, capHint(numDocs, 1<<16))
+	var comp []byte
+	for beg := uint32(0); beg < numDocs; beg += chunkDocs {
+		end := beg + chunkDocs
+		if end > numDocs {
+			end = numDocs
+		}
+		compLen, err := readU64(br)
+		if err != nil {
+			return err
+		}
+		if compLen > 1<<32 {
+			return fmt.Errorf("index: implausible stored-chunk length %d", compLen)
+		}
+		if uint64(cap(comp)) < compLen {
+			comp = make([]byte, compLen)
+		}
+		comp = comp[:compLen]
+		if _, err := io.ReadFull(br, comp); err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		zr := flate.NewReader(bytes.NewReader(comp))
+		sr := bufio.NewReader(zr)
+		for i := beg; i < end; i++ {
+			d, err := readStoredDoc(sr, i)
+			if err != nil {
+				zr.Close()
+				return err
+			}
+			ix.docs = append(ix.docs, d)
+		}
+		if _, err := sr.ReadByte(); err != io.EOF {
+			zr.Close()
+			return fmt.Errorf("index: stored chunk at doc %d longer than its documents", beg)
+		}
+		zr.Close()
+	}
+	return nil
 }
 
 // decodeV2Field parses one field's postings region: the term dictionary

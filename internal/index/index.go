@@ -46,6 +46,9 @@ type fieldIndex struct {
 	// Maintained incrementally by Add, read from codec v2 snapshots,
 	// rebuilt from the postings for codec v1.
 	blocks map[string][]termCap
+	// m, when set, is the mapped (zero-copy) postings view: the maps above
+	// stay empty and every reader branches to the byte region (mapped.go).
+	m *mappedField
 }
 
 // termCap records the inputs from which a term's score upper bound is
@@ -73,10 +76,110 @@ func newFieldIndex() *fieldIndex {
 
 // avgLen is the mean field length across documents carrying the field.
 func (fi *fieldIndex) avgLen() float64 {
-	if len(fi.docLen) == 0 {
+	n := len(fi.docLen)
+	if fi.m != nil {
+		n = fi.m.docCount
+	}
+	if n == 0 {
 		return 0
 	}
-	return float64(fi.sumLen) / float64(len(fi.docLen))
+	return float64(fi.sumLen) / float64(n)
+}
+
+// numTerms is the distinct-term count whatever the storage mode.
+func (fi *fieldIndex) numTerms() int {
+	if fi.m != nil {
+		return len(fi.m.terms)
+	}
+	return len(fi.postings)
+}
+
+// termNames returns the unsorted term dictionary keys.
+func (fi *fieldIndex) termNames() []string {
+	if fi.m != nil {
+		out := make([]string, 0, len(fi.m.terms))
+		for t := range fi.m.terms {
+			out = append(out, t)
+		}
+		return out
+	}
+	out := make([]string, 0, len(fi.postings))
+	for t := range fi.postings {
+		out = append(out, t)
+	}
+	return out
+}
+
+// numPostings is a term's posting count without materializing anything.
+func (fi *fieldIndex) numPostings(term string) int {
+	if fi.m != nil {
+		if t := fi.m.terms[term]; t != nil {
+			return t.n
+		}
+		return 0
+	}
+	return len(fi.postings[term])
+}
+
+// postingsOf materializes a term's posting list — O(1) slice handout on
+// the heap path, a full block decode on the mapped path (the escape hatch
+// the exhaustive oracle, merges and stats walk through; scorers use block
+// cursors instead).
+func (fi *fieldIndex) postingsOf(term string) []Posting {
+	if fi.m != nil {
+		return fi.m.materialize(term)
+	}
+	return fi.postings[term]
+}
+
+// termCapOf returns a term's score-bound inputs (exact on both storage
+// modes once loaded from disk).
+func (fi *fieldIndex) termCapOf(term string) (termCap, bool) {
+	if fi.m != nil {
+		if t := fi.m.terms[term]; t != nil {
+			return t.cap, true
+		}
+		return termCap{}, false
+	}
+	c, ok := fi.caps[term]
+	return c, ok
+}
+
+// lengthOf is fi.docLen[docID] whatever the storage mode.
+func (fi *fieldIndex) lengthOf(docID int) int {
+	if fi.m != nil {
+		return fi.m.lengthOf(docID)
+	}
+	return fi.docLen[docID]
+}
+
+// eachDocLen visits every field-length entry (docID, length). Ascending
+// docID on the mapped path, map order on the heap path — callers must not
+// depend on order.
+func (fi *fieldIndex) eachDocLen(fn func(id, l int)) {
+	if fi.m != nil {
+		for id := 0; id < len(fi.m.docLen); id++ {
+			if fi.m.hasEntry(id) {
+				fn(id, int(fi.m.docLen[id]))
+			}
+		}
+		return
+	}
+	for id, l := range fi.docLen {
+		fn(id, l)
+	}
+}
+
+// boostOf is fi.boost[id] (missing = 0) whatever the storage mode.
+func (fi *fieldIndex) boostOf(id int) float64 {
+	if fi.m != nil {
+		j, ok := searchInt32(fi.m.boostIDs, int32(id))
+		if !ok {
+			return 0
+		}
+		return fi.m.boostVals[j]
+	}
+	return fi.boost[id]
 }
 
 // Index is an in-memory inverted index over documents with analyzed fields,
@@ -100,6 +203,11 @@ type Index struct {
 	// ExhaustiveSearch skip dead docIDs instead, and a merge drops them.
 	deleted    []bool
 	numDeleted int
+	// mapped, when set, means this index serves from a mapped byte region
+	// (OpenMapped): ix.docs stays empty until the stored region lazily
+	// materializes, and ix.fields carry mappedField views. The index is
+	// read-only except for tombstones.
+	mapped *mappedIndex
 }
 
 // New returns an empty index using the analyzer for every field and the
@@ -123,6 +231,11 @@ func (ix *Index) Analyzer() Analyzer { return ix.analyzer }
 // with '_' are stored but not indexed — the semantic index uses them to
 // carry evaluation metadata without polluting the term space.
 func (ix *Index) Add(d *Document) int {
+	if ix.mapped != nil {
+		// The mapped region is immutable; fresh writes belong in a new
+		// (heap) segment — the LSM write side the shard layer runs.
+		panic("index: Add on a mapped index")
+	}
 	id := len(ix.docs)
 	ix.docs = append(ix.docs, d)
 	ix.deleted = append(ix.deleted, false)
@@ -169,20 +282,20 @@ func (ix *Index) Add(d *Document) int {
 
 // NumDocs returns the number of indexed documents, including tombstoned
 // ones — it is the docID space size, not the live count (see LiveDocs).
-func (ix *Index) NumDocs() int { return len(ix.docs) }
+func (ix *Index) NumDocs() int { return ix.docCount() }
 
 // Delete tombstones a document: it stops matching queries immediately but
 // keeps its docID (and its stored fields, for merge-time bookkeeping)
 // until a merge drops it. Reports whether the document was newly deleted.
 // Like Add, not safe against concurrent searches.
 func (ix *Index) Delete(id int) bool {
-	if id < 0 || id >= len(ix.docs) {
+	if id < 0 || id >= ix.docCount() {
 		return false
 	}
 	// Decoded snapshots carry no tombstones and leave the slice unsized;
 	// grow it on the first delete after a load.
-	if len(ix.deleted) < len(ix.docs) {
-		ix.deleted = append(ix.deleted, make([]bool, len(ix.docs)-len(ix.deleted))...)
+	if len(ix.deleted) < ix.docCount() {
+		ix.deleted = append(ix.deleted, make([]bool, ix.docCount()-len(ix.deleted))...)
 	}
 	if ix.deleted[id] {
 		return false
@@ -210,7 +323,7 @@ func (ix *Index) DeletedMask() []bool {
 }
 
 // LiveDocs returns the number of documents that still match queries.
-func (ix *Index) LiveDocs() int { return len(ix.docs) - ix.numDeleted }
+func (ix *Index) LiveDocs() int { return ix.docCount() - ix.numDeleted }
 
 // Stats summarizes index size.
 type Stats struct {
@@ -226,10 +339,18 @@ type Stats struct {
 	Postings int
 }
 
-// Stats computes the index size summary by walking the term dictionaries.
+// Stats computes the index size summary by walking the term dictionaries
+// (posting counts come from the TOC on a mapped index — no decode).
 func (ix *Index) Stats() Stats {
-	s := Stats{Docs: len(ix.docs), Deleted: ix.numDeleted, Fields: len(ix.fields)}
+	s := Stats{Docs: ix.docCount(), Deleted: ix.numDeleted, Fields: len(ix.fields)}
 	for _, fi := range ix.fields {
+		if fi.m != nil {
+			s.Terms += len(fi.m.terms)
+			for _, t := range fi.m.terms {
+				s.Postings += t.n
+			}
+			continue
+		}
 		s.Terms += len(fi.postings)
 		for _, pl := range fi.postings {
 			s.Postings += len(pl)
@@ -238,8 +359,19 @@ func (ix *Index) Stats() Stats {
 	return s
 }
 
-// Doc returns the stored document for a docID.
+// Doc returns the stored document for a docID. On a mapped index it
+// inflates the document's stored chunk on first access (hit
+// materialization is the trigger; pure scoring never lands here) and
+// caches the decoded document — only documents actually served ever
+// inflate, so the heap cost of stored fields tracks the working set,
+// not the corpus.
 func (ix *Index) Doc(id int) *Document {
+	if m := ix.mapped; m != nil {
+		if id < 0 || id >= m.numDocs {
+			return nil
+		}
+		return m.storedDocAt(id)
+	}
 	if id < 0 || id >= len(ix.docs) {
 		return nil
 	}
@@ -271,27 +403,31 @@ func (ix *Index) Terms(field string) []string {
 	if fi == nil {
 		return nil
 	}
-	out := make([]string, 0, len(fi.postings))
-	for t := range fi.postings {
-		out = append(out, t)
-	}
+	out := fi.termNames()
 	sort.Strings(out)
 	return out
 }
 
 // Postings returns the posting list of an analyzed term in a field. The
 // term must already be in index form (lowercased, stemmed); use the
-// analyzer to normalize raw text first.
+// analyzer to normalize raw text first. On a mapped index this decodes
+// the term's blocks into fresh heap postings.
 func (ix *Index) Postings(field, term string) []Posting {
 	fi := ix.fields[field]
 	if fi == nil {
 		return nil
 	}
-	return fi.postings[term]
+	return fi.postingsOf(term)
 }
 
 // DocFreq returns the number of documents containing the term in the field.
-func (ix *Index) DocFreq(field, term string) int { return len(ix.Postings(field, term)) }
+func (ix *Index) DocFreq(field, term string) int {
+	fi := ix.fields[field]
+	if fi == nil {
+		return 0
+	}
+	return fi.numPostings(term)
+}
 
 // IDF computes the classic Lucene inverse document frequency:
 // 1 + ln(N / (df + 1)), over corpus-wide statistics when installed.
@@ -306,7 +442,7 @@ func (ix *Index) fieldNorm(field string, docID int) float64 {
 	if fi == nil {
 		return 0
 	}
-	l := fi.docLen[docID]
+	l := fi.lengthOf(docID)
 	if l == 0 {
 		return 0
 	}
@@ -327,7 +463,7 @@ func (ix *Index) termUpperBound(field, term string, queryBoost float64) float64 
 	if fi == nil {
 		return 0
 	}
-	c, ok := fi.caps[term]
+	c, ok := fi.termCapOf(term)
 	if !ok {
 		return 0
 	}

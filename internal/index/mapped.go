@@ -1,0 +1,957 @@
+package index
+
+// Mapped (zero-copy) read path. A heap index materializes every posting
+// list at Decode time; a mapped index keeps the codec-v2 stream as one
+// []byte region (mmap'd by the shard layer on linux, read into memory
+// elsewhere) plus a table of contents (TOC) the encoder wrote next to the
+// payload, and decodes a posting block only when a scorer actually lands
+// on it. The TOC carries, per term: the byte offset and last docID of
+// every 128-posting block and the exact term-level score cap — enough for
+// Block-Max WAND to skip a beaten block without ever touching its bytes
+// (the per-block max-impact header is read from the mapped region only
+// when a block survives the term-level cap), and for advance() to binary
+// search block boundaries entirely in RAM.
+//
+// Immutability contract: everything reachable from mappedIndex is
+// read-only after OpenMapped returns, so concurrent searches share it
+// freely; all per-query decode state lives in BlockReader instances owned
+// by a single scorer. The only mutation is the per-document decode cache,
+// whose atomic entries are written once with an immutable value (Doc() on
+// a hit is the trigger — exactly the "fetch stored fields on hit
+// materialization" contract).
+//
+// Corruption policy: the shard layer CRC-checks payload and TOC before
+// handing them here, so decode failures after open are impossible on a
+// verified file. The parsers stay fully defensive anyway (FuzzOpenMapped
+// feeds truncated and bit-flipped images): every read is bounds-checked,
+// a corrupt block decodes to empty rather than panicking, and OpenMapped
+// rejects structurally inconsistent TOCs with an error.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// TOC serialization constants. The TOC rides outside the codec payload
+// (the shard envelope's meta block), so the payload stays byte-identical
+// to what Encode always wrote; codec v2 files without a TOC simply cannot
+// be opened mapped and fall back to the heap decoder.
+const (
+	tocMagic   = "STOC"
+	tocVersion = 1
+)
+
+// ErrNoTOC reports a codec stream that cannot be served mapped — a v1
+// payload, or a v2 payload without a table of contents. Callers fall back
+// to the heap Decode path.
+var ErrNoTOC = errors.New("index: stream has no mapped table of contents")
+
+// mappedIndex is the index-wide mapped state.
+type mappedIndex struct {
+	// raw is the whole codec-v2 stream, magic through stored region.
+	raw []byte
+	// rawTOC is the serialized TOC exactly as read, kept so re-encoding a
+	// clean mapped index (checkpointing an unchanged shard) is a raw copy.
+	rawTOC []byte
+	// numDocs mirrors the payload header's document count.
+	numDocs int
+	// storedOff is the offset of the stored region's chunk table.
+	storedOff int
+	// metaNames/metaVals are the stored-only ('_'-prefixed) field values
+	// captured in the TOC so identity plumbing (global docIDs, page IDs)
+	// never forces the flate region open. metaVals[k][doc] is "" when the
+	// doc does not carry the field.
+	metaNames []string
+	metaVals  [][]string
+	// chunkDocs/chunkOffs describe the stored region's chunk table, parsed
+	// (and fully bounds-validated) at open: documents per chunk, and
+	// chunkOffs[c] as the offset of chunk c's u64 length prefix in raw,
+	// with a final sentinel at len(raw). The compressed bytes stay in the
+	// mapped region; Doc inflates one chunk transiently to decode one
+	// document, so serving stored fields never pins the region in heap.
+	chunkDocs int
+	chunkOffs []int
+	// docCache holds decoded documents by docID — populated only for
+	// documents actually served (hit materialization is top-k, so a
+	// serving process inflates the handful of documents queries return,
+	// not the corpus). Entries are immutable once stored; a racing decode
+	// publishes an equal value.
+	docCache []atomic.Pointer[Document]
+}
+
+// mappedField is one field's mapped postings view.
+type mappedField struct {
+	raw   []byte
+	terms map[string]*mappedTerm
+	// docLen[doc] is the field length; present marks which docs carry an
+	// entry (a zero length is distinguishable from no entry, which the
+	// merge path needs to reproduce the table byte-exactly).
+	docLen  []int32
+	present []uint64
+	// docCount and sumLen mirror len(fi.docLen) and fi.sumLen.
+	docCount int
+	sumLen   int
+	// boostIDs/boostVals are the field-boost table entries, docID
+	// ascending (iteration-only: scoring reads boosts from postings).
+	boostIDs  []int32
+	boostVals []float64
+}
+
+// mappedTerm is one term's TOC entry: exact score cap, posting count and
+// per-block (offset, last docID) pairs.
+type mappedTerm struct {
+	n     int
+	cap   termCap
+	multi bool
+	// offs[b] is the absolute offset of block b in the codec stream (at
+	// the max-impact header for multi-block terms); lastDocs[b] is the
+	// block's final docID — the Block-Max window boundary, and the delta
+	// seed for decoding block b+1.
+	offs     []int64
+	lastDocs []int32
+}
+
+func (t *mappedTerm) numBlocks() int { return len(t.offs) }
+
+// blockLen returns the posting count of block b.
+func (t *mappedTerm) blockLen(b int) int {
+	n := t.n - b*postingBlockSize
+	if n > postingBlockSize {
+		n = postingBlockSize
+	}
+	return n
+}
+
+// hasEntry reports whether doc has a docLen table entry.
+func (f *mappedField) hasEntry(doc int) bool {
+	return doc >= 0 && doc < len(f.docLen) && f.present[doc>>6]&(1<<(doc&63)) != 0
+}
+
+// lengthOf mirrors fi.docLen[doc] map semantics (missing = 0).
+func (f *mappedField) lengthOf(doc int) int {
+	if doc < 0 || doc >= len(f.docLen) {
+		return 0
+	}
+	return int(f.docLen[doc])
+}
+
+// byteReader is a bounds-checked cursor over an untrusted byte region.
+// All reads after a failure return zero values; callers check bad once.
+type byteReader struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (r *byteReader) fail() {
+	r.bad = true
+	r.pos = len(r.b)
+}
+
+func (r *byteReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.pos+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.pos+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// str reads a u32-length-prefixed string (the codec's string shape).
+func (r *byteReader) str() string {
+	n := r.u32()
+	if r.bad || n > 1<<26 || r.pos+int(n) > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// vstr reads a uvarint-length-prefixed string (the TOC's string shape).
+func (r *byteReader) vstr() string {
+	n := r.uvarint()
+	if r.bad || n > 1<<26 || r.pos+int(n) > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// BlockReader decodes one term's 128-posting blocks from the mapped byte
+// region, one block at a time into small reused buffers — the unit of
+// work the mapped scorers drive. Loading block b seeds the docID delta
+// chain from the TOC's lastDocs[b-1], so any block decodes independently;
+// position bytes are only parsed when the owner asked for them (term
+// scoring never does — frequencies are stored separately from positions,
+// so TF scoring never touches position bytes at all).
+//
+// A BlockReader belongs to exactly one scorer; it is not safe for
+// concurrent use (the mapped structures it reads are).
+type BlockReader struct {
+	f       *mappedField
+	t       *mappedTerm
+	withPos bool
+
+	blk    int // decoded block index, -1 before first load
+	bad    bool
+	docs   []int32
+	freqs  []int32
+	boosts []float64
+	// posOff[k]..posOff[k+1] delimit posting k's positions.
+	posOff    []int32
+	positions []int
+}
+
+// newBlockReader positions a reader before the term's first block.
+func newBlockReader(f *mappedField, t *mappedTerm, withPos bool) *BlockReader {
+	return &BlockReader{f: f, t: t, withPos: withPos, blk: -1}
+}
+
+// load decodes block b (a no-op when already current). It returns false —
+// with every buffer emptied — when the bytes do not parse as a valid
+// block; on a CRC-verified file that cannot happen.
+func (r *BlockReader) load(b int) bool {
+	if r.blk == b {
+		return !r.bad
+	}
+	r.blk = b
+	r.bad = false
+	r.docs = r.docs[:0]
+	r.freqs = r.freqs[:0]
+	r.boosts = r.boosts[:0]
+	r.posOff = r.posOff[:0]
+	r.positions = r.positions[:0]
+	if b < 0 || b >= r.t.numBlocks() || r.t.offs[b] < 0 || r.t.offs[b] > int64(len(r.f.raw)) {
+		r.bad = true
+		return false
+	}
+	br := byteReader{b: r.f.raw, pos: int(r.t.offs[b])}
+	if r.t.multi {
+		// Skip the max-impact header; bounds are read via blockCap when a
+		// scorer needs them, without decoding the block.
+		br.uvarint()
+		br.uvarint()
+		br.f64()
+	}
+	n := r.t.blockLen(b)
+	numDocs := len(r.f.docLen)
+	prev := int32(-1)
+	if b > 0 {
+		prev = r.t.lastDocs[b-1]
+	}
+	for k := 0; k < n; k++ {
+		d := br.uvarint()
+		if br.bad || d == 0 || d > uint64(numDocs) {
+			return r.spoil()
+		}
+		doc := prev + int32(d)
+		if int(doc) >= numDocs {
+			return r.spoil()
+		}
+		prev = doc
+		r.docs = append(r.docs, doc)
+	}
+	if prev != r.t.lastDocs[b] {
+		// The payload disagrees with the TOC: one of them is corrupt.
+		return r.spoil()
+	}
+	totalFreq := 0
+	for k := 0; k < n; k++ {
+		f := br.uvarint()
+		if br.bad || f == 0 || f > 1<<24 {
+			return r.spoil()
+		}
+		totalFreq += int(f)
+		r.freqs = append(r.freqs, int32(f))
+	}
+	flag := byte(0)
+	if br.pos < len(br.b) {
+		flag = br.b[br.pos]
+		br.pos++
+	} else {
+		return r.spoil()
+	}
+	switch flag {
+	case 0:
+		v := br.f64()
+		if br.bad {
+			return r.spoil()
+		}
+		for k := 0; k < n; k++ {
+			r.boosts = append(r.boosts, v)
+		}
+	case 1:
+		for k := 0; k < n; k++ {
+			v := br.f64()
+			if br.bad {
+				return r.spoil()
+			}
+			r.boosts = append(r.boosts, v)
+		}
+	default:
+		return r.spoil()
+	}
+	if r.withPos {
+		// Position deltas are at least one byte each, so the remaining
+		// region bounds the honest total — a lying freq cannot force an
+		// allocation past the bytes that exist.
+		if totalFreq > len(br.b)-br.pos {
+			return r.spoil()
+		}
+		for k := 0; k < n; k++ {
+			r.posOff = append(r.posOff, int32(len(r.positions)))
+			prevPos := -1
+			for q := int32(0); q < r.freqs[k]; q++ {
+				delta := br.uvarint()
+				if br.bad || delta == 0 || delta > 1<<32 {
+					return r.spoil()
+				}
+				pos := prevPos + int(delta)
+				if pos > 1<<32 {
+					return r.spoil()
+				}
+				prevPos = pos
+				r.positions = append(r.positions, pos)
+			}
+		}
+		r.posOff = append(r.posOff, int32(len(r.positions)))
+	}
+	return true
+}
+
+// spoil marks the current block corrupt and empties every buffer so the
+// owner sees an exhausted, never an out-of-bounds, cursor.
+func (r *BlockReader) spoil() bool {
+	r.bad = true
+	r.docs = r.docs[:0]
+	r.freqs = r.freqs[:0]
+	r.boosts = r.boosts[:0]
+	r.posOff = r.posOff[:0]
+	r.positions = r.positions[:0]
+	return false
+}
+
+// docAt returns the docID at posting index i, decoding the containing
+// block on demand; noMoreDocs past the end or on a corrupt block.
+func (r *BlockReader) docAt(i int) int {
+	if i >= r.t.n {
+		return noMoreDocs
+	}
+	b := i / postingBlockSize
+	if !r.load(b) {
+		return noMoreDocs
+	}
+	k := i - b*postingBlockSize
+	if k >= len(r.docs) {
+		return noMoreDocs
+	}
+	return int(r.docs[k])
+}
+
+// at returns the (freq, boost) of posting index i. Only valid right after
+// a successful docAt(i).
+func (r *BlockReader) at(i int) (freq int, boost float64) {
+	k := i - r.blk*postingBlockSize
+	return int(r.freqs[k]), r.boosts[k]
+}
+
+// positionsAt returns posting index i's position list (withPos readers
+// only). The slice aliases the reader's buffer: valid until the next load.
+func (r *BlockReader) positionsAt(i int) []int {
+	k := i - r.blk*postingBlockSize
+	if k < 0 || k+1 >= len(r.posOff) {
+		return nil
+	}
+	return r.positions[r.posOff[k]:r.posOff[k+1]]
+}
+
+// findDoc locates doc's posting index, or (-1, false). It binary searches
+// the in-RAM block boundaries first, so at most one block is decoded.
+func (r *BlockReader) findDoc(doc int) (int, bool) {
+	t := r.t
+	nb := t.numBlocks()
+	lo, hi := 0, nb
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(t.lastDocs[mid]) < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= nb || !r.load(lo) {
+		return -1, false
+	}
+	j, found := searchInt32(r.docs, int32(doc))
+	if !found {
+		return -1, false
+	}
+	return lo*postingBlockSize + j, true
+}
+
+// searchInt32 binary searches an ascending []int32.
+func searchInt32(a []int32, v int32) (int, bool) {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(a) && a[lo] == v
+}
+
+// blockCap reads block b's max-impact header from the mapped region —
+// ~20 bytes at the block's start, no posting decoded. Single-block terms
+// answer with the exact term cap (they carry no header).
+func (f *mappedField) blockCap(t *mappedTerm, b int) termCap {
+	if !t.multi {
+		return t.cap
+	}
+	if b < 0 || b >= t.numBlocks() || t.offs[b] < 0 || t.offs[b] > int64(len(f.raw)) {
+		return termCap{maxFreq: int(^uint(0) >> 1), minLen: 1, maxBoost: math.Inf(1)}
+	}
+	br := byteReader{b: f.raw, pos: int(t.offs[b])}
+	mf := br.uvarint()
+	ml := br.uvarint()
+	mb := br.f64()
+	if br.bad || mf == 0 || ml == 0 || mf > 1<<24 || ml > 1<<32 {
+		// Unreadable header (impossible post-CRC): never prune on it.
+		return termCap{maxFreq: int(^uint(0) >> 1), minLen: 1, maxBoost: math.Inf(1)}
+	}
+	return termCap{maxFreq: int(mf), minLen: int(ml), maxBoost: mb}
+}
+
+// hasPosition reports whether term's posting for doc contains pos —
+// the mapped analogue of the heap path's binary search, decoding at most
+// one block (with positions) per probe. Used by the exhaustive phrase
+// oracle; the mapped phrase scorer keeps per-term readers instead.
+func (f *mappedField) hasPosition(term string, doc, pos int) bool {
+	t := f.terms[term]
+	if t == nil {
+		return false
+	}
+	r := newBlockReader(f, t, true)
+	i, ok := r.findDoc(doc)
+	if !ok {
+		return false
+	}
+	pl := r.positionsAt(i)
+	lo, hi := 0, len(pl)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pl[mid] < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(pl) && pl[lo] == pos
+}
+
+// materialize decodes term's full posting list into heap Postings —
+// the escape hatch for the exhaustive oracle, merges and stats, bounded
+// to one term at a time.
+func (f *mappedField) materialize(term string) []Posting {
+	t := f.terms[term]
+	if t == nil {
+		return nil
+	}
+	r := newBlockReader(f, t, true)
+	pl := make([]Posting, 0, t.n)
+	for b := 0; b < t.numBlocks(); b++ {
+		if !r.load(b) {
+			return nil
+		}
+		for k := range r.docs {
+			pl = append(pl, Posting{
+				DocID:     int(r.docs[k]),
+				Boost:     r.boosts[k],
+				Positions: append([]int(nil), r.positions[r.posOff[k]:r.posOff[k+1]]...),
+			})
+		}
+	}
+	return pl
+}
+
+// --- TOC build (encoder side) ---
+
+// tocBuilder accumulates offsets during encodeV2 and serializes them.
+type tocBuilder struct {
+	numDocs   int
+	storedOff uint64
+	metaNames []string
+	metaVals  [][]string
+	fields    []*tocField
+}
+
+type tocField struct {
+	name                string
+	docLenOff, boostOff uint64
+	terms               []tocTerm
+}
+
+type tocTerm struct {
+	term  string
+	n     int
+	cap   termCap
+	offs  []uint64
+	lasts []int32
+}
+
+// newTOCBuilder captures the requested stored-only meta fields from the
+// documents up front; offsets arrive during the encode walk.
+func newTOCBuilder(ix *Index, metaFields []string) *tocBuilder {
+	tb := &tocBuilder{numDocs: len(ix.docs)}
+	for _, name := range metaFields {
+		vals := make([]string, len(ix.docs))
+		for i, d := range ix.docs {
+			vals[i] = d.Get(name)
+		}
+		tb.metaNames = append(tb.metaNames, name)
+		tb.metaVals = append(tb.metaVals, vals)
+	}
+	return tb
+}
+
+func (tb *tocBuilder) field(name string) *tocField {
+	tf := &tocField{name: name}
+	tb.fields = append(tb.fields, tf)
+	return tf
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVstr(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// serialize renders the TOC bytes. Offsets are delta-coded (they are
+// strictly monotone across the payload), so the whole table stays a small
+// fraction of the postings it describes.
+func (tb *tocBuilder) serialize() []byte {
+	out := make([]byte, 0, 1<<12)
+	out = append(out, tocMagic...)
+	out = binary.LittleEndian.AppendUint32(out, tocVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(tb.numDocs))
+	out = binary.LittleEndian.AppendUint64(out, tb.storedOff)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(tb.metaNames)))
+	for k, name := range tb.metaNames {
+		out = appendVstr(out, name)
+		for _, v := range tb.metaVals[k] {
+			out = appendVstr(out, v)
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(tb.fields)))
+	for _, tf := range tb.fields {
+		out = appendVstr(out, tf.name)
+		out = binary.LittleEndian.AppendUint64(out, tf.docLenOff)
+		out = binary.LittleEndian.AppendUint64(out, tf.boostOff)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(tf.terms)))
+		prevOff := uint64(0)
+		for _, t := range tf.terms {
+			out = appendVstr(out, t.term)
+			out = appendUvarint(out, uint64(t.n))
+			out = appendUvarint(out, uint64(t.cap.maxFreq))
+			out = appendUvarint(out, uint64(t.cap.minLen))
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(t.cap.maxBoost))
+			for b, off := range t.offs {
+				out = appendUvarint(out, off-prevOff)
+				prevOff = off
+				last := uint64(t.lasts[b]) + 1
+				if b > 0 {
+					last = uint64(t.lasts[b] - t.lasts[b-1])
+				}
+				out = appendUvarint(out, last)
+			}
+		}
+	}
+	return out
+}
+
+// --- Open (reader side) ---
+
+// OpenMapped builds an index that serves queries directly from raw — a
+// codec-v2 stream — using the TOC bytes its encoder produced alongside
+// (EncodeWithTOC). Neither slice is copied: the caller owns their
+// lifetime and must keep them valid (and unmodified) for the life of the
+// index; the shard layer ties this to the mmap's lifetime.
+//
+// Integrity is the caller's job (the shard envelope CRCs both regions);
+// OpenMapped validates structure, not checksums: header magic/version,
+// TOC/payload agreement on counts and offsets, table parses, and monotone
+// block boundaries. A v1 payload or missing TOC returns ErrNoTOC so
+// callers can fall back to the heap decoder.
+func OpenMapped(raw, toc []byte, analyzer Analyzer) (*Index, error) {
+	if len(toc) == 0 {
+		return nil, ErrNoTOC
+	}
+	pr := byteReader{b: raw}
+	if string(pr.b[:min(4, len(pr.b))]) != codecMagic {
+		return nil, fmt.Errorf("index: bad magic in mapped stream")
+	}
+	pr.pos = 4
+	switch v := pr.u32(); {
+	case pr.bad:
+		return nil, fmt.Errorf("index: truncated mapped stream")
+	case v == CodecVersionV1:
+		return nil, ErrNoTOC
+	case v != CodecVersionCurrent:
+		return nil, fmt.Errorf("index: unsupported codec version %d", v)
+	}
+	payloadDocs := pr.u32()
+	if pr.bad || payloadDocs > 1<<28 {
+		return nil, fmt.Errorf("index: implausible doc count in mapped stream")
+	}
+
+	tr := byteReader{b: toc}
+	if string(tr.b[:min(4, len(tr.b))]) != tocMagic {
+		return nil, ErrNoTOC
+	}
+	tr.pos = 4
+	if v := tr.u32(); tr.bad || v != tocVersion {
+		return nil, fmt.Errorf("index: unsupported TOC version")
+	}
+	numDocs := int(tr.u32())
+	storedOff := tr.u64()
+	if tr.bad || numDocs != int(payloadDocs) {
+		return nil, fmt.Errorf("index: TOC/payload doc count mismatch")
+	}
+	// The stored region must close the payload exactly: a u32 chunk size
+	// at storedOff, then length-prefixed flate chunks to the end. The
+	// chunk walk is O(numDocs/chunkDocs) pointer arithmetic — no chunk is
+	// inflated here.
+	if storedOff > uint64(len(raw)) || storedOff < 12 {
+		return nil, fmt.Errorf("index: TOC stored-region offset out of range")
+	}
+	sr := byteReader{b: raw, pos: int(storedOff)}
+	chunkDocs := sr.u32()
+	if sr.bad || chunkDocs == 0 || chunkDocs > 1<<20 {
+		return nil, fmt.Errorf("index: implausible mapped stored chunk size")
+	}
+	chunkCount := (numDocs + int(chunkDocs) - 1) / int(chunkDocs)
+	chunkOffs := make([]int, chunkCount+1)
+	for c := 0; c < chunkCount; c++ {
+		chunkOffs[c] = sr.pos
+		n := sr.u64()
+		if sr.bad || n > uint64(len(raw)-sr.pos) {
+			return nil, fmt.Errorf("index: truncated mapped stored chunk %d", c)
+		}
+		sr.pos += int(n)
+	}
+	chunkOffs[chunkCount] = sr.pos
+	if sr.pos != len(raw) {
+		return nil, fmt.Errorf("index: stored-region length mismatch")
+	}
+
+	ix := New(analyzer)
+	m := &mappedIndex{
+		raw:       raw,
+		rawTOC:    toc,
+		numDocs:   numDocs,
+		storedOff: int(storedOff),
+		chunkDocs: int(chunkDocs),
+		chunkOffs: chunkOffs,
+		docCache:  make([]atomic.Pointer[Document], numDocs),
+	}
+	numMeta := tr.u32()
+	if tr.bad || numMeta > 1<<10 {
+		return nil, fmt.Errorf("index: implausible TOC meta field count")
+	}
+	for k := uint32(0); k < numMeta; k++ {
+		name := tr.vstr()
+		vals := make([]string, 0, capHint(uint32(numDocs), 1<<16))
+		for d := 0; d < numDocs; d++ {
+			vals = append(vals, tr.vstr())
+			if tr.bad {
+				return nil, fmt.Errorf("index: truncated TOC meta values")
+			}
+		}
+		m.metaNames = append(m.metaNames, name)
+		m.metaVals = append(m.metaVals, vals)
+	}
+	numFields := tr.u32()
+	if tr.bad || numFields > 1<<16 {
+		return nil, fmt.Errorf("index: implausible TOC field count")
+	}
+	for i := uint32(0); i < numFields; i++ {
+		name := tr.vstr()
+		docLenOff := tr.u64()
+		boostOff := tr.u64()
+		numTerms := tr.u32()
+		if tr.bad || numTerms > 1<<28 {
+			return nil, fmt.Errorf("index: truncated TOC field header")
+		}
+		mf := &mappedField{
+			raw:   raw,
+			terms: make(map[string]*mappedTerm, capHint(numTerms, 1<<16)),
+		}
+		prevOff := uint64(0)
+		for t := uint32(0); t < numTerms; t++ {
+			term := tr.vstr()
+			n := tr.uvarint()
+			maxFreq := tr.uvarint()
+			minLen := tr.uvarint()
+			maxBoost := math.Float64frombits(tr.u64())
+			if tr.bad || n == 0 || n > uint64(numDocs) || maxFreq == 0 || maxFreq > 1<<24 || minLen == 0 || minLen > 1<<32 {
+				return nil, fmt.Errorf("index: bad TOC term entry")
+			}
+			nb := (int(n) + postingBlockSize - 1) / postingBlockSize
+			mt := &mappedTerm{
+				n:        int(n),
+				cap:      termCap{maxFreq: int(maxFreq), minLen: int(minLen), maxBoost: maxBoost},
+				multi:    int(n) > postingBlockSize,
+				offs:     make([]int64, 0, nb),
+				lastDocs: make([]int32, 0, nb),
+			}
+			prevLast := int32(-1)
+			for b := 0; b < nb; b++ {
+				off := prevOff + tr.uvarint()
+				delta := tr.uvarint()
+				if tr.bad || delta == 0 || off >= storedOff {
+					return nil, fmt.Errorf("index: bad TOC block entry for %q", term)
+				}
+				last := prevLast + int32(delta)
+				if int(last) >= numDocs {
+					return nil, fmt.Errorf("index: TOC block boundary out of range for %q", term)
+				}
+				prevOff = off
+				prevLast = last
+				mt.offs = append(mt.offs, int64(off))
+				mt.lastDocs = append(mt.lastDocs, last)
+			}
+			mf.terms[term] = mt
+		}
+		// The field-length and boost tables parse out of the payload at the
+		// recorded offsets, into compact arrays (they are read per scored
+		// document, unlike postings).
+		if docLenOff >= storedOff || boostOff >= storedOff {
+			return nil, fmt.Errorf("index: TOC table offset out of range for field %q", name)
+		}
+		if err := mf.parseTables(raw, int(docLenOff), int(boostOff), numDocs); err != nil {
+			return nil, err
+		}
+		fi := newFieldIndex()
+		fi.m = mf
+		fi.sumLen = mf.sumLen
+		ix.fields[name] = fi
+	}
+	if !tr.bad && tr.pos != len(toc) {
+		return nil, fmt.Errorf("index: %d trailing TOC bytes", len(toc)-tr.pos)
+	}
+	ix.mapped = m
+	return ix, nil
+}
+
+// parseTables decodes the payload's field-length and field-boost tables
+// (the same wire shapes decodeV2Field reads) into arrays.
+func (f *mappedField) parseTables(raw []byte, docLenOff, boostOff, numDocs int) error {
+	f.docLen = make([]int32, numDocs)
+	f.present = make([]uint64, (numDocs+63)/64)
+	br := byteReader{b: raw, pos: docLenOff}
+	numLens := br.u32()
+	if br.bad || int64(numLens) > int64(numDocs) {
+		return fmt.Errorf("index: bad mapped field-length table")
+	}
+	prev := -1
+	for l := uint32(0); l < numLens; l++ {
+		delta := br.uvarint()
+		if br.bad || delta == 0 || delta > uint64(numDocs) {
+			return fmt.Errorf("index: bad mapped field-length delta")
+		}
+		id := prev + int(delta)
+		if id >= numDocs {
+			return fmt.Errorf("index: mapped field length references doc %d of %d", id, numDocs)
+		}
+		prev = id
+		v := br.uvarint()
+		if br.bad || v > 1<<31 {
+			return fmt.Errorf("index: implausible mapped field length")
+		}
+		f.docLen[id] = int32(v)
+		f.present[id>>6] |= 1 << (id & 63)
+		f.sumLen += int(v)
+		f.docCount++
+	}
+	br = byteReader{b: raw, pos: boostOff}
+	numBoosts := br.u32()
+	if br.bad || int64(numBoosts) > int64(numDocs) {
+		return fmt.Errorf("index: bad mapped field-boost table")
+	}
+	if numBoosts > 0 {
+		flag := byte(0)
+		if br.pos < len(br.b) {
+			flag = br.b[br.pos]
+			br.pos++
+		} else {
+			return fmt.Errorf("index: truncated mapped field-boost table")
+		}
+		if flag > 1 {
+			return fmt.Errorf("index: bad mapped field-boost flag")
+		}
+		prev := -1
+		for k := uint32(0); k < numBoosts; k++ {
+			delta := br.uvarint()
+			if br.bad || delta == 0 || delta > uint64(numDocs) {
+				return fmt.Errorf("index: bad mapped field-boost delta")
+			}
+			id := prev + int(delta)
+			if id >= numDocs {
+				return fmt.Errorf("index: mapped field boost references doc %d of %d", id, numDocs)
+			}
+			prev = id
+			f.boostIDs = append(f.boostIDs, int32(id))
+			if flag == 1 {
+				f.boostVals = append(f.boostVals, br.f64())
+			}
+		}
+		if flag == 0 {
+			v := br.f64()
+			for range f.boostIDs {
+				f.boostVals = append(f.boostVals, v)
+			}
+		}
+		if br.bad {
+			return fmt.Errorf("index: truncated mapped field-boost table")
+		}
+	}
+	return nil
+}
+
+// --- Index-level mapped plumbing ---
+
+// Mapped reports whether this index serves postings from a mapped byte
+// region instead of heap structures.
+func (ix *Index) Mapped() bool { return ix.mapped != nil }
+
+// docCount is the stored-document count whatever the storage mode — the
+// internal replacement for len(ix.docs), which is 0 on a mapped index
+// until the stored region materializes.
+func (ix *Index) docCount() int {
+	if ix.mapped != nil {
+		return ix.mapped.numDocs
+	}
+	return len(ix.docs)
+}
+
+// DocMeta returns a stored-only field's value for one document without
+// forcing stored-region materialization when the value was captured in
+// the mapped TOC (identity fields like the shard layer's global docID).
+// Fields outside the TOC fall back to Doc(id).Get(name).
+func (ix *Index) DocMeta(id int, name string) string {
+	if m := ix.mapped; m != nil {
+		for k, n := range m.metaNames {
+			if n == name {
+				if id >= 0 && id < len(m.metaVals[k]) {
+					return m.metaVals[k][id]
+				}
+				return ""
+			}
+		}
+	}
+	d := ix.Doc(id)
+	if d == nil {
+		return ""
+	}
+	return d.Get(name)
+}
+
+// storedDocAt returns one stored document: from the cache if it was
+// served before, otherwise by inflating its chunk from the mapped region
+// (transiently — the decompressed bytes are garbage after the decode)
+// and decoding the one document out of it. Returns nil on structural
+// corruption inside the chunk (impossible on a CRC-verified file; the
+// parse stays defensive anyway). id is in [0, numDocs).
+func (m *mappedIndex) storedDocAt(id int) *Document {
+	if d := m.docCache[id].Load(); d != nil {
+		return d
+	}
+	c := id / m.chunkDocs
+	comp := m.raw[m.chunkOffs[c]+8 : m.chunkOffs[c+1]]
+	zr := flate.NewReader(bytes.NewReader(comp))
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil
+	}
+	r := byteReader{b: raw}
+	for k := id % m.chunkDocs; k > 0; k-- {
+		if !skipStoredDoc(&r) {
+			return nil
+		}
+	}
+	nf := r.u32()
+	if r.bad || nf > 1<<16 {
+		return nil
+	}
+	d := &Document{Fields: make([]Field, 0, capHint(nf, 256))}
+	for j := uint32(0); j < nf; j++ {
+		var f Field
+		f.Name = r.str()
+		f.Text = r.str()
+		f.Boost = r.f64()
+		if r.bad {
+			return nil
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	m.docCache[id].Store(d)
+	return d
+}
+
+// skipStoredDoc advances r over one stored document's wire bytes (u32
+// field count, then name/text strings and a boost f64 per field) without
+// building the Document. Reports false on corruption.
+func skipStoredDoc(r *byteReader) bool {
+	nf := r.u32()
+	if r.bad || nf > 1<<16 {
+		return false
+	}
+	for j := uint32(0); j < nf; j++ {
+		r.str()
+		r.str()
+		r.f64()
+		if r.bad {
+			return false
+		}
+	}
+	return true
+}

@@ -42,14 +42,17 @@ func MergeIndexes(sources []*Index, dead [][]bool) (*Index, [][]int) {
 			mask := dead[si]
 			isDead = func(id int) bool { return mask[id] }
 		}
-		remap := make([]int, len(src.docs))
-		for id, d := range src.docs {
+		// src.Doc materializes a mapped source's stored region — the merge
+		// output is a heap index that needs the documents regardless.
+		n := src.docCount()
+		remap := make([]int, n)
+		for id := 0; id < n; id++ {
 			if isDead(id) {
 				remap[id] = -1
 				continue
 			}
 			remap[id] = len(out.docs)
-			out.docs = append(out.docs, d)
+			out.docs = append(out.docs, src.Doc(id))
 			out.deleted = append(out.deleted, false)
 		}
 		remaps[si] = remap
@@ -58,12 +61,7 @@ func MergeIndexes(sources []*Index, dead [][]bool) (*Index, [][]int) {
 			// A field carried only by tombstoned documents does not survive
 			// the merge — exactly as a from-scratch build would not see it.
 			live := false
-			for id := range sfi.docLen {
-				if remap[id] >= 0 {
-					live = true
-					break
-				}
-			}
+			sfi.eachDocLen(func(id, _ int) { live = live || remap[id] >= 0 })
 			if !live {
 				continue
 			}
@@ -72,16 +70,19 @@ func MergeIndexes(sources []*Index, dead [][]bool) (*Index, [][]int) {
 				fi = newFieldIndex()
 				out.fields[name] = fi
 			}
-			for id, l := range sfi.docLen {
+			sfi.eachDocLen(func(id, l int) {
 				nid := remap[id]
 				if nid < 0 {
-					continue
+					return
 				}
 				fi.docLen[nid] = l
 				fi.sumLen += l
-				fi.boost[nid] = sfi.boost[id]
-			}
-			for term, pl := range sfi.postings {
+				fi.boost[nid] = sfi.boostOf(id)
+			})
+			// Mapped sources materialize one term at a time; memory stays
+			// bounded by a posting list, never the whole field.
+			for _, term := range sfi.termNames() {
+				pl := sfi.postingsOf(term)
 				kept := fi.postings[term]
 				for i := range pl {
 					nid := remap[pl[i].DocID]

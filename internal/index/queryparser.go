@@ -165,7 +165,7 @@ func (q FuzzyQuery) scores(ix *Index) map[int]float64 {
 	out := make(map[int]float64)
 	avg := ix.scoringAvgLen(q.Field)
 	numDocs := ix.scoringNumDocs()
-	for term, pl := range fi.postings {
+	for _, term := range fi.termNames() {
 		var weight float64
 		switch {
 		case term == target:
@@ -176,8 +176,10 @@ func (q FuzzyQuery) scores(ix *Index) map[int]float64 {
 			continue
 		}
 		df := ix.scoringDocFreq(q.Field, term)
-		for _, p := range pl {
-			s := ix.sim.TermScore(p.Freq(), df, numDocs, fi.docLen[p.DocID], avg) * p.Boost * boost * weight
+		// postingsOf after the edit-distance filter: only the few matching
+		// expansions are materialized on a mapped index.
+		for _, p := range fi.postingsOf(term) {
+			s := ix.sim.TermScore(p.Freq(), df, numDocs, fi.lengthOf(p.DocID), avg) * p.Boost * boost * weight
 			if s > out[p.DocID] {
 				out[p.DocID] = s
 			}
@@ -206,7 +208,7 @@ func (q FuzzyQuery) newScorer(ix *Index) scorer {
 	}
 	var subs []scorer
 	var weights []float64
-	for term := range fi.postings {
+	for _, term := range fi.termNames() {
 		var weight float64
 		switch {
 		case term == target:

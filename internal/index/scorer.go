@@ -136,6 +136,9 @@ func newTermScorer(ix *Index, field, term string, queryBoost float64) scorer {
 	if fi == nil {
 		return emptyScorer{}
 	}
+	if fi.m != nil {
+		return newMappedTermScorer(ix, fi.m, field, term, queryBoost)
+	}
 	pl := fi.postings[term]
 	if len(pl) == 0 {
 		return emptyScorer{}
@@ -313,6 +316,9 @@ func newPhraseScorer(ix *Index, field string, terms []string, boost float64) sco
 	fi := ix.fields[field]
 	if fi == nil {
 		return emptyScorer{}
+	}
+	if fi.m != nil {
+		return newMappedPhraseScorer(ix, fi.m, field, terms, boost)
 	}
 	// Any term absent from the field makes the phrase unmatchable.
 	for _, t := range terms {

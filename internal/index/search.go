@@ -123,13 +123,13 @@ func (q TermQuery) scores(ix *Index) map[int]float64 {
 	if fi == nil {
 		return nil
 	}
-	pl := fi.postings[term]
+	pl := fi.postingsOf(term)
 	df := ix.scoringDocFreq(q.Field, term)
 	numDocs := ix.scoringNumDocs()
 	avg := ix.scoringAvgLen(q.Field)
 	out := make(map[int]float64, len(pl))
 	for _, p := range pl {
-		base := ix.sim.TermScore(p.Freq(), df, numDocs, fi.docLen[p.DocID], avg)
+		base := ix.sim.TermScore(p.Freq(), df, numDocs, fi.lengthOf(p.DocID), avg)
 		out[p.DocID] = base * p.Boost * boost
 	}
 	return out
@@ -239,6 +239,16 @@ func phraseTerms(ix *Index, raw []string) []string {
 }
 
 func phraseAt(ix *Index, field string, terms []string, docID, start int) bool {
+	if fi := ix.fields[field]; fi != nil && fi.m != nil {
+		// Mapped: probe each term's containing block directly instead of
+		// materializing whole posting lists per call.
+		for i := 1; i < len(terms); i++ {
+			if !fi.m.hasPosition(terms[i], docID, start+i) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := 1; i < len(terms); i++ {
 		if !hasPosition(ix.Postings(field, terms[i]), docID, start+i) {
 			return false
@@ -349,18 +359,19 @@ func (q BooleanQuery) newScorer(ix *Index) scorer { return newBooleanScorer(ix, 
 type MatchAllQuery struct{}
 
 func (MatchAllQuery) scores(ix *Index) map[int]float64 {
-	out := make(map[int]float64, len(ix.docs))
-	for id := range ix.docs {
+	n := ix.docCount()
+	out := make(map[int]float64, n)
+	for id := 0; id < n; id++ {
 		out[id] = 1
 	}
 	return out
 }
 
 func (MatchAllQuery) newScorer(ix *Index) scorer {
-	if len(ix.docs) == 0 {
+	if ix.docCount() == 0 {
 		return emptyScorer{}
 	}
-	return &allScorer{n: len(ix.docs), cur: -1}
+	return &allScorer{n: ix.docCount(), cur: -1}
 }
 
 // FieldBoost pairs a field with a query-time boost, for multi-field keyword

@@ -126,15 +126,25 @@ func (cs *CorpusStats) Remove(o *CorpusStats) {
 // live documents would export.
 func (ix *Index) LocalStats() *CorpusStats {
 	if ix.numDeleted == 0 {
-		cs := &CorpusStats{Docs: len(ix.docs), Fields: make(map[string]*FieldStats, len(ix.fields))}
+		// Clean path: per-term document frequencies are the posting counts,
+		// which a mapped index answers from its TOC — no block decoded, so
+		// the load-time stats exchange stays O(vocabulary), not O(postings).
+		cs := &CorpusStats{Docs: ix.docCount(), Fields: make(map[string]*FieldStats, len(ix.fields))}
 		for name, fi := range ix.fields {
 			fs := &FieldStats{
-				Docs:    len(fi.docLen),
 				SumLen:  fi.sumLen,
-				DocFreq: make(map[string]int, len(fi.postings)),
+				DocFreq: make(map[string]int, fi.numTerms()),
 			}
-			for t, pl := range fi.postings {
-				fs.DocFreq[t] = len(pl)
+			if fi.m != nil {
+				fs.Docs = fi.m.docCount
+				for t, mt := range fi.m.terms {
+					fs.DocFreq[t] = mt.n
+				}
+			} else {
+				fs.Docs = len(fi.docLen)
+				for t, pl := range fi.postings {
+					fs.DocFreq[t] = len(pl)
+				}
 			}
 			cs.Fields[name] = fs
 		}
@@ -143,15 +153,50 @@ func (ix *Index) LocalStats() *CorpusStats {
 	cs := &CorpusStats{Docs: ix.LiveDocs(), Fields: make(map[string]*FieldStats, len(ix.fields))}
 	for name, fi := range ix.fields {
 		fs := &FieldStats{DocFreq: map[string]int{}}
-		for id, l := range fi.docLen {
-			if ix.deleted[id] {
-				continue
+		if fi.m != nil {
+			for id := 0; id < len(fi.m.docLen); id++ {
+				if !fi.m.hasEntry(id) || ix.deleted[id] {
+					continue
+				}
+				fs.Docs++
+				fs.SumLen += int(fi.m.docLen[id])
 			}
-			fs.Docs++
-			fs.SumLen += l
+		} else {
+			for id, l := range fi.docLen {
+				if ix.deleted[id] {
+					continue
+				}
+				fs.Docs++
+				fs.SumLen += l
+			}
 		}
 		if fs.Docs == 0 {
 			continue // the field survives only on tombstoned documents
+		}
+		if fi.m != nil {
+			// Tombstone-aware export must count live postings per term; on a
+			// mapped field that means decoding each term's docID chains once.
+			// This path only runs when stats are recomputed over an index
+			// with pending tombstones — not at load, where indexes are clean.
+			for t, mt := range fi.m.terms {
+				r := newBlockReader(fi.m, mt, false)
+				df := 0
+				for b := 0; b < mt.numBlocks(); b++ {
+					if !r.load(b) {
+						break
+					}
+					for _, d := range r.docs {
+						if !ix.deleted[d] {
+							df++
+						}
+					}
+				}
+				if df > 0 {
+					fs.DocFreq[t] = df
+				}
+			}
+			cs.Fields[name] = fs
+			continue
 		}
 		for t, pl := range fi.postings {
 			df := 0
@@ -212,7 +257,7 @@ func (ix *Index) scoringNumDocs() int {
 	if ix.global != nil {
 		return ix.global.Docs
 	}
-	return len(ix.docs)
+	return ix.docCount()
 }
 
 // scoringDocFreq is the document frequency every ranking formula sees.
@@ -220,7 +265,7 @@ func (ix *Index) scoringDocFreq(field, term string) int {
 	if ix.global != nil {
 		return ix.global.DocFreq(field, term)
 	}
-	return len(ix.Postings(field, term))
+	return ix.DocFreq(field, term)
 }
 
 // scoringAvgLen is the average field length every ranking formula sees.

@@ -204,6 +204,74 @@ func TestCrashRecoveryEveryTruncationOffset(t *testing.T) {
 	}
 }
 
+// TestCrashMidMergeReopensMapped simulates a kill while a mapped
+// engine's background merge was in flight: the directory holds the
+// committed snapshot plus merger scratch segments — some complete, some
+// torn mid-write. Scratch files are never named by the manifest, so a
+// mapped reopen must serve the committed generation exactly (no
+// quarantine, no fallback, rankings unchanged) and the next checkpoint
+// must sweep the orphans away.
+func TestCrashMidMergeReopensMapped(t *testing.T) {
+	pages := crashCorpus(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "idx.bin")
+
+	ref := Build(nil, semindex.FullInf, pages, Options{Shards: 2})
+	if err := ref.Save(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: a mapped engine merges, leaving real scratch segments,
+	// and is then abandoned without Close — the crash.
+	victim, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.mergeShard(0)
+	orphans, err := filepath.Glob(base + ".mapseg*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) == 0 {
+		t.Fatal("merge on a mapped engine produced no scratch segment")
+	}
+	// Torn artifacts a kill mid-writeShardFile would leave: a half
+	// snapshot under the scratch name and an un-renamed tmp.
+	for _, junk := range []string{base + ".mapseg999998.shard001", base + ".mapseg999999.shard000.tmp"} {
+		if err := os.WriteFile(junk, []byte("torn scratch write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second life: reopen mapped over the same directory.
+	got, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatalf("mapped reopen amid scratch orphans failed: %v", err)
+	}
+	defer got.Close()
+	rep := got.LoadReport()
+	if len(rep.Quarantined) != 0 || len(rep.MappedFallback) != 0 {
+		t.Fatalf("scratch orphans disturbed the reopen: %+v", rep)
+	}
+	if got.NumDocs() != ref.NumDocs() {
+		t.Fatalf("reopened with %d docs, want %d", got.NumDocs(), ref.NumDocs())
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID, searchN(got, q.Keywords, 10), searchN(ref, q.Keywords, 10))
+	}
+
+	// The next checkpoint retires every orphan, torn or complete.
+	if err := got.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := filepath.Glob(base + ".mapseg*"); len(left) != 0 {
+		t.Fatalf("checkpoint left scratch orphans behind: %v", left)
+	}
+	if rep := Fsck(base); !rep.OK() {
+		t.Fatalf("fsck after orphan sweep:\n%s", rep)
+	}
+}
+
 // TestCrashBeforeManifestKeepsOldSnapshot simulates a crash between the
 // shard-file renames and the manifest commit: the next generation's
 // shard files sit fully written in the directory, but the manifest

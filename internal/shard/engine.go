@@ -70,6 +70,16 @@ type subIndex struct {
 	// Segment postings are immutable after the creating batch commits;
 	// only tombstone bits move afterwards.
 	segID uint64
+	// release unmaps a mapped base's byte region (nil for heap subs).
+	// Called only after the sub can no longer be referenced: base swaps
+	// happen under the write lock, and every search holds the read lock
+	// for its full duration (the deadline scatter's drain goroutine keeps
+	// holding it until stragglers finish), so no reader survives the swap.
+	release func() error
+	// scratch names the merger-written segment file backing a mapped
+	// base ("" for manifest-named files, which Save owns); removed
+	// together with the mapping.
+	scratch string
 }
 
 // docRef locates one global document inside the engine. A nil sub marks
@@ -183,6 +193,16 @@ type Engine struct {
 	// loadRep records how the last Load recovered (zero for built
 	// engines).
 	loadRep LoadReport
+
+	// mappedBase, when non-empty, is the snapshot base path the engine
+	// was mapped-loaded from (LoadOptions.Mapped): the merger persists
+	// compaction output next to it as mapped scratch segments and Save
+	// re-anchors bases on the committed generation's files. Set once
+	// before serving, read-only after.
+	mappedBase string
+	// mapSeq numbers merger scratch segment files so successive merges
+	// of one shard never collide.
+	mapSeq atomic.Uint64
 
 	// mergeOpMu serializes merge/compaction operations (background
 	// merger, ForceMerge, Save's checkpoint compaction) against each

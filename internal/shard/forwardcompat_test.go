@@ -29,7 +29,7 @@ func wrapEnvelopeV1(payload []byte) ([]byte, uint32) {
 	b.WriteString(snapMagic)
 	binary.Write(&b, binary.LittleEndian, uint32(snapVersionV1))
 	b.Write(payload)
-	var tr [snapTrailerLen]byte
+	var tr [snapTrailerLenV2]byte
 	binary.LittleEndian.PutUint64(tr[0:8], uint64(len(payload)))
 	sum := crc32.ChecksumIEEE(payload)
 	binary.LittleEndian.PutUint32(tr[8:12], sum)

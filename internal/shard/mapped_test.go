@@ -1,0 +1,432 @@
+package shard
+
+// Mapped-mode engine tests: LoadWith(Mapped) must serve byte-identical
+// rankings to a heap load across every LSM state, survive the full
+// merge → Save → reload lifecycle without leaking scratch files or
+// mappings, fall back (not fail) on pre-TOC snapshot files, and keep
+// exactly the heap path's corruption verdicts.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/eval"
+	"repro/internal/semindex"
+)
+
+// saveFixture builds a sharded engine from the fixture pages and
+// checkpoints it, returning the engine and the snapshot base path.
+func saveFixture(t *testing.T, shards int) (*Engine, string) {
+	t.Helper()
+	pages, _ := fixture(t)
+	e := Build(nil, semindex.FullInf, pages, Options{Shards: shards})
+	base := filepath.Join(t.TempDir(), "idx.bin")
+	if err := e.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	return e, base
+}
+
+// mapsegFiles lists the merger's scratch segment files under a base.
+func mapsegFiles(t *testing.T, base string) []string {
+	t.Helper()
+	got, err := filepath.Glob(base + ".mapseg*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestMappedLoadEquivalenceAcrossLSMStates is the mapped ranking gate:
+// a mapped load and a heap load of the same snapshot, fed identical
+// upsert batches, must return byte-identical rankings — documents,
+// scores, tie order — with segments unmerged, mid-merge, and fully
+// merged. The heap engine's own equivalence to the monolithic oracle is
+// pinned by TestLSMUpsertEquivalenceAcrossMergeStates, so agreeing with
+// it closes the chain mapped == heap == monolith.
+func TestMappedLoadEquivalenceAcrossLSMStates(t *testing.T) {
+	e, base := saveFixture(t, 3)
+	pages, _ := fixture(t)
+
+	heap, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if fb := mapped.LoadReport().MappedFallback; len(fb) != 0 {
+		t.Fatalf("fresh v3 snapshot fell back to heap on shards %v", fb)
+	}
+	for s := range mapped.base {
+		if mapped.base[s].release == nil {
+			t.Fatalf("shard %d base carries no mapping release", s)
+		}
+	}
+
+	check := func(label string) {
+		t.Helper()
+		for _, q := range eval.PaperQueries() {
+			assertSameHits(t, q.ID+"/"+label, searchN(mapped, q.Keywords, 0), searchN(heap, q.Keywords, 0))
+		}
+	}
+
+	// Clean load: both twins must also equal the engine that saved them.
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID+"/clean", searchN(mapped, q.Keywords, 10), searchN(e, q.Keywords, 10))
+	}
+	check("clean")
+
+	// Upsert batches land as unmerged segments on both twins.
+	ctx := context.Background()
+	for _, batch := range [][]*crawler.MatchPage{
+		{pages[0], pages[3]},
+		{pages[1], pages[1]}, // within-batch replacement
+	} {
+		if _, err := heap.Ingest(ctx, batch, IngestOptions{Merge: MergeNone}); err != nil {
+			t.Fatalf("heap Ingest: %v", err)
+		}
+		if _, err := mapped.Ingest(ctx, batch, IngestOptions{Merge: MergeNone}); err != nil {
+			t.Fatalf("mapped Ingest: %v", err)
+		}
+	}
+	if st := mapped.Stats(); st.Segments == 0 || st.Tombstones == 0 {
+		t.Fatalf("expected unmerged segments and tombstones, got %+v", st)
+	}
+	check("segments")
+
+	// Mid-merge: compact one shard on each twin; the rest keep segments.
+	heap.mergeShard(0)
+	mapped.mergeShard(0)
+	check("mid-merge")
+
+	heap.ForceMerge()
+	mapped.ForceMerge()
+	if st := mapped.Stats(); st.Segments != 0 || st.Tombstones != 0 {
+		t.Fatalf("ForceMerge left %d segments, %d tombstones", st.Segments, st.Tombstones)
+	}
+	check("merged")
+
+	if got, want := mapped.NumDocs(), heap.NumDocs(); got != want {
+		t.Fatalf("mapped NumDocs = %d, heap %d", got, want)
+	}
+}
+
+// TestMappedMergeScratchLifecycle follows a scratch segment cradle to
+// grave: a merge on a mapped engine persists its output as a mapped
+// scratch file (the base stays mapped instead of reverting to heap),
+// and the next Save re-anchors every base on the committed generation
+// and retires the scratch. A reload of that checkpoint serves
+// identically.
+func TestMappedMergeScratchLifecycle(t *testing.T) {
+	_, base := saveFixture(t, 2)
+	pages, _ := fixture(t)
+
+	mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	heap, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	batch := []*crawler.MatchPage{pages[2], pages[5]}
+	if _, err := mapped.Ingest(ctx, batch, IngestOptions{Merge: MergeNone}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := heap.Ingest(ctx, batch, IngestOptions{Merge: MergeNone}); err != nil {
+		t.Fatal(err)
+	}
+
+	mapped.ForceMerge()
+	if got := mapsegFiles(t, base); len(got) == 0 {
+		t.Fatal("merge on a mapped engine left no scratch segment file")
+	}
+	scratched := 0
+	for s := range mapped.base {
+		if mapped.base[s].release == nil {
+			t.Errorf("shard %d base lost its mapping after merge", s)
+		}
+		if mapped.base[s].scratch != "" {
+			scratched++
+		}
+	}
+	if scratched == 0 {
+		t.Fatal("no base serves from a mapped scratch segment after merge")
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID+"/scratch", searchN(mapped, q.Keywords, 10), searchN(heap, q.Keywords, 10))
+	}
+
+	// Save retires scratch files and re-anchors bases on the new
+	// generation's manifest-named snapshot files.
+	if err := mapped.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	if got := mapsegFiles(t, base); len(got) != 0 {
+		t.Fatalf("Save left scratch files behind: %v", got)
+	}
+	for s := range mapped.base {
+		if mapped.base[s].scratch != "" {
+			t.Errorf("shard %d still anchored on scratch %q after Save", s, mapped.base[s].scratch)
+		}
+		if mapped.base[s].release == nil {
+			t.Errorf("shard %d base not re-anchored mapped after Save", s)
+		}
+	}
+	if rep := Fsck(base); !rep.OK() {
+		t.Fatalf("fsck after mapped save:\n%s", rep)
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID+"/saved", searchN(mapped, q.Keywords, 10), searchN(heap, q.Keywords, 10))
+	}
+
+	back, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if fb := back.LoadReport().MappedFallback; len(fb) != 0 {
+		t.Fatalf("checkpoint written by a mapped engine fell back on shards %v", fb)
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID+"/reload", searchN(back, q.Keywords, 10), searchN(mapped, q.Keywords, 10))
+	}
+}
+
+// rewriteAsV2Envelope rewrites a v3 snapshot file as the 12-byte-trailer
+// v2 envelope a pre-mapped build would have written: same header magic
+// and codec, version 2, TOC stripped. The payload — and therefore the
+// manifest CRC — is untouched; only the file size changes.
+func rewriteAsV2Envelope(t *testing.T, path string) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := data[len(data)-snapTrailerLen:]
+	payloadLen := binary.LittleEndian.Uint64(tr[12:20])
+	payloadCRC := binary.LittleEndian.Uint32(tr[20:24])
+	payload := data[snapHeaderLen : snapHeaderLen+int(payloadLen)]
+
+	var b bytes.Buffer
+	b.Write(data[:snapHeaderLen])
+	binary.LittleEndian.PutUint32(b.Bytes()[4:8], uint32(snapVersionV2))
+	b.Write(payload)
+	var v2tr [snapTrailerLenV2]byte
+	binary.LittleEndian.PutUint64(v2tr[0:8], payloadLen)
+	binary.LittleEndian.PutUint32(v2tr[8:12], payloadCRC)
+	b.Write(v2tr[:])
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return int64(b.Len())
+}
+
+// TestMappedLoadFallsBackOnV2Envelope pins the version-skew contract: a
+// snapshot file written by a pre-TOC build (v2 envelope, no meta
+// region) cannot be served mapped, and a mapped load must heap-decode
+// that shard — noted in LoadReport.MappedFallback — rather than fail or
+// call it damaged.
+func TestMappedLoadFallsBackOnV2Envelope(t *testing.T) {
+	e, base := saveFixture(t, 3)
+
+	victim := 1
+	path := shardGenPath(base, 1, victim)
+	newSize := rewriteAsV2Envelope(t, path)
+	m, err := readManifest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Files[victim].Size = newSize
+	if err := writeManifest(base, m); err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatalf("mapped load failed on a v2-envelope shard: %v", err)
+	}
+	defer mapped.Close()
+	rep := mapped.LoadReport()
+	if len(rep.MappedFallback) != 1 || rep.MappedFallback[0] != victim {
+		t.Fatalf("MappedFallback = %v, want exactly shard %d", rep.MappedFallback, victim)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("a TOC-less file was quarantined: %+v", rep.Quarantined)
+	}
+	if mapped.base[victim].release != nil {
+		t.Error("fallback shard still carries a mapping release")
+	}
+	for s := range mapped.base {
+		if s != victim && mapped.base[s].release == nil {
+			t.Errorf("shard %d should still be mapped", s)
+		}
+	}
+	for _, q := range eval.PaperQueries() {
+		assertSameHits(t, q.ID, searchN(mapped, q.Keywords, 10), searchN(e, q.Keywords, 10))
+	}
+}
+
+// TestMappedLoadCorruptionVerdictParity flips bytes in the payload and
+// in the TOC region of one shard file and requires the mapped load to
+// reach exactly the heap path's verdict: the shard is quarantined
+// (renamed *.corrupt) as DAMAGED — never a panic, never a silently
+// wrong index — and the engine serves degraded.
+func TestMappedLoadCorruptionVerdictParity(t *testing.T) {
+	for name, flip := range map[string]func(data []byte) int{
+		"payload": func(data []byte) int { return len(data) / 2 },
+		"toc": func(data []byte) int {
+			tr := data[len(data)-snapTrailerLen:]
+			payloadLen := int(binary.LittleEndian.Uint64(tr[12:20]))
+			metaLen := int(binary.LittleEndian.Uint64(tr[0:8]))
+			if metaLen == 0 {
+				return -1
+			}
+			return snapHeaderLen + payloadLen + metaLen/2
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, base := saveFixture(t, 3)
+			victim := shardGenPath(base, 1, 1)
+			data, err := os.ReadFile(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			at := flip(data)
+			if at < 0 {
+				t.Fatal("snapshot has no TOC region to corrupt")
+			}
+			data[at] ^= 0x40
+			if err := os.WriteFile(victim, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+			if err != nil {
+				t.Fatalf("mapped load failed outright on one corrupt shard: %v", err)
+			}
+			defer mapped.Close()
+			rep := mapped.LoadReport()
+			if len(rep.Quarantined) != 1 || rep.Quarantined[0].Shard != 1 {
+				t.Fatalf("quarantined %+v, want exactly shard 1", rep.Quarantined)
+			}
+			if !errors.Is(rep.Quarantined[0].Err, ErrSnapshotCorrupt) {
+				t.Errorf("quarantine error %v does not wrap ErrSnapshotCorrupt", rep.Quarantined[0].Err)
+			}
+			if len(rep.MappedFallback) != 0 {
+				t.Errorf("corruption misread as a TOC-less fallback: %v", rep.MappedFallback)
+			}
+			if _, err := os.Stat(victim); !os.IsNotExist(err) {
+				t.Error("corrupt shard file was not quarantined away")
+			}
+			if _, err := mapped.Search(context.Background(), "goal", SearchOptions{Limit: 5}); err != nil {
+				t.Fatalf("degraded mapped engine cannot search: %v", err)
+			}
+		})
+	}
+}
+
+// TestMappedCloseReleasesMappings: Close must unmap every base region
+// exactly once, and a second Close must be harmless.
+func TestMappedCloseReleasesMappings(t *testing.T) {
+	_, base := saveFixture(t, 2)
+	mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range mapped.base {
+		if mapped.base[s].release == nil {
+			t.Fatalf("shard %d not mapped before Close", s)
+		}
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for s := range mapped.base {
+		if mapped.base[s].release != nil {
+			t.Errorf("shard %d mapping not released by Close", s)
+		}
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestMappedSaveIsRawCopy documents the clean-shard fast path: saving a
+// mapped engine whose shards are clean re-emits the mapped bytes
+// verbatim, so the new generation's files differ from the old only in
+// name. (With tombstones or segments, Save compacts first and the bytes
+// legitimately change.)
+func TestMappedSaveIsRawCopy(t *testing.T) {
+	_, base := saveFixture(t, 2)
+	mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	gen1 := make([][]byte, mapped.NumShards())
+	for s := range gen1 {
+		if gen1[s], err = os.ReadFile(shardGenPath(base, 1, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mapped.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	for s := range gen1 {
+		gen2, err := os.ReadFile(shardGenPath(base, 2, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gen1[s], gen2) {
+			t.Errorf("shard %d: clean mapped re-save changed the file bytes", s)
+		}
+	}
+}
+
+// TestMappedEngineDocAndMeta: identity fields answer from the TOC, and
+// full document retrieval (which inflates the stored region lazily)
+// returns the same documents as a heap load.
+func TestMappedEngineDocAndMeta(t *testing.T) {
+	_, base := saveFixture(t, 2)
+	heap, err := Load(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := LoadWith(base, nil, LoadOptions{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if got, want := mapped.NumDocs(), heap.NumDocs(); got != want {
+		t.Fatalf("NumDocs = %d, want %d", got, want)
+	}
+	for gid := 0; gid < heap.NumDocs(); gid++ {
+		hd, md := heap.Doc(gid), mapped.Doc(gid)
+		if (hd == nil) != (md == nil) {
+			t.Fatalf("doc %d: heap nil=%v mapped nil=%v", gid, hd == nil, md == nil)
+		}
+		if hd == nil {
+			continue
+		}
+		if got, want := md.Get(semindex.MetaMatchID), hd.Get(semindex.MetaMatchID); got != want {
+			t.Fatalf("doc %d match ID: mapped %q, heap %q", gid, got, want)
+		}
+		if got, want := fmt.Sprint(md.Fields), fmt.Sprint(hd.Fields); got != want {
+			t.Fatalf("doc %d fields diverge:\nmapped: %s\nheap:   %s", gid, got, want)
+		}
+	}
+}

@@ -153,15 +153,27 @@ func (e *Engine) mergeShard(s int) {
 	// this merge and survive the swap.
 	merged, remaps := index.MergeIndexes(sources, masks)
 
+	// Phase 2.5: a mapped engine persists the merge and reopens it as a
+	// mapped scratch segment (tmp + fsync + rename + CRC reopen), still
+	// off-lock, so compaction sheds its heap instead of accreting it. A
+	// nil sub falls back to serving the heap merge. mappedBase is set
+	// once before serving and read-only after, so the unlocked read is
+	// safe.
+	var nb *subIndex
+	if e.mappedBase != "" {
+		nb = e.writeMappedSeg(s, merged)
+	}
+
 	// Phase 3: swap.
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.base[s] != oldBase || len(e.segs[s]) < len(oldSegs) {
 		// Another compaction (Save's checkpoint path) replaced the merge
 		// set while we worked; discard this merge.
+		releaseSub(nb)
 		return
 	}
-	e.applyMergedLocked(s, subs, merged, remaps, len(oldSegs))
+	e.applyMergedLocked(s, subs, merged, remaps, len(oldSegs), nb)
 	met.merges.Inc()
 	met.mergeLatency.ObserveDuration(time.Since(start))
 }
@@ -173,13 +185,19 @@ func (e *Engine) mergeShard(s int) {
 // documents become holes, and the first nOldSegs segments are retired.
 // Nothing observable changes: no statistics move, no epochs bump, no
 // cache entry is touched. Write lock required.
-func (e *Engine) applyMergedLocked(s int, subs []*subIndex, merged *index.Index, remaps [][]int, nOldSegs int) {
-	newBase := &subIndex{
-		si:   &semindex.SemanticIndex{Level: e.level, Index: merged},
-		gids: make([]int, merged.NumDocs()),
+//
+// newBase, when non-nil, is a mapped reopen of merged (writeMappedSeg) —
+// the same documents under the same local IDs — and serves in its place;
+// a retiring mapped old base is unmapped, which is safe here because the
+// write lock excludes every reader (see mapped.go).
+func (e *Engine) applyMergedLocked(s int, subs []*subIndex, merged *index.Index, remaps [][]int, nOldSegs int, newBase *subIndex) {
+	if newBase == nil {
+		newBase = &subIndex{si: &semindex.SemanticIndex{Level: e.level, Index: merged}}
 	}
-	merged.SetCorpusStats(e.global)
-	merged.SetExhaustive(e.exhaustive)
+	serve := newBase.si.Index
+	newBase.gids = make([]int, serve.NumDocs())
+	serve.SetCorpusStats(e.global)
+	serve.SetExhaustive(e.exhaustive)
 	for i, sub := range subs {
 		remap := remaps[i]
 		for local := 0; local < len(remap); local++ {
@@ -190,16 +208,18 @@ func (e *Engine) applyMergedLocked(s int, subs []*subIndex, merged *index.Index,
 				e.byGID[gid] = docRef{sub: nil, shard: -1}
 				continue
 			}
-			if sub.si.Index.IsDeleted(local) && !merged.IsDeleted(nid) {
+			if sub.si.Index.IsDeleted(local) && !serve.IsDeleted(nid) {
 				// Tombstoned while the merge ran: carry the bit forward.
-				merged.Delete(nid)
+				serve.Delete(nid)
 			}
 			newBase.gids[nid] = gid
 			e.byGID[gid] = docRef{sub: newBase, shard: s, local: nid}
 		}
 	}
+	oldBase := e.base[s]
 	e.base[s] = newBase
 	e.shards[s] = newBase.si
 	e.segs[s] = append([]*subIndex(nil), e.segs[s][nOldSegs:]...)
+	releaseSub(oldBase)
 	e.updateLSMGaugesLocked()
 }

@@ -1,0 +1,24 @@
+//go:build linux
+
+package shard
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release func
+// unmaps the region; after it runs, every slice into the mapping is
+// invalid. On linux this is a real mmap — the kernel pages index blocks
+// in and out on demand, which is what lets a mapped engine serve an
+// index larger than RAM.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

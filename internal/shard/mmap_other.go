@@ -1,0 +1,21 @@
+//go:build !linux
+
+package shard
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the mmap wiring reads the file into an
+// anonymous heap buffer. The mapped load mode still works — lazy block
+// decode, O(manifest) open-time work, lazy stored fields — it just does
+// not page against the file, so the index must fit in memory. The
+// release func is a no-op; the GC reclaims the buffer.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

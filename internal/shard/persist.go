@@ -53,13 +53,26 @@ import (
 // newer build" apart from "damaged" without decoding a byte of payload:
 // an unknown envelope version or a codec above what this binary
 // supports is ErrSnapshotUnknownVersion, never quarantined as corrupt.
+//
+// Envelope v3 appends a metadata region between the payload and the
+// trailer — the payload's mapped table of contents (semindex
+// SaveWithTOC) — and widens the trailer to cover it: metaLen u64,
+// metaCRC u32, then the v2 trailer shape (payloadLen u64, payloadCRC
+// u32). The payload bytes are untouched, the manifest CRC still covers
+// the payload alone, and no manifest key changes — version signaling
+// rides entirely on the envelope version, so a pre-v3 binary reports a
+// v3 snapshot UNVERIFIABLE (newer build) instead of DAMAGED. The TOC is
+// what lets LoadWith serve the file memory-mapped in O(manifest) time
+// without decoding the payload.
 const (
-	snapMagic       = "SSNP"
-	snapVersionV1   = 1
-	snapVersion     = 2
-	snapHeaderLenV1 = 4 + 4
-	snapHeaderLen   = 4 + 4 + 4
-	snapTrailerLen  = 8 + 4
+	snapMagic        = "SSNP"
+	snapVersionV1    = 1
+	snapVersionV2    = 2
+	snapVersion      = 3
+	snapHeaderLenV1  = 4 + 4
+	snapHeaderLen    = 4 + 4 + 4
+	snapTrailerLenV2 = 8 + 4
+	snapTrailerLen   = 8 + 4 + 8 + 4
 )
 
 // ErrSnapshotUnknownVersion reports a shard snapshot written by a newer
@@ -132,7 +145,14 @@ func (e *Engine) Save(base string) error {
 	}
 	for i, sh := range e.shards {
 		path := shardGenPath(base, newGen, i)
-		size, sum, err := writeShardFile(path, sh.Save)
+		sh := sh
+		size, sum, err := writeShardFile(path, func(w io.Writer) ([]byte, error) {
+			// The TOC captures the identity metadata (global docID, page ID)
+			// so a mapped reload rebuilds its ID maps without inflating a
+			// single stored document. On an already-mapped base this whole
+			// save is a raw byte copy of the mapped region.
+			return sh.SaveWithTOC(w, MetaGID, semindex.MetaMatchID)
+		})
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -152,6 +172,17 @@ func (e *Engine) Save(base string) error {
 		// committed; start the next generation's log.
 		if err := e.wal.Rotate(newGen); err != nil {
 			return fmt.Errorf("shard: rotating WAL: %w", err)
+		}
+	}
+	if e.mappedBase != "" {
+		// A mapped engine re-anchors every base on the generation just
+		// committed: the compaction above produced heap bases whose bytes
+		// are exactly what landed on disk, so adopting the mapped view
+		// frees that heap (and retires any merger scratch files) without
+		// changing anything observable. Best-effort per shard — a shard
+		// that fails to map simply keeps serving from the heap.
+		for i := range e.shards {
+			e.adoptMappedBaseLocked(i, filepath.Join(filepath.Dir(base), m.Files[i].Name), m.Files[i])
 		}
 	}
 	removeStaleSnapshotFiles(base, m)
@@ -174,13 +205,18 @@ func (e *Engine) compactAllLocked() {
 			sources[i] = sub.si.Index
 		}
 		merged, remaps := index.MergeIndexes(sources, nil)
-		e.applyMergedLocked(s, subs, merged, remaps, len(e.segs[s]))
+		// Heap output even on a mapped engine: Save is about to write the
+		// merged bytes and then re-anchor the base on the committed file.
+		e.applyMergedLocked(s, subs, merged, remaps, len(e.segs[s]), nil)
 	}
 }
 
 // writeShardFile writes one enveloped, checksummed shard snapshot via
 // tmp + fsync + rename, returning the final file size and payload CRC.
-func writeShardFile(path string, save func(io.Writer) error) (int64, uint32, error) {
+// save writes the payload and returns the envelope's metadata region —
+// the payload's mapped TOC (empty is legal; the file just cannot be
+// served mapped).
+func writeShardFile(path string, save func(io.Writer) ([]byte, error)) (int64, uint32, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -197,14 +233,21 @@ func writeShardFile(path string, save func(io.Writer) error) (int64, uint32, err
 	}
 	crc := crc32.NewIEEE()
 	cw := &countingWriter{}
-	if err := save(io.MultiWriter(bw, crc, cw)); err != nil {
+	meta, err := save(io.MultiWriter(bw, crc, cw))
+	if err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	if _, err := bw.Write(meta); err != nil {
 		f.Close()
 		return 0, 0, err
 	}
 	var trailer [snapTrailerLen]byte
-	binary.LittleEndian.PutUint64(trailer[0:8], uint64(cw.n))
+	binary.LittleEndian.PutUint64(trailer[0:8], uint64(len(meta)))
+	binary.LittleEndian.PutUint32(trailer[8:12], crc32.ChecksumIEEE(meta))
+	binary.LittleEndian.PutUint64(trailer[12:20], uint64(cw.n))
 	sum := crc.Sum32()
-	binary.LittleEndian.PutUint32(trailer[8:12], sum)
+	binary.LittleEndian.PutUint32(trailer[20:24], sum)
 	if _, err := bw.Write(trailer[:]); err != nil {
 		f.Close()
 		return 0, 0, err
@@ -223,7 +266,7 @@ func writeShardFile(path string, save func(io.Writer) error) (int64, uint32, err
 	if err := os.Rename(tmp, path); err != nil {
 		return 0, 0, err
 	}
-	return snapHeaderLen + cw.n + snapTrailerLen, sum, nil
+	return snapHeaderLen + cw.n + int64(len(meta)) + snapTrailerLen, sum, nil
 }
 
 // countingWriter counts payload bytes for the envelope trailer.
@@ -250,7 +293,7 @@ func readShardFile(path string, analyzer index.Analyzer, want manifestEntry) (*s
 	if st.Size() != want.Size {
 		return nil, fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), want.Size)
 	}
-	payloadLen, headerLen, err := verifyEnvelope(f, st.Size(), want.CRC, false)
+	payloadLen, headerLen, _, err := verifyEnvelope(f, st.Size(), want.CRC, false)
 	if err != nil {
 		return nil, err
 	}
@@ -274,72 +317,157 @@ func readShardFile(path string, analyzer index.Analyzer, want manifestEntry) (*s
 	return si, nil
 }
 
+// errMappedFallback reports a verified snapshot file that cannot be
+// served mapped — a pre-v3 envelope or a payload without a TOC (an
+// older build wrote it). The caller falls back to the heap decoder;
+// this is a capability gap, never damage.
+var errMappedFallback = errors.New("shard: snapshot has no mapped TOC")
+
+// readShardFileMapped verifies one snapshot file — envelope, full
+// payload CRC, metadata CRC — and opens it memory-mapped: the codec
+// stream is served from the file's bytes (postings decoded lazily,
+// block by block, stored fields on first hit) instead of being decoded
+// onto the heap. Open-time work is O(TOC), not O(postings). The
+// returned release func unmaps the region; the caller must not use the
+// index after calling it.
+func readShardFileMapped(path string, analyzer index.Analyzer, want manifestEntry) (*semindex.SemanticIndex, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if st.Size() != want.Size {
+		return nil, nil, fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), want.Size)
+	}
+	// Unlike the decode path — whose decoder validates as it reads — the
+	// mapped path trusts the bytes for the life of the mapping, so the
+	// CRC pass over payload AND metadata happens up front.
+	payloadLen, headerLen, metaLen, err := verifyEnvelope(f, st.Size(), want.CRC, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if metaLen == 0 {
+		return nil, nil, errMappedFallback
+	}
+	m, release, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: mapping %s: %w", path, err)
+	}
+	payload := m[headerLen : headerLen+payloadLen]
+	toc := m[headerLen+payloadLen : headerLen+payloadLen+metaLen]
+	si, err := semindex.OpenMapped(payload, toc, analyzer)
+	if err != nil {
+		release()
+		if errors.Is(err, index.ErrNoTOC) {
+			return nil, nil, errMappedFallback
+		}
+		return nil, nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return si, release, nil
+}
+
 // verifyEnvelope checks header magic/version/codec and the trailer's
 // length and CRC fields against the file size (and wantCRC), returning
-// the payload length and the header length the payload starts after.
-// With sumPayload it also streams the payload through CRC32 — the
-// decode-free integrity pass Fsck uses. An envelope version or codec
-// above what this build writes fails with ErrSnapshotUnknownVersion
-// (forward compatibility), everything else with ErrSnapshotCorrupt.
-func verifyEnvelope(f *os.File, size int64, wantCRC uint32, sumPayload bool) (int64, int64, error) {
-	if size < snapHeaderLenV1+snapTrailerLen {
-		return 0, 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
+// the payload length, the header length the payload starts after, and
+// the metadata-region length (0 for pre-v3 envelopes; the region sits
+// between payload and trailer). On v3 the metadata region is always
+// CRC-checked; with sumPayload the payload is streamed through CRC32
+// too — the decode-free integrity pass Fsck and the mapped loader
+// use (the heap loader checksums the payload during decode). An
+// envelope version or codec above what this build writes fails with
+// ErrSnapshotUnknownVersion (forward compatibility), everything else
+// with ErrSnapshotCorrupt.
+func verifyEnvelope(f *os.File, size int64, wantCRC uint32, sumPayload bool) (payloadLen, headerLen, metaLen int64, err error) {
+	if size < snapHeaderLenV1+snapTrailerLenV2 {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
 	}
 	var hdr [snapHeaderLen]byte
 	if _, err := f.ReadAt(hdr[:snapHeaderLenV1], 0); err != nil {
-		return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		return 0, 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	if string(hdr[:4]) != snapMagic {
-		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, hdr[:4])
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, hdr[:4])
 	}
-	var headerLen int64
-	switch v := binary.LittleEndian.Uint32(hdr[4:8]); v {
+	trailerLen := int64(snapTrailerLenV2)
+	version := binary.LittleEndian.Uint32(hdr[4:8])
+	switch version {
 	case snapVersionV1:
 		// v1 envelopes predate the codec field; their payloads were all
 		// written by the v1 index codec, which Decode still reads.
 		headerLen = snapHeaderLenV1
-	case snapVersion:
+	case snapVersionV2, snapVersion:
 		headerLen = snapHeaderLen
-		if size < snapHeaderLen+snapTrailerLen {
-			return 0, 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
+		if version == snapVersion {
+			trailerLen = snapTrailerLen
+		}
+		if size < headerLen+trailerLen {
+			return 0, 0, 0, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrSnapshotCorrupt, size)
 		}
 		if _, err := f.ReadAt(hdr[8:12], 8); err != nil {
-			return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 		}
 		switch codec := binary.LittleEndian.Uint32(hdr[8:12]); {
 		case codec == 0:
-			return 0, 0, fmt.Errorf("%w: codec 0 in envelope header", ErrSnapshotCorrupt)
+			return 0, 0, 0, fmt.Errorf("%w: codec 0 in envelope header", ErrSnapshotCorrupt)
 		case codec > index.CodecVersionCurrent:
-			return 0, 0, fmt.Errorf("%w: payload codec %d, this build reads up to %d",
+			return 0, 0, 0, fmt.Errorf("%w: payload codec %d, this build reads up to %d",
 				ErrSnapshotUnknownVersion, codec, index.CodecVersionCurrent)
 		}
 	default:
-		return 0, 0, fmt.Errorf("%w: envelope version %d, this build reads up to %d",
-			ErrSnapshotUnknownVersion, v, snapVersion)
+		return 0, 0, 0, fmt.Errorf("%w: envelope version %d, this build reads up to %d",
+			ErrSnapshotUnknownVersion, version, snapVersion)
 	}
 	var trailer [snapTrailerLen]byte
-	if _, err := f.ReadAt(trailer[:], size-snapTrailerLen); err != nil {
-		return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	if _, err := f.ReadAt(trailer[:trailerLen], size-trailerLen); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
-	payloadLen := int64(binary.LittleEndian.Uint64(trailer[0:8]))
-	if payloadLen != size-headerLen-snapTrailerLen {
-		return 0, 0, fmt.Errorf("%w: trailer claims %d payload bytes, file holds %d",
-			ErrSnapshotCorrupt, payloadLen, size-headerLen-snapTrailerLen)
+	var metaCRC uint32
+	payloadTrailer := trailer[:snapTrailerLenV2]
+	if version == snapVersion {
+		metaLen = int64(binary.LittleEndian.Uint64(trailer[0:8]))
+		metaCRC = binary.LittleEndian.Uint32(trailer[8:12])
+		payloadTrailer = trailer[12:24]
+		if metaLen < 0 || metaLen > size-headerLen-trailerLen {
+			return 0, 0, 0, fmt.Errorf("%w: trailer claims %d metadata bytes, file holds %d",
+				ErrSnapshotCorrupt, metaLen, size-headerLen-trailerLen)
+		}
 	}
-	trailerCRC := binary.LittleEndian.Uint32(trailer[8:12])
+	payloadLen = int64(binary.LittleEndian.Uint64(payloadTrailer[0:8]))
+	if payloadLen != size-headerLen-metaLen-trailerLen {
+		return 0, 0, 0, fmt.Errorf("%w: trailer claims %d payload bytes, file holds %d",
+			ErrSnapshotCorrupt, payloadLen, size-headerLen-metaLen-trailerLen)
+	}
+	trailerCRC := binary.LittleEndian.Uint32(payloadTrailer[8:12])
 	if trailerCRC != wantCRC {
-		return 0, 0, fmt.Errorf("%w: trailer CRC %08x, manifest says %08x", ErrSnapshotCorrupt, trailerCRC, wantCRC)
+		return 0, 0, 0, fmt.Errorf("%w: trailer CRC %08x, manifest says %08x", ErrSnapshotCorrupt, trailerCRC, wantCRC)
 	}
 	if sumPayload {
 		crc := crc32.NewIEEE()
 		if _, err := io.Copy(crc, io.NewSectionReader(f, headerLen, payloadLen)); err != nil {
-			return 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 		}
 		if got := crc.Sum32(); got != wantCRC {
-			return 0, 0, fmt.Errorf("%w: payload CRC %08x, manifest says %08x", ErrSnapshotCorrupt, got, wantCRC)
+			return 0, 0, 0, fmt.Errorf("%w: payload CRC %08x, manifest says %08x", ErrSnapshotCorrupt, got, wantCRC)
 		}
 	}
-	return payloadLen, headerLen, nil
+	// The metadata region is small (a block TOC), so it is always
+	// verified here — even when the caller streams the payload through
+	// its own CRC during decode. Load and Fsck must agree on whether a
+	// file is damaged, wherever the flipped byte lands.
+	if metaLen > 0 {
+		crc := crc32.NewIEEE()
+		if _, err := io.Copy(crc, io.NewSectionReader(f, headerLen+payloadLen, metaLen)); err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		if got := crc.Sum32(); got != metaCRC {
+			return 0, 0, 0, fmt.Errorf("%w: metadata CRC %08x, trailer says %08x", ErrSnapshotCorrupt, got, metaCRC)
+		}
+	}
+	return payloadLen, headerLen, metaLen, nil
 }
 
 // removeStaleSnapshotFiles deletes every shard file the just-committed
@@ -353,7 +481,10 @@ func removeStaleSnapshotFiles(base string, m *manifest) {
 		live[mf.Name] = true
 	}
 	dir := filepath.Dir(base)
-	for _, pattern := range []string{base + ".g*.shard*", base + ".shard*"} {
+	// Merger scratch segments (*.mapseg*) are never manifest-named; any
+	// still mapped keep their pages through the unlink (inode semantics),
+	// and Save just re-anchored every base on manifest files anyway.
+	for _, pattern := range []string{base + ".g*.shard*", base + ".shard*", base + ".mapseg*"} {
 		names, err := filepath.Glob(pattern)
 		if err != nil {
 			continue
@@ -399,6 +530,11 @@ type LoadReport struct {
 	// WALGenMismatch is true when a WAL existed but belonged to another
 	// snapshot generation and was skipped.
 	WALGenMismatch bool
+	// MappedFallback lists shards a mapped load (LoadOptions.Mapped) had
+	// to heap-decode because their snapshot files carry no mapped TOC —
+	// written by a pre-v3 build. Harmless: those shards just serve from
+	// the heap until the next Save rewrites them with a TOC.
+	MappedFallback []int
 }
 
 // Load reconstructs an engine from a Save checkpoint: the manifest is
@@ -419,6 +555,27 @@ type LoadReport struct {
 // Bases saved before the manifest format load through the legacy
 // read-until-missing path, without integrity checks.
 func Load(base string, analyzer index.Analyzer) (*Engine, error) {
+	return LoadWith(base, analyzer, LoadOptions{})
+}
+
+// LoadOptions selects how LoadWith materializes shard snapshots.
+type LoadOptions struct {
+	// Mapped serves each shard directly from its snapshot file's bytes
+	// (memory-mapped on linux) instead of decoding it onto the heap:
+	// open-time work drops from O(postings) to O(TOC), postings decode
+	// lazily block by block as queries touch them, stored fields inflate
+	// on the first hit, and the OS pages cold index regions in and out —
+	// so the index may exceed RAM. Every integrity check still runs (a
+	// full CRC pass over payload and TOC before the bytes are trusted).
+	// Rankings are byte-identical to a heap load. Snapshot files written
+	// without a TOC (pre-v3 builds) fall back to heap decoding, noted in
+	// LoadReport.MappedFallback. Engines loaded mapped should be released
+	// with Close.
+	Mapped bool
+}
+
+// LoadWith is Load with explicit load options.
+func LoadWith(base string, analyzer index.Analyzer, opts LoadOptions) (*Engine, error) {
 	m, err := readManifest(base)
 	if os.IsNotExist(err) {
 		return loadLegacy(base, analyzer)
@@ -429,19 +586,37 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 	dir := filepath.Dir(base)
 	rep := LoadReport{Generation: m.Generation}
 	shards := make([]*semindex.SemanticIndex, len(m.Files))
+	closers := make([]func() error, len(m.Files))
 	var quarantined []int
 	intact := 0
 	for i, mf := range m.Files {
 		path := filepath.Join(dir, mf.Name)
-		si, err := readShardFile(path, analyzer, mf)
+		var si *semindex.SemanticIndex
+		var err error
+		if opts.Mapped {
+			si, closers[i], err = readShardFileMapped(path, analyzer, mf)
+			if errors.Is(err, errMappedFallback) {
+				rep.MappedFallback = append(rep.MappedFallback, i)
+				err = nil
+				si = nil
+			}
+		}
+		if si == nil && err == nil {
+			si, err = readShardFile(path, analyzer, mf)
+		}
 		if err == nil && si.Level != m.Level {
 			err = fmt.Errorf("%w: level %s, manifest says %s", ErrSnapshotCorrupt, si.Level, m.Level)
 		}
 		if err != nil {
+			if closers[i] != nil {
+				closers[i]()
+				closers[i] = nil
+			}
 			if errors.Is(err, ErrSnapshotUnknownVersion) {
 				// Not damage: a newer build wrote this file. Renaming it
 				// *.corrupt and serving without it would turn a version
 				// skew into data loss; refuse the load instead.
+				releaseClosers(closers)
 				return nil, fmt.Errorf("shard %d (%s): %w", i, mf.Name, err)
 			}
 			name := quarantine(path)
@@ -454,11 +629,19 @@ func Load(base string, analyzer index.Analyzer) (*Engine, error) {
 		intact++
 	}
 	if intact == 0 {
+		releaseClosers(closers)
 		return nil, fmt.Errorf("%w: no intact shard among %d at %s", ErrSnapshotCorrupt, len(m.Files), base)
 	}
-	e, err := fromShards(shards, quarantined, int(m.NextGID))
+	e, err := fromShards(shards, closers, quarantined, int(m.NextGID))
 	if err != nil {
+		releaseClosers(closers)
 		return nil, err
+	}
+	if opts.Mapped {
+		// Arms the mapped write side: the merger persists compaction
+		// output as mapped scratch segments and Save re-anchors bases on
+		// the committed generation. Set before serving, read-only after.
+		e.mappedBase = base
 	}
 	e.gen = m.Generation
 	e.met.quarantined.Add(uint64(len(quarantined)))
@@ -546,7 +729,7 @@ func loadLegacy(base string, analyzer index.Analyzer) (*Engine, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: no manifest and no shard files at %s", base)
 	}
-	e, err := fromShards(shards, nil, 0)
+	e, err := fromShards(shards, nil, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -554,8 +737,20 @@ func loadLegacy(base string, analyzer index.Analyzer) (*Engine, error) {
 	return e, nil
 }
 
+// releaseClosers unmaps whatever a failed mapped load already mapped.
+func releaseClosers(closers []func() error) {
+	for _, c := range closers {
+		if c != nil {
+			c()
+		}
+	}
+}
+
 // fromShards assembles an engine around already-loaded shard indices
 // (which become the shards' bases — snapshots are always base-only).
+// closers, when non-nil, carries each shard's mapped-region release
+// func (nil entries for heap-decoded shards); the engine owns them from
+// here and releases them on Close or when a merge retires the base.
 // quarantined lists shard slots holding empty placeholders for files
 // Load rejected; with quarantined slots the global docID space keeps
 // the holes the lost documents occupied (Doc returns nil for them)
@@ -563,7 +758,7 @@ func loadLegacy(base string, analyzer index.Analyzer) (*Engine, error) {
 // the manifest's recorded next unused global ID: the snapshot's ID
 // space legitimately has holes (compacted tombstones), and new ingests
 // must start numbering there.
-func fromShards(shards []*semindex.SemanticIndex, quarantined []int, nextGID int) (*Engine, error) {
+func fromShards(shards []*semindex.SemanticIndex, closers []func() error, quarantined []int, nextGID int) (*Engine, error) {
 	e := newEngine(shards[0].Level, semindex.NewBuilder(), len(shards))
 	e.shards = shards
 	e.quarantined = append([]int(nil), quarantined...)
@@ -579,10 +774,13 @@ func fromShards(shards []*semindex.SemanticIndex, quarantined []int, nextGID int
 		total += n
 		parsed[s] = make([]int, n)
 		for local := 0; local < n; local++ {
-			gid, err := strconv.Atoi(sh.Index.Doc(local).Get(MetaGID))
+			// DocMeta answers from the mapped TOC when there is one — the
+			// ID maps rebuild without inflating a single stored document,
+			// which is what keeps a mapped load O(TOC), not O(corpus).
+			gid, err := strconv.Atoi(sh.Index.DocMeta(local, MetaGID))
 			if err != nil || gid < 0 {
 				return nil, fmt.Errorf("shard %d doc %d: bad global id %q",
-					s, local, sh.Index.Doc(local).Get(MetaGID))
+					s, local, sh.Index.DocMeta(local, MetaGID))
 			}
 			parsed[s][local] = gid
 			if gid > maxGID {
@@ -617,6 +815,9 @@ func fromShards(shards []*semindex.SemanticIndex, quarantined []int, nextGID int
 	live := 0
 	for s := range shards {
 		e.base[s] = &subIndex{si: shards[s], gids: parsed[s]}
+		if closers != nil {
+			e.base[s].release = closers[s]
+		}
 		for local, gid := range parsed[s] {
 			if seen[gid] {
 				return nil, fmt.Errorf("shard %d doc %d: duplicate global id %d", s, local, gid)
@@ -635,7 +836,7 @@ func fromShards(shards []*semindex.SemanticIndex, quarantined []int, nextGID int
 		if ref.sub == nil {
 			continue
 		}
-		if pid := ref.sub.si.Index.Doc(ref.local).Get(semindex.MetaMatchID); pid != "" {
+		if pid := ref.sub.si.Index.DocMeta(ref.local, semindex.MetaMatchID); pid != "" {
 			e.pageGIDs[pid] = append(e.pageGIDs[pid], gid)
 		}
 	}
@@ -688,6 +889,11 @@ type FsckFile struct {
 	// version or payload codec from a newer build. Distinct from a
 	// failed verdict: the file may be perfectly intact.
 	Unverifiable bool
+	// Mapped reports whether the file carries the envelope metadata
+	// region (the codec TOC) that lets LoadOptions{Mapped} serve it
+	// straight from its bytes. A v2-envelope file is intact but not
+	// mapped-servable; it heap-decodes until the next Save rewrites it.
+	Mapped bool
 	// Detail explains a failed or unverifiable verdict.
 	Detail string
 }
@@ -763,7 +969,11 @@ func (r *FsckReport) String() string {
 	for _, f := range r.Files {
 		switch {
 		case f.OK:
-			out += fmt.Sprintf("  %-28s OK   %9d bytes crc32 %08x\n", f.Name, f.Size, f.CRC)
+			storage := "heap-only"
+			if f.Mapped {
+				storage = "mapped"
+			}
+			out += fmt.Sprintf("  %-28s OK   %9d bytes crc32 %08x  %s\n", f.Name, f.Size, f.CRC, storage)
 		case f.Unverifiable:
 			out += fmt.Sprintf("  %-28s UNVERIFIABLE  %s\n", f.Name, f.Detail)
 		default:
@@ -845,7 +1055,9 @@ func Fsck(base string) *FsckReport {
 			err = fmt.Errorf("%w: size %d, manifest says %d", ErrSnapshotCorrupt, st.Size(), mf.Size)
 		}
 		if err == nil {
-			_, _, err = verifyEnvelope(f, st.Size(), mf.CRC, true)
+			var metaLen int64
+			_, _, metaLen, err = verifyEnvelope(f, st.Size(), mf.CRC, true)
+			ff.Mapped = err == nil && metaLen > 0
 		}
 		f.Close()
 		if err != nil {
